@@ -1,0 +1,62 @@
+// Fabric design-space ablation (Section 3/4 design choices).
+//
+// The paper's WCLA trades fabric capability for on-chip CAD tractability
+// ("we could target the native Spartan3 fabric ... additional performance
+// improvements"). This bench sweeps the fabric geometry and routing
+// capacity and shows where benchmarks stop fitting/routing — the design
+// cliff that motivated the simple-but-sufficient fabric — and how routed
+// critical path (and hence fabric clock) responds.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "experiments/harness.hpp"
+
+int main() {
+  using namespace warp;
+  struct Variant {
+    const char* name;
+    fabric::FabricGeometry geometry;
+  };
+  std::vector<Variant> variants;
+  {
+    fabric::FabricGeometry g;  // default 64x40, capacity 64
+    variants.push_back({"default 64x40 cap64", g});
+    g = {};
+    g.width = 32;
+    g.height = 24;
+    variants.push_back({"small   32x24 cap64", g});
+    g = {};
+    g.width = 16;
+    g.height = 12;
+    variants.push_back({"tiny    16x12 cap64", g});
+    g = {};
+    g.channel_capacity = 12;
+    variants.push_back({"starved 64x40 cap12", g});
+    g = {};
+    g.wire_hop_delay_ns = 0.9;  // slower interconnect
+    variants.push_back({"slowwire 64x40 cap64", g});
+  }
+
+  common::Table table({"Fabric", "Benchmark", "Warped?", "LUTs", "crit path(ns)",
+                       "fabric MHz", "Speedup"});
+  for (const auto& variant : variants) {
+    for (const char* name : {"brev", "bitmnp", "idct"}) {
+      auto options = experiments::default_options();
+      options.system.dpm.fabric = variant.geometry;
+      const auto r = experiments::run_benchmark(workloads::workload_by_name(name), options);
+      if (!r.ok) {
+        table.add_row({variant.name, name, "ERROR", "-", "-", "-", "-"});
+        continue;
+      }
+      table.add_row({variant.name, name, r.warped ? "yes" : "no (SW fallback)",
+                     r.warped ? common::format("%zu", r.outcome.luts) : "-",
+                     r.warped ? common::format("%.1f", r.outcome.critical_path_ns) : "-",
+                     r.warped ? common::format("%.0f", r.outcome.fabric_clock_mhz) : "-",
+                     common::format("%.2fx", r.warp_speedup)});
+    }
+  }
+  std::printf("Fabric design-space ablation (geometry / routing capacity / wire speed)\n\n%s",
+              table.to_string().c_str());
+  return 0;
+}

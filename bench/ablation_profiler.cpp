@@ -1,0 +1,56 @@
+// Profiler design-space ablation (Section 3: the non-intrusive profiler is
+// "a small cache that stores the branch frequencies").
+//
+// Sweeps the frequency-cache size and the decay interval, and reports
+// whether the top loop identified by the on-chip profiler matches exact
+// (offline) profiling for each benchmark — the accuracy/area trade-off of
+// the Gordon-Ross/Vahid design.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "isa/assembler.hpp"
+#include "profiler/profiler.hpp"
+#include "sim/core.hpp"
+#include "workloads/workload.hpp"
+
+int main() {
+  using namespace warp;
+  const unsigned entry_counts[] = {1, 2, 4, 8, 16};
+
+  common::Table table({"Benchmark", "distinct loops", "entries=1", "entries=2", "entries=4",
+                       "entries=8", "entries=16"});
+  for (const auto& w : workloads::all_workloads()) {
+    auto program = isa::assemble(w.source, isa::CpuConfig{true, true, false, 85.0});
+    if (!program) continue;
+
+    std::vector<std::string> row{w.name};
+    std::size_t distinct = 0;
+    for (unsigned entries : entry_counts) {
+      sim::Memory instr_mem(1 << 16);
+      sim::Memory data_mem(1 << 20);
+      sim::Core core(instr_mem, data_mem, program.value().config);
+      core.load_program(program.value());
+      w.init(data_mem);
+
+      profiler::ProfilerConfig config;
+      config.entries = entries;
+      profiler::Profiler onchip(config);
+      profiler::ExactProfiler exact;
+      core.set_branch_hook([&](std::uint32_t pc, std::uint32_t target, bool taken) {
+        onchip.on_branch(pc, target, taken);
+        exact.on_branch(pc, target, taken);
+      });
+      core.run();
+
+      distinct = exact.candidates().size();
+      const bool hit = onchip.hottest().branch_pc == exact.hottest().branch_pc;
+      row.push_back(hit ? "hit" : "MISS");
+    }
+    row.insert(row.begin() + 1, common::format("%zu", distinct));
+    table.add_row(row);
+  }
+  std::printf("Profiler cache-size ablation: does the on-chip cache find the same\n");
+  std::printf("hottest loop as exact offline profiling?\n\n%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 5: the energy-accounting model.
+//
+//   E_total  = E_MB + E_HW + E_static
+//   E_MB     = P_idle*t_idle + P_active*t_active
+//   E_HW     = P_HW*t_HW
+//   E_static = P_static*t_total
+//
+// This bench prints the decomposition for every benchmark's warped run —
+// the quantities the equations of Figure 5 multiply — plus the time split
+// between active execution, idle (waiting on the WCLA) and hardware
+// activity.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "experiments/harness.hpp"
+
+int main() {
+  using namespace warp;
+  const auto options = experiments::default_options();
+  const auto results = experiments::run_all_benchmarks(options);
+
+  common::Table table({"Benchmark", "t_total(ms)", "t_active(ms)", "t_idle(ms)", "t_HW(ms)",
+                       "E_MB(mJ)", "E_HW(mJ)", "E_static(mJ)", "E_total(mJ)", "LUTs"});
+  for (const auto& r : results) {
+    if (!r.ok || !r.warped) {
+      std::printf("%s: not warped (%s)\n", r.name.c_str(),
+                  r.ok ? r.warp_detail.c_str() : r.error.c_str());
+      continue;
+    }
+    const auto& run = r.warp_run;
+    const double f_hz = 85e6;
+    const double t_active = static_cast<double>(run.core.active_cycles()) / f_hz;
+    const double t_idle = static_cast<double>(run.core.idle_cycles) / f_hz;
+    table.add_row({r.name,
+                   common::format("%.3f", r.warp_seconds * 1e3),
+                   common::format("%.3f", t_active * 1e3),
+                   common::format("%.3f", t_idle * 1e3),
+                   common::format("%.3f", run.wcla.busy_ns * 1e-6),
+                   common::format("%.4f", r.warp_energy_parts.e_mb_mj),
+                   common::format("%.4f", r.warp_energy_parts.e_hw_mj),
+                   common::format("%.4f", r.warp_energy_parts.e_static_mj),
+                   common::format("%.4f", r.warp_energy_parts.total_mj()),
+                   common::format("%zu", r.outcome.luts)});
+  }
+  std::printf("Figure 5: energy decomposition of the warped runs\n\n%s\n",
+              table.to_string().c_str());
+  return 0;
+}

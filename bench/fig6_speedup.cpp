@@ -1,0 +1,59 @@
+// Figure 6: speedups of the MicroBlaze-based warp processor and ARM7/9/10/11
+// hard cores, normalized to the MicroBlaze soft core alone, for the six
+// Powerstone/EEMBC benchmarks.
+//
+// Paper reference points: warp average 5.8x (brev 16.9x; average excluding
+// brev 3.6x); warp beats ARM7/ARM9/ARM10 on average and trails the ARM11 by
+// ~2.6x.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/strings.hpp"
+#include "experiments/harness.hpp"
+
+int main() {
+  using namespace warp;
+  const auto options = experiments::default_options();
+  const auto results = experiments::run_all_benchmarks(options);
+
+  common::Table table({"Benchmark", "MicroBlaze(85)", "ARM7(100)", "ARM9(250)", "ARM10(325)",
+                       "ARM11(550)", "MicroBlaze(Warp)"});
+  double sums[6] = {0, 0, 0, 0, 0, 0};
+  double sums_nobrev[6] = {0, 0, 0, 0, 0, 0};
+  unsigned count = 0;
+  for (const auto& r : results) {
+    if (!r.ok) {
+      std::printf("%s FAILED: %s\n", r.name.c_str(), r.error.c_str());
+      continue;
+    }
+    ++count;
+    const double row[6] = {1.0, r.arm[0].speedup_vs_mb, r.arm[1].speedup_vs_mb,
+                           r.arm[2].speedup_vs_mb, r.arm[3].speedup_vs_mb, r.warp_speedup};
+    std::vector<std::string> cells{r.name};
+    for (int i = 0; i < 6; ++i) {
+      cells.push_back(common::format("%.2f", row[i]));
+      sums[i] += row[i];
+      if (r.name != "brev") sums_nobrev[i] += row[i];
+    }
+    table.add_row(cells);
+  }
+  if (count > 0) {
+    std::vector<std::string> avg{"Average:"};
+    for (int i = 0; i < 6; ++i) avg.push_back(common::format("%.2f", sums[i] / count));
+    table.add_row(avg);
+    std::vector<std::string> avg2{"Average (excl. brev):"};
+    for (int i = 0; i < 6; ++i) {
+      avg2.push_back(common::format("%.2f", sums_nobrev[i] / (count - 1)));
+    }
+    table.add_row(avg2);
+  }
+  std::printf("Figure 6: speedup vs. MicroBlaze soft core alone\n");
+  std::printf("(paper: warp average 5.8, brev 16.9, average excluding brev 3.6)\n\n");
+  std::printf("%s\n", table.to_string().c_str());
+  for (const auto& r : results) {
+    if (r.ok) {
+      std::printf("%-8s %s\n", r.name.c_str(), r.warp_detail.c_str());
+    }
+  }
+  return 0;
+}

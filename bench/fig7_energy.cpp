@@ -1,0 +1,72 @@
+// Figure 7: normalized energy consumption of the warp processor and the
+// ARM7/9/10/11 hard cores, relative to the MicroBlaze soft core alone.
+//
+// Paper reference points: warp average reduction 57% (brev 94%; excluding
+// brev 49%); the plain MicroBlaze needs ~48% more energy than the ARM11;
+// the ARM11 needs ~80% more energy than the warp processor; the warp
+// processor needs ~26% less energy than the ARM10.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "experiments/harness.hpp"
+
+int main() {
+  using namespace warp;
+  const auto options = experiments::default_options();
+  const auto results = experiments::run_all_benchmarks(options);
+
+  common::Table table({"Benchmark", "MicroBlaze(85)", "ARM7(100)", "ARM9(250)", "ARM10(325)",
+                       "ARM11(550)", "MicroBlaze(Warp)"});
+  double sums[6] = {0, 0, 0, 0, 0, 0};
+  double sums_nobrev[6] = {0, 0, 0, 0, 0, 0};
+  unsigned count = 0;
+  for (const auto& r : results) {
+    if (!r.ok) {
+      std::printf("%s FAILED: %s\n", r.name.c_str(), r.error.c_str());
+      continue;
+    }
+    ++count;
+    const double row[6] = {1.0, r.arm[0].energy_vs_mb, r.arm[1].energy_vs_mb,
+                           r.arm[2].energy_vs_mb, r.arm[3].energy_vs_mb, r.warp_energy_norm};
+    std::vector<std::string> cells{r.name};
+    for (int i = 0; i < 6; ++i) {
+      cells.push_back(common::format("%.3f", row[i]));
+      sums[i] += row[i];
+      if (r.name != "brev") sums_nobrev[i] += row[i];
+    }
+    table.add_row(cells);
+  }
+  std::printf("Figure 7: normalized energy vs. MicroBlaze soft core alone\n");
+  std::printf("(paper: warp average 0.43 = 57%% reduction; brev 0.06; excl. brev 0.51)\n\n");
+  if (count > 0) {
+    std::vector<std::string> avg{"Average:"};
+    for (int i = 0; i < 6; ++i) avg.push_back(common::format("%.3f", sums[i] / count));
+    table.add_row(avg);
+    std::vector<std::string> avg2{"Average (excl. brev):"};
+    for (int i = 0; i < 6; ++i) {
+      avg2.push_back(common::format("%.3f", sums_nobrev[i] / (count - 1)));
+    }
+    table.add_row(avg2);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The paper's cross-comparisons.
+  double warp_sum = 0, arm10_sum = 0, arm11_sum = 0, arm11_time_ratio = 0;
+  for (const auto& r : results) {
+    if (!r.ok) continue;
+    warp_sum += r.warp_energy_norm;
+    arm10_sum += r.arm[2].energy_vs_mb;
+    arm11_sum += r.arm[3].energy_vs_mb;
+    arm11_time_ratio += r.warp_seconds / r.arm[3].seconds;
+  }
+  std::printf("MicroBlaze energy vs ARM11      : %.2fx more (paper: 1.48x)\n",
+              count ? count / arm11_sum : 0.0);
+  std::printf("ARM11 energy vs warp            : %.0f%% more (paper: 80%%)\n",
+              count ? (arm11_sum / warp_sum - 1.0) * 100.0 : 0.0);
+  std::printf("Warp energy vs ARM10            : %.0f%% less (paper: 26%%)\n",
+              count ? (1.0 - warp_sum / arm10_sum) * 100.0 : 0.0);
+  std::printf("ARM11 speed vs warp             : %.2fx faster (paper: 2.6x)\n",
+              count ? arm11_time_ratio / count : 0.0);
+  return 0;
+}

@@ -1,0 +1,175 @@
+// ROCPART tool micro-benchmarks (google-benchmark).
+//
+// The warp-processing claim that makes everything else possible is that the
+// CAD algorithms are lean enough for on-chip execution (Section 3: "our
+// ROCPART tools can execute on a small, embedded processor requiring very
+// little memory and execution time"). These micro-benchmarks measure the
+// host-side cost of each stage on the real benchmark kernels and on random
+// netlists, and report the metered work units the DPM time model charges.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "decompile/cfg.hpp"
+#include "decompile/extract.hpp"
+#include "decompile/liveness.hpp"
+#include "isa/assembler.hpp"
+#include "logicopt/rocm.hpp"
+#include "pnr/pnr.hpp"
+#include "synth/hw_kernel.hpp"
+#include "techmap/techmap.hpp"
+#include "warp/warp_system.hpp"
+#include "workloads/workload.hpp"
+
+namespace {
+
+using namespace warp;
+
+struct KernelFlow {
+  isa::Program program;
+  std::uint32_t branch_pc = 0;
+  std::uint32_t target_pc = 0;
+};
+
+KernelFlow prepare(const char* workload_name, const char* label) {
+  const auto& w = workloads::workload_by_name(workload_name);
+  auto program = isa::assemble(w.source, isa::CpuConfig{true, true, false, 85.0});
+  KernelFlow flow{program.value(), 0, 0};
+  flow.target_pc = flow.program.label(label);
+  const auto instrs = decompile::decode_program(flow.program.words);
+  for (const auto& fi : instrs) {
+    if (fi.valid && isa::is_conditional_branch(fi.instr.op) &&
+        fi.pc + static_cast<std::uint32_t>(fi.imm) == flow.target_pc && fi.pc > flow.target_pc) {
+      flow.branch_pc = fi.pc;
+    }
+  }
+  return flow;
+}
+
+void BM_DecompileBrev(benchmark::State& state) {
+  const auto flow = prepare("brev", "loop");
+  for (auto _ : state) {
+    auto cfg = decompile::Cfg::build(decompile::decode_program(flow.program.words));
+    decompile::Liveness live(cfg);
+    auto ir = decompile::extract_kernel(cfg, live, flow.branch_pc, flow.target_pc);
+    benchmark::DoNotOptimize(ir.is_ok());
+  }
+}
+BENCHMARK(BM_DecompileBrev);
+
+void BM_SynthesizeBrev(benchmark::State& state) {
+  const auto flow = prepare("brev", "loop");
+  auto cfg = decompile::Cfg::build(decompile::decode_program(flow.program.words));
+  decompile::Liveness live(cfg);
+  auto ir = decompile::extract_kernel(cfg, live, flow.branch_pc, flow.target_pc);
+  for (auto _ : state) {
+    auto kernel = synth::synthesize(ir.value());
+    benchmark::DoNotOptimize(kernel.is_ok());
+  }
+}
+BENCHMARK(BM_SynthesizeBrev);
+
+synth::GateNetlist random_netlist(common::Rng& rng, unsigned inputs, unsigned gates) {
+  synth::GateNetlist net;
+  std::vector<int> pool;
+  for (unsigned i = 0; i < inputs; ++i) pool.push_back(net.add_input("i" + std::to_string(i)));
+  for (unsigned g = 0; g < gates; ++g) {
+    const int a = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    const int b = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    switch (rng.below(4)) {
+      case 0: pool.push_back(net.gate_and(a, b)); break;
+      case 1: pool.push_back(net.gate_or(a, b)); break;
+      case 2: pool.push_back(net.gate_xor(a, b)); break;
+      default: pool.push_back(net.gate_not(a)); break;
+    }
+  }
+  for (unsigned o = 0; o < 16; ++o) {
+    net.add_output("o" + std::to_string(o), pool[pool.size() - 1 - o % 8]);
+  }
+  return net;
+}
+
+void BM_TechmapRandom(benchmark::State& state) {
+  common::Rng rng(1);
+  auto net = random_netlist(rng, 32, static_cast<unsigned>(state.range(0)));
+  std::uint64_t cuts = 0;
+  for (auto _ : state) {
+    techmap::TechmapStats stats;
+    auto mapped = techmap::techmap(net, {}, &stats);
+    benchmark::DoNotOptimize(mapped.is_ok());
+    cuts = stats.cut_count;
+  }
+  state.counters["cuts"] = static_cast<double>(cuts);
+}
+BENCHMARK(BM_TechmapRandom)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_PlaceAndRouteRandom(benchmark::State& state) {
+  common::Rng rng(2);
+  auto net = random_netlist(rng, 32, static_cast<unsigned>(state.range(0)));
+  auto mapped = techmap::techmap(net);
+  std::uint64_t expansions = 0;
+  for (auto _ : state) {
+    auto result = pnr::place_and_route(mapped.value(), fabric::FabricGeometry());
+    benchmark::DoNotOptimize(result.is_ok());
+    if (result.is_ok()) expansions = result.value().route.expansions;
+  }
+  state.counters["expansions"] = static_cast<double>(expansions);
+}
+BENCHMARK(BM_PlaceAndRouteRandom)->Arg(200)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_RocmMinimize(benchmark::State& state) {
+  // Random two-level functions over `range` variables.
+  const unsigned num_vars = static_cast<unsigned>(state.range(0));
+  common::Rng rng(num_vars);
+  std::vector<std::pair<logicopt::Cover, logicopt::Cover>> cases;
+  for (int i = 0; i < 32; ++i) {
+    logicopt::Cover on, off;
+    for (int c = 0; c < 24; ++c) {
+      logicopt::Cube cube;
+      cube.care = static_cast<std::uint16_t>(rng.next_u32() & ((1u << num_vars) - 1));
+      cube.polarity = static_cast<std::uint16_t>(rng.next_u32() & cube.care);
+      bool clash = false;
+      for (const auto& existing : off) {
+        if (logicopt::cubes_intersect(cube, existing)) clash = true;
+      }
+      if (!clash) on.push_back(cube);
+      // Off cubes: random minterms not covered by ON.
+      logicopt::Cube m;
+      m.care = static_cast<std::uint16_t>((1u << num_vars) - 1);
+      m.polarity = static_cast<std::uint16_t>(rng.next_u32() & m.care);
+      if (!logicopt::cover_eval(on, num_vars, m.polarity)) off.push_back(m);
+    }
+    cases.emplace_back(std::move(on), std::move(off));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [on, off] = cases[i++ % cases.size()];
+    auto result = logicopt::rocm_minimize(on, off, num_vars);
+    benchmark::DoNotOptimize(result.size());
+  }
+}
+BENCHMARK(BM_RocmMinimize)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_FullWarpFlow(benchmark::State& state) {
+  // The whole DPM pipeline on canrdr (decompile -> synth -> map -> pnr ->
+  // bitstream + stub) — the quantity the paper's "JIT FPGA compilation"
+  // line of work optimizes.
+  const auto& w = workloads::workload_by_name("canrdr");
+  auto program = isa::assemble(w.source, isa::CpuConfig{true, true, false, 85.0});
+  // Collect the profile once.
+  warpsys::WarpSystemConfig config;
+  config.cpu = program.value().config;
+  warpsys::WarpSystem warp_system(program.value(), w.init, config);
+  (void)warp_system.run_software();
+  const auto candidates = warp_system.loop_profiler().candidates();
+  for (auto _ : state) {
+    warpsys::DpmOptions options;
+    const auto outcome = warpsys::partition(program.value().words, candidates,
+                                            hwsim::kWclaBase, options);
+    benchmark::DoNotOptimize(outcome.success);
+  }
+}
+BENCHMARK(BM_FullWarpFlow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

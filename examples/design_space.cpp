@@ -1,0 +1,51 @@
+// Design-space walk: soft-core configurability meets warp processing.
+//
+// Section 2 of the paper shows how much the MicroBlaze's configurable units
+// (barrel shifter, multiplier) matter in software; the paper's thesis is
+// that warp processing can lift even a lean soft core to hard-core-class
+// performance. This example runs brev on three processor configurations,
+// with and without warping — note how the warped times converge: once the
+// kernel lives in the WCLA, the soft core's missing units stop mattering,
+// exactly the "broader range of applications" argument of the conclusion.
+#include <cstdio>
+
+#include "experiments/harness.hpp"
+
+int main() {
+  using namespace warp;
+  struct Variant {
+    const char* name;
+    isa::CpuConfig cpu;
+  };
+  const Variant variants[] = {
+      {"barrel shifter + multiplier", {true, true, false, 85.0}},
+      {"no barrel shifter          ", {false, true, false, 85.0}},
+      {"minimal core               ", {false, false, false, 85.0}},
+  };
+
+  const auto& workload = workloads::workload_by_name("brev");
+  std::printf("brev across MicroBlaze configurations (paper, Section 2):\n\n");
+  double base_sw = 0.0;
+  for (const auto& v : variants) {
+    auto options = experiments::default_options();
+    options.cpu = v.cpu;
+    options.include_arm = false;
+    const auto r = experiments::run_benchmark(workload, options);
+    if (!r.ok) {
+      std::printf("%s: FAILED (%s)\n", v.name, r.error.c_str());
+      continue;
+    }
+    if (base_sw == 0.0) base_sw = r.mb_seconds;
+    std::printf("%s : sw %7.3f ms (%.2fx vs full)", v.name, r.mb_seconds * 1e3,
+                r.mb_seconds / base_sw);
+    if (r.warped) {
+      std::printf("  -> warped %6.3f ms (speedup %5.2fx, %zu LUTs)\n", r.warp_seconds * 1e3,
+                  r.warp_speedup, r.outcome.luts);
+    } else {
+      std::printf("  -> not warped: %s\n", r.warp_detail.c_str());
+    }
+  }
+  std::printf("\nwarped times converge regardless of the soft core's datapath options:\n");
+  std::printf("the WCLA, not the processor pipeline, executes the kernel.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: warp one benchmark end to end and print what happened.
+//
+// This walks the whole paper pipeline on the brev benchmark: assemble for a
+// MicroBlaze, run in software with the on-chip profiler attached, let the
+// DPM decompile/synthesize/map/place/route the hottest loop onto the WCLA,
+// patch the binary, re-run, and compare times and energy.
+#include <cstdio>
+
+#include "experiments/harness.hpp"
+
+int main() {
+  using namespace warp;
+
+  experiments::HarnessOptions options = experiments::default_options();
+  options.verify_hw = true;  // cross-check the fabric against the DFG
+
+  const auto& workload = workloads::workload_by_name("brev");
+  std::printf("== %s: %s ==\n", workload.name.c_str(), workload.description.c_str());
+
+  const auto result = experiments::run_benchmark(workload, options);
+  if (!result.ok) {
+    std::printf("FAILED: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  std::printf("software-only run : %.3f ms (MicroBlaze @ 85 MHz)\n", result.mb_seconds * 1e3);
+  std::printf("partitioning      : %s\n", result.warp_detail.c_str());
+  for (const auto& attempt : result.outcome.attempts) {
+    std::printf("  attempt: %s\n", attempt.c_str());
+  }
+  if (result.warped) {
+    std::printf("DPM tool time     : %.1f ms on the on-chip DPM\n", result.dpm_seconds * 1e3);
+    std::printf("fabric            : %zu LUTs, depth %u, critical path %.2f ns, clock %.0f MHz\n",
+                result.outcome.luts, result.outcome.lut_depth,
+                result.outcome.critical_path_ns, result.outcome.fabric_clock_mhz);
+    std::printf("bitstream         : %zu words\n", result.outcome.bitstream_words);
+    std::printf("warped run        : %.3f ms  -> speedup %.2fx\n", result.warp_seconds * 1e3,
+                result.warp_speedup);
+    std::printf("energy            : %.3f mJ -> %.3f mJ (%.0f%% reduction)\n",
+                result.mb_energy_mj, result.warp_energy_mj,
+                (1.0 - result.warp_energy_norm) * 100.0);
+  }
+  for (const auto& arm : result.arm) {
+    std::printf("%-6s            : speedup %.2fx, normalized energy %.2f\n", arm.name.c_str(),
+                arm.speedup_vs_mb, arm.energy_vs_mb);
+  }
+  return 0;
+}

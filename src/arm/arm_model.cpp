@@ -1,0 +1,97 @@
+#include "arm/arm_model.hpp"
+
+namespace warp::arm {
+
+// CPI tables: older cores pay more per memory access (no/small caches,
+// slower buses); newer cores approach CPI 1 on ALU work but keep realistic
+// load-use and branch costs.
+ArmCoreModel arm7() {
+  ArmCoreModel m;
+  m.name = "ARM7";
+  m.clock_mhz = 100.0;
+  m.cpi_alu = 1.0;
+  m.cpi_shift = 1.0;
+  m.cpi_mul = 4.0;
+  m.cpi_load = 3.0;
+  m.cpi_store = 2.0;
+  m.cpi_branch = 2.3;
+  m.cpi_jump = 3.0;
+  m.instr_scale = 0.90;
+  m.system_factor = 1.06;
+  m.power = energy::arm7_power();
+  return m;
+}
+
+ArmCoreModel arm9() {
+  ArmCoreModel m;
+  m.name = "ARM9";
+  m.clock_mhz = 250.0;
+  m.cpi_alu = 1.0;
+  m.cpi_shift = 1.0;
+  m.cpi_mul = 3.0;
+  m.cpi_load = 1.8;
+  m.cpi_store = 1.3;
+  m.cpi_branch = 2.0;
+  m.cpi_jump = 2.5;
+  m.instr_scale = 0.88;
+  m.system_factor = 1.33;
+  m.power = energy::arm9_power();
+  return m;
+}
+
+ArmCoreModel arm10() {
+  ArmCoreModel m;
+  m.name = "ARM10";
+  m.clock_mhz = 325.0;
+  m.cpi_alu = 1.0;
+  m.cpi_shift = 1.0;
+  m.cpi_mul = 2.5;
+  m.cpi_load = 1.6;
+  m.cpi_store = 1.2;
+  m.cpi_branch = 1.8;
+  m.cpi_jump = 2.2;
+  m.instr_scale = 0.88;
+  m.system_factor = 1.28;
+  m.power = energy::arm10_power();
+  return m;
+}
+
+ArmCoreModel arm11() {
+  ArmCoreModel m;
+  m.name = "ARM11";
+  m.clock_mhz = 550.0;
+  m.cpi_alu = 1.0;
+  m.cpi_shift = 1.0;
+  m.cpi_mul = 2.0;
+  m.cpi_load = 1.5;
+  m.cpi_store = 1.1;
+  m.cpi_branch = 1.6;  // dynamic branch prediction
+  m.cpi_jump = 2.0;
+  m.instr_scale = 0.86;
+  m.system_factor = 1.19;
+  m.power = energy::arm11_power();
+  return m;
+}
+
+ArmEstimate estimate(const ArmCoreModel& core, const sim::CoreStats& stats) {
+  using isa::InstrClass;
+  double cycles = 0.0;
+  cycles += static_cast<double>(stats.count(InstrClass::kAlu)) * core.cpi_alu;
+  cycles += static_cast<double>(stats.count(InstrClass::kShift)) * core.cpi_shift;
+  cycles += static_cast<double>(stats.count(InstrClass::kMul)) * core.cpi_mul;
+  cycles += static_cast<double>(stats.count(InstrClass::kDiv)) * core.cpi_div;
+  cycles += static_cast<double>(stats.count(InstrClass::kLoad)) * core.cpi_load;
+  cycles += static_cast<double>(stats.count(InstrClass::kStore)) * core.cpi_store;
+  cycles += static_cast<double>(stats.count(InstrClass::kBranch)) * core.cpi_branch;
+  cycles += static_cast<double>(stats.count(InstrClass::kJump)) * core.cpi_jump;
+  // kImmPrefix / kHalt: no ARM equivalent.
+  cycles *= core.instr_scale * core.system_factor;
+
+  ArmEstimate est;
+  est.cycles = cycles;
+  est.seconds = cycles / (core.clock_mhz * 1e6);
+  est.energy_mj = energy::arm_energy_mj(core.power, est.seconds);
+  return est;
+}
+
+}  // namespace warp::arm

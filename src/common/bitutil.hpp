@@ -1,0 +1,55 @@
+// Bit-manipulation helpers shared across the warp-processing library.
+#pragma once
+
+#include <cstdint>
+#include <bit>
+
+namespace warp::common {
+
+/// Extract bits [lo, lo+width) of `value` (width <= 32).
+constexpr std::uint32_t bits(std::uint32_t value, unsigned lo, unsigned width) {
+  if (width >= 32) return value >> lo;
+  return (value >> lo) & ((1u << width) - 1u);
+}
+
+/// Insert `field` (width bits) into bits [lo, lo+width) of `value`.
+constexpr std::uint32_t set_bits(std::uint32_t value, unsigned lo, unsigned width,
+                                 std::uint32_t field) {
+  const std::uint32_t mask = (width >= 32) ? ~0u : ((1u << width) - 1u);
+  return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/// Sign-extend the low `width` bits of `value` to 32 bits.
+constexpr std::int32_t sign_extend(std::uint32_t value, unsigned width) {
+  const unsigned shift = 32u - width;
+  return static_cast<std::int32_t>(value << shift) >> shift;
+}
+
+/// True if `value` fits in a signed `width`-bit immediate.
+constexpr bool fits_signed(std::int64_t value, unsigned width) {
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+/// Reverse the bit order of a 32-bit word.
+constexpr std::uint32_t bit_reverse32(std::uint32_t v) {
+  v = ((v >> 1) & 0x55555555u) | ((v & 0x55555555u) << 1);
+  v = ((v >> 2) & 0x33333333u) | ((v & 0x33333333u) << 2);
+  v = ((v >> 4) & 0x0F0F0F0Fu) | ((v & 0x0F0F0F0Fu) << 4);
+  v = ((v >> 8) & 0x00FF00FFu) | ((v & 0x00FF00FFu) << 8);
+  return (v >> 16) | (v << 16);
+}
+
+/// Ceiling of log2; log2_ceil(1) == 0.
+constexpr unsigned log2_ceil(std::uint64_t v) {
+  unsigned r = 0;
+  std::uint64_t p = 1;
+  while (p < v) { p <<= 1; ++r; }
+  return r;
+}
+
+/// Population count convenience wrapper.
+constexpr unsigned popcount32(std::uint32_t v) { return static_cast<unsigned>(std::popcount(v)); }
+
+}  // namespace warp::common

@@ -1,0 +1,66 @@
+// Error reporting for the warp library. Tool-flow failures (bad assembly,
+// unsuitable kernels, unroutable designs) are reported via Status/Result so
+// callers can fall back to software execution — exactly what a real warp
+// processor must do when ROCPART rejects a region.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace warp::common {
+
+/// Thrown only for programming errors (out-of-range access, broken
+/// invariants), never for expected tool-flow failures.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Lightweight status: ok or an error message.
+class Status {
+ public:
+  Status() = default;
+  static Status ok() { return Status(); }
+  static Status error(std::string message) { return Status(std::move(message)); }
+
+  bool is_ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+  const std::string& message() const {
+    static const std::string kOk = "ok";
+    return message_ ? *message_ : kOk;
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+/// Result<T>: value or error message.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result error(std::string message) { return Result(Status::error(std::move(message))); }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    if (!value_) throw InternalError("Result::value on error: " + status_.message());
+    return *value_;
+  }
+  T&& value() && {
+    if (!value_) throw InternalError("Result::value on error: " + status_.message());
+    return std::move(*value_);
+  }
+  const std::string& message() const { return status_.message(); }
+
+ private:
+  explicit Result(Status st) : status_(std::move(st)) {}
+  Status status_ = Status::ok();
+  std::optional<T> value_;
+};
+
+}  // namespace warp::common

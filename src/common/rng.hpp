@@ -1,0 +1,43 @@
+// Deterministic xorshift-based PRNG used by workload generators, the
+// annealing placer, and property-based tests. We avoid <random> engines in
+// library code so results are bit-identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace warp::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed ? seed : 1) {}
+
+  /// xorshift64* — fast, decent-quality 64-bit generator.
+  std::uint64_t next_u64() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound) for bound > 0.
+  std::uint32_t below(std::uint32_t bound) { return next_u32() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int32_t range(std::int32_t lo, std::int32_t hi) {
+    return lo + static_cast<std::int32_t>(below(static_cast<std::uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace warp::common

@@ -1,0 +1,29 @@
+// Small string helpers used by the assembler and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace warp::common {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any of the characters in `delims`, dropping empty fields.
+std::vector<std::string_view> split(std::string_view s, std::string_view delims);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Case-sensitive equality of string_views (explicit name for clarity at call sites).
+bool equals(std::string_view a, std::string_view b);
+
+/// Parse a decimal or 0x-prefixed hexadecimal (optionally negative) integer.
+/// Returns false on malformed input.
+bool parse_int(std::string_view s, long long& out);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace warp::common

@@ -1,0 +1,24 @@
+// Plain-text table printer used by the bench binaries so every figure/table
+// prints in a consistent, diffable format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace warp::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Render with column alignment; first column left-aligned, rest right-aligned.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace warp::common

@@ -1,0 +1,210 @@
+#include "decompile/cfg.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace warp::decompile {
+
+namespace {
+
+bool ends_block(const FusedInstr& fi) {
+  return fi.valid && isa::is_control_flow(fi.instr.op);
+}
+
+std::uint32_t branch_target(const FusedInstr& fi) {
+  return fi.pc + static_cast<std::uint32_t>(fi.imm);
+}
+
+}  // namespace
+
+Cfg Cfg::build(std::vector<FusedInstr> instrs) {
+  Cfg cfg;
+  cfg.instrs_ = std::move(instrs);
+  const auto& code = cfg.instrs_;
+  if (code.empty()) return cfg;
+
+  // Collect leaders: program entry, branch targets, fall-throughs after
+  // control flow.
+  std::set<std::uint32_t> leaders;
+  leaders.insert(code.front().pc);
+  for (const auto& fi : code) {
+    if (!fi.valid) continue;
+    const auto op = fi.instr.op;
+    if (isa::is_conditional_branch(op) || op == isa::Opcode::kBr || op == isa::Opcode::kBrl) {
+      leaders.insert(branch_target(fi));
+      leaders.insert(fi.next_pc());
+    } else if (op == isa::Opcode::kBrr || op == isa::Opcode::kRtsd || op == isa::Opcode::kHalt) {
+      leaders.insert(fi.next_pc());
+    }
+  }
+
+  // Form blocks.
+  int index = 0;
+  while (index < static_cast<int>(code.size())) {
+    BasicBlock bb;
+    bb.start_pc = code[static_cast<std::size_t>(index)].pc;
+    bb.first_instr = index;
+    int count = 0;
+    while (index < static_cast<int>(code.size())) {
+      const auto& fi = code[static_cast<std::size_t>(index)];
+      ++count;
+      ++index;
+      if (ends_block(fi)) break;
+      if (index < static_cast<int>(code.size()) &&
+          leaders.count(code[static_cast<std::size_t>(index)].pc)) {
+        break;
+      }
+    }
+    bb.instr_count = count;
+    cfg.blocks_.push_back(bb);
+  }
+
+  // Successors.
+  for (std::size_t b = 0; b < cfg.blocks_.size(); ++b) {
+    BasicBlock& bb = cfg.blocks_[b];
+    const auto& last = code[static_cast<std::size_t>(bb.first_instr + bb.instr_count - 1)];
+    auto add_succ = [&](std::uint32_t pc) {
+      const int target = cfg.block_of_pc(pc);
+      if (target >= 0 && cfg.blocks_[static_cast<std::size_t>(target)].start_pc == pc) {
+        bb.succs.push_back(target);
+      }
+    };
+    if (!last.valid) {
+      add_succ(last.next_pc());
+      continue;
+    }
+    switch (last.instr.op) {
+      case isa::Opcode::kBr:
+        add_succ(branch_target(last));
+        break;
+      case isa::Opcode::kBrl:
+        bb.is_call = true;
+        add_succ(branch_target(last));
+        add_succ(last.next_pc());
+        break;
+      case isa::Opcode::kBrr:
+      case isa::Opcode::kRtsd:
+        bb.has_indirect_exit = true;
+        break;
+      case isa::Opcode::kHalt:
+        break;
+      default:
+        if (isa::is_conditional_branch(last.instr.op)) {
+          add_succ(branch_target(last));
+          add_succ(last.next_pc());
+        } else {
+          add_succ(last.next_pc());
+        }
+        break;
+    }
+  }
+  for (std::size_t b = 0; b < cfg.blocks_.size(); ++b) {
+    for (int s : cfg.blocks_[b].succs) {
+      cfg.blocks_[static_cast<std::size_t>(s)].preds.push_back(static_cast<int>(b));
+    }
+  }
+
+  cfg.compute_dominators();
+  cfg.find_loops();
+  return cfg;
+}
+
+int Cfg::block_of_pc(std::uint32_t pc) const {
+  int lo = 0;
+  int hi = static_cast<int>(blocks_.size()) - 1;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    const auto& bb = blocks_[static_cast<std::size_t>(mid)];
+    if (pc < bb.start_pc) {
+      hi = mid - 1;
+    } else if (pc >= bb.end_pc(instrs_)) {
+      lo = mid + 1;
+    } else {
+      return mid;
+    }
+  }
+  return -1;
+}
+
+void Cfg::compute_dominators() {
+  const std::size_t n = blocks_.size();
+  dom_.assign(n, std::vector<bool>(n, true));
+  if (n == 0) return;
+  // Entry dominated only by itself.
+  dom_[0].assign(n, false);
+  dom_[0][0] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = 1; b < n; ++b) {
+      std::vector<bool> next(n, true);
+      if (blocks_[b].preds.empty()) {
+        // Unreachable block: dominated by everything (standard convention);
+        // leave as all-true.
+        continue;
+      }
+      for (int p : blocks_[b].preds) {
+        const auto& dp = dom_[static_cast<std::size_t>(p)];
+        for (std::size_t i = 0; i < n; ++i) next[i] = next[i] && dp[i];
+      }
+      next[b] = true;
+      if (next != dom_[b]) {
+        dom_[b] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+}
+
+void Cfg::find_loops() {
+  const std::size_t n = blocks_.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    for (int h : blocks_[t].succs) {
+      if (!dominates(h, static_cast<int>(t))) continue;
+      // Back edge t -> h: natural loop = h plus all blocks that reach t
+      // without passing through h.
+      NaturalLoop loop;
+      loop.header = h;
+      loop.header_pc = blocks_[static_cast<std::size_t>(h)].start_pc;
+      const auto& last =
+          instrs_[static_cast<std::size_t>(blocks_[t].first_instr + blocks_[t].instr_count - 1)];
+      loop.back_branch_pc = last.pc;
+      std::vector<bool> in_loop(n, false);
+      in_loop[static_cast<std::size_t>(h)] = true;
+      std::vector<int> stack;
+      if (!in_loop[t]) {
+        in_loop[t] = true;
+        stack.push_back(static_cast<int>(t));
+      }
+      while (!stack.empty()) {
+        const int b = stack.back();
+        stack.pop_back();
+        for (int p : blocks_[static_cast<std::size_t>(b)].preds) {
+          if (!in_loop[static_cast<std::size_t>(p)]) {
+            in_loop[static_cast<std::size_t>(p)] = true;
+            stack.push_back(p);
+          }
+        }
+      }
+      for (std::size_t b = 0; b < n; ++b) {
+        if (in_loop[b]) loop.body.push_back(static_cast<int>(b));
+      }
+      loops_.push_back(std::move(loop));
+    }
+  }
+  std::sort(loops_.begin(), loops_.end(), [](const NaturalLoop& a, const NaturalLoop& b) {
+    if (a.header_pc != b.header_pc) return a.header_pc < b.header_pc;
+    return a.back_branch_pc < b.back_branch_pc;
+  });
+}
+
+int Cfg::find_loop(std::uint32_t branch_pc, std::uint32_t target_pc) const {
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    if (loops_[i].back_branch_pc == branch_pc && loops_[i].header_pc == target_pc) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace warp::decompile

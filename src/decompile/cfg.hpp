@@ -1,0 +1,69 @@
+// Control-flow graph recovery, dominators and natural loops.
+//
+// ROCPART's decompiler rebuilds high-level structure from the raw binary
+// (the binary-level partitioning approach of Stitt & Vahid, ICCAD'02). We
+// recover basic blocks over the fused instruction list, compute dominators
+// with the classic iterative bit-vector algorithm, and identify natural
+// loops from back edges (edge t->h where h dominates t).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "decompile/decoder.hpp"
+
+namespace warp::decompile {
+
+struct BasicBlock {
+  std::uint32_t start_pc = 0;
+  int first_instr = 0;   // index into the fused instruction array
+  int instr_count = 0;
+  std::vector<int> succs;  // basic-block indices
+  std::vector<int> preds;
+  bool has_indirect_exit = false;  // ends in brr/rtsd (unknown successor)
+  bool is_call = false;            // ends in brl
+
+  std::uint32_t end_pc(const std::vector<FusedInstr>& instrs) const {
+    return instrs[static_cast<std::size_t>(first_instr + instr_count - 1)].next_pc();
+  }
+};
+
+struct NaturalLoop {
+  int header = 0;                 // basic-block index
+  std::uint32_t header_pc = 0;
+  std::uint32_t back_branch_pc = 0;
+  std::vector<int> body;          // basic blocks in the loop (including header)
+};
+
+class Cfg {
+ public:
+  /// Build from a decoded program. Every branch target and fall-through
+  /// starts a block; indirect jumps end a block with no static successors.
+  static Cfg build(std::vector<FusedInstr> instrs);
+
+  const std::vector<FusedInstr>& instrs() const { return instrs_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  int block_of_pc(std::uint32_t pc) const;  // -1 if not found
+
+  /// dominators()[b] = bitset (as vector<bool>) of blocks dominating b.
+  const std::vector<std::vector<bool>>& dominators() const { return dom_; }
+  bool dominates(int a, int b) const { return dom_[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)]; }
+
+  /// Natural loops discovered from back edges, sorted by header pc.
+  const std::vector<NaturalLoop>& loops() const { return loops_; }
+
+  /// The loop whose back edge is the taken backward branch at `branch_pc`
+  /// jumping to `target_pc`; -1 if no such natural loop exists.
+  int find_loop(std::uint32_t branch_pc, std::uint32_t target_pc) const;
+
+ private:
+  void compute_dominators();
+  void find_loops();
+
+  std::vector<FusedInstr> instrs_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::vector<bool>> dom_;
+  std::vector<NaturalLoop> loops_;
+};
+
+}  // namespace warp::decompile

@@ -1,0 +1,59 @@
+#include "decompile/decoder.hpp"
+
+namespace warp::decompile {
+
+std::vector<FusedInstr> decode_program(const std::vector<std::uint32_t>& words) {
+  std::vector<FusedInstr> out;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    const std::uint32_t pc = static_cast<std::uint32_t>(i * 4);
+    FusedInstr fi;
+    fi.pc = pc;
+    const auto first = isa::decode(words[i]);
+    if (!first) {
+      fi.valid = false;
+      fi.imm = 0;
+      out.push_back(fi);
+      ++i;
+      continue;
+    }
+    if (first->op == isa::Opcode::kImm && i + 1 < words.size()) {
+      const auto second = isa::decode(words[i + 1]);
+      if (second && second->op != isa::Opcode::kImm && isa::has_immediate(second->op)) {
+        fi.instr = *second;
+        fi.fused = true;
+        const std::uint32_t hi = static_cast<std::uint32_t>(first->imm) & 0xFFFFu;
+        const std::uint32_t lo = static_cast<std::uint32_t>(second->imm) & 0xFFFFu;
+        fi.imm = static_cast<std::int32_t>((hi << 16) | lo);
+        out.push_back(fi);
+        i += 2;
+        continue;
+      }
+    }
+    fi.instr = *first;
+    fi.imm = first->imm;
+    out.push_back(fi);
+    ++i;
+  }
+  return out;
+}
+
+int find_instr(const std::vector<FusedInstr>& instrs, std::uint32_t pc) {
+  // Binary search over sorted pc.
+  int lo = 0;
+  int hi = static_cast<int>(instrs.size()) - 1;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    const auto& fi = instrs[static_cast<std::size_t>(mid)];
+    if (pc < fi.pc) {
+      hi = mid - 1;
+    } else if (pc >= fi.next_pc()) {
+      lo = mid + 1;
+    } else {
+      return mid;
+    }
+  }
+  return -1;
+}
+
+}  // namespace warp::decompile

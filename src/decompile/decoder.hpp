@@ -1,0 +1,34 @@
+// Binary decoding with IMM-prefix fusion.
+//
+// The DPM reads the application binary through the second port of the
+// instruction BRAM. The first decompilation step reconstructs *logical*
+// instructions: a MicroBlaze `imm` prefix supplies the upper 16 bits of the
+// following instruction's immediate, so the pair is fused into one
+// FusedInstr spanning two words.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace warp::decompile {
+
+struct FusedInstr {
+  std::uint32_t pc = 0;        // address of the first word
+  isa::Instr instr;            // opcode/registers of the operative instruction
+  std::int64_t imm = 0;        // full effective immediate
+  bool fused = false;          // true when an imm prefix was absorbed
+  unsigned size_bytes() const { return fused ? 8 : 4; }
+  std::uint32_t next_pc() const { return pc + size_bytes(); }
+  bool valid = true;           // false for undecodable words
+};
+
+/// Decode instruction memory words [0, words.size()) into fused instructions.
+std::vector<FusedInstr> decode_program(const std::vector<std::uint32_t>& words);
+
+/// Find the fused instruction containing byte address `pc`; returns index or
+/// -1. (`pc` must point at the *start* of the instruction or its imm prefix.)
+int find_instr(const std::vector<FusedInstr>& instrs, std::uint32_t pc);
+
+}  // namespace warp::decompile

@@ -1,0 +1,924 @@
+#include "decompile/extract.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+
+#include "common/bitutil.hpp"
+#include "common/strings.hpp"
+
+namespace warp::decompile {
+namespace {
+
+using common::Result;
+using common::format;
+using isa::Opcode;
+
+// Value of every register as a DFG node id; index 0 stays the constant 0.
+using Env = std::array<int, isa::kNumRegisters>;
+
+// An affine address decomposition: addr = Σ coeff_i * reg_i + constant,
+// where reg terms are tagged with whether the register is an induction
+// variable (its value changes per iteration).
+struct AffineTerm {
+  std::uint8_t reg = 0;
+  bool is_iv = false;
+  std::int64_t coeff = 0;
+};
+struct Affine {
+  std::vector<AffineTerm> terms;
+  std::int64_t constant = 0;
+};
+
+struct MemAccess {
+  std::uint32_t pc = 0;
+  bool is_store = false;
+  unsigned size = 4;
+  Affine affine;
+  int stream = -1;
+  int tap = 0;
+};
+
+enum class Pass { kFindIvs, kAddresses, kFinal };
+
+class Extractor {
+ public:
+  Extractor(const Cfg& cfg, const Liveness& liveness, const ExtractOptions& options)
+      : cfg_(cfg), live_(liveness), opts_(options) {}
+
+  Result<KernelIR> run(std::uint32_t branch_pc, std::uint32_t target_pc) {
+    if (auto st = locate_region(branch_pc, target_pc); !st) {
+      return Result<KernelIR>::error(st.message());
+    }
+    // Pass 1: find induction variables.
+    dfg_ = Dfg();
+    Env env;
+    if (!init_env(env, Pass::kFindIvs)) return fail();
+    bool predicated = false;
+    if (!simulate(first_idx_, back_idx_, env, Pass::kFindIvs, predicated)) return fail();
+    find_induction_variables(env);
+
+    // Pass 2: collect memory-access address patterns (IVs now symbolic).
+    dfg_ = Dfg();
+    accesses_.clear();
+    addr_nodes_.clear();
+    if (!init_env(env, Pass::kAddresses)) return fail();
+    predicated = false;
+    if (!simulate(first_idx_, back_idx_, env, Pass::kAddresses, predicated)) return fail();
+    if (!build_streams()) return fail();
+
+    // Pass 3: final DFG with stream inputs resolved.
+    dfg_ = Dfg();
+    writes_.clear();
+    if (!init_env(env, Pass::kFinal)) return fail();
+    predicated = false;
+    if (!simulate(first_idx_, back_idx_, env, Pass::kFinal, predicated)) return fail();
+
+    if (!derive_trip_count(env)) return fail();
+    if (!classify_outputs(env)) return fail();
+    return build_ir(env);
+  }
+
+ private:
+  Result<KernelIR> fail() const { return Result<KernelIR>::error(error_); }
+  bool reject(const std::string& why) {
+    error_ = why;
+    return false;
+  }
+
+  // ---------------------------------------------------------------- region
+  common::Status locate_region(std::uint32_t branch_pc, std::uint32_t target_pc) {
+    const int loop_idx = cfg_.find_loop(branch_pc, target_pc);
+    if (loop_idx < 0) return common::Status::error("no natural loop for this branch");
+    const NaturalLoop& loop = cfg_.loops()[static_cast<std::size_t>(loop_idx)];
+    header_pc_ = loop.header_pc;
+    branch_pc_ = branch_pc;
+
+    // The region must be contiguous [header, back-branch] with no other
+    // control flow leaving or re-entering it, no inner loops, no calls.
+    std::vector<int> body = loop.body;
+    std::sort(body.begin(), body.end());
+    std::uint32_t expect = header_pc_;
+    for (int b : body) {
+      const BasicBlock& bb = cfg_.blocks()[static_cast<std::size_t>(b)];
+      if (bb.start_pc != expect) {
+        return common::Status::error("loop body is not contiguous");
+      }
+      if (bb.is_call) return common::Status::error("loop body contains a call");
+      if (bb.has_indirect_exit) return common::Status::error("loop body has indirect jump");
+      expect = bb.end_pc(cfg_.instrs());
+    }
+    const int back_block = cfg_.block_of_pc(branch_pc);
+    if (back_block < 0 ||
+        cfg_.blocks()[static_cast<std::size_t>(back_block)].end_pc(cfg_.instrs()) != expect) {
+      return common::Status::error("back branch does not terminate the region");
+    }
+    // Exactly one back edge to the header.
+    for (const auto& other : cfg_.loops()) {
+      if (other.header_pc == header_pc_ && other.back_branch_pc != branch_pc_) {
+        return common::Status::error("loop has multiple back edges");
+      }
+      // Inner loop check: another loop whose header lies strictly inside.
+      if (other.header_pc > header_pc_ && other.back_branch_pc <= branch_pc_ &&
+          other.header_pc <= branch_pc_) {
+        return common::Status::error("loop contains an inner loop");
+      }
+    }
+
+    first_idx_ = find_instr(cfg_.instrs(), header_pc_);
+    back_idx_ = find_instr(cfg_.instrs(), branch_pc_);
+    if (first_idx_ < 0 || back_idx_ < 0 || back_idx_ <= first_idx_) {
+      return common::Status::error("malformed loop region");
+    }
+    const FusedInstr& back = cfg_.instrs()[static_cast<std::size_t>(back_idx_)];
+    if (!back.valid || !isa::is_conditional_branch(back.instr.op)) {
+      return common::Status::error("back edge is not a conditional bottom-test branch");
+    }
+    exit_pc_ = back.next_pc();
+    region_end_pc_ = back.pc;  // simulation covers [header, back)
+    return common::Status::ok();
+  }
+
+  // ------------------------------------------------------------- simulation
+  bool init_env(Env& env, Pass pass) {
+    for (unsigned r = 0; r < isa::kNumRegisters; ++r) {
+      if (r == 0) {
+        env[r] = dfg_.add_const(0);
+      } else if (pass != Pass::kFindIvs && iv_step_[r].has_value()) {
+        env[r] = dfg_.add_iv(r);
+      } else {
+        env[r] = dfg_.add_live_in(r);
+      }
+    }
+    return true;
+  }
+
+  int idx_of_pc(std::uint32_t pc) const { return find_instr(cfg_.instrs(), pc); }
+
+  // Simulate instructions [from, to) (indices into the fused array).
+  bool simulate(int from, int to, Env& env, Pass pass, bool& predicated) {
+    int idx = from;
+    while (idx < to) {
+      const FusedInstr& fi = cfg_.instrs()[static_cast<std::size_t>(idx)];
+      if (!fi.valid) return reject("undecodable instruction in loop body");
+      const Opcode op = fi.instr.op;
+
+      if (isa::is_conditional_branch(op)) {
+        if (!handle_diamond(idx, to, env, pass, predicated)) return false;
+        idx = next_idx_;  // handle_diamond leaves the merge point here
+        continue;
+      }
+      if (isa::is_control_flow(op)) {
+        return reject(format("control flow '%s' inside loop body",
+                             std::string(isa::mnemonic(op)).c_str()));
+      }
+      if (!exec_instr(fi, env, pass, predicated)) return false;
+      ++idx;
+      next_idx_ = idx;
+    }
+    next_idx_ = to;
+    return true;
+  }
+
+  // If-conversion of a forward diamond starting at the conditional branch
+  // `idx`. Layout A (if-then):   bCC rX, L ; <fall: !CC> ; L:
+  // Layout B (if-then-else):     bCC rX, L ; <fall: !CC> ; br M ; L: <CC> ; M:
+  bool handle_diamond(int idx, int to, Env& env, Pass pass, bool& predicated) {
+    const FusedInstr& br = cfg_.instrs()[static_cast<std::size_t>(idx)];
+    const std::uint32_t target = br.pc + static_cast<std::uint32_t>(br.imm);
+    if (target <= br.pc || target > region_end_pc_) {
+      return reject("branch inside body is not a forward diamond");
+    }
+    const int join_idx = idx_of_pc(target);
+    if (join_idx < 0) return reject("branch target misaligned");
+
+    const int cond = branch_condition(br, env);
+    if (cond < 0) return reject("unsupported branch condition");
+
+    // Does the fall-through segment end with an unconditional forward br?
+    int fall_end = join_idx;
+    int else_end = -1;
+    const FusedInstr& last_fall = cfg_.instrs()[static_cast<std::size_t>(join_idx - 1)];
+    if (last_fall.valid && last_fall.instr.op == Opcode::kBr) {
+      const std::uint32_t merge = last_fall.pc + static_cast<std::uint32_t>(last_fall.imm);
+      if (merge <= last_fall.pc || merge > region_end_pc_) {
+        return reject("else-skip branch leaves the region");
+      }
+      fall_end = join_idx - 1;
+      else_end = idx_of_pc(merge);
+      if (else_end < 0 || else_end > to) return reject("else segment misaligned");
+    }
+
+    // Simulate both arms. Taken (CC true) jumps to `target`.
+    Env env_fall = env;  // executes when !CC
+    bool pred_fall = true;
+    if (!simulate(idx + 1, fall_end, env_fall, pass, pred_fall)) return false;
+    Env env_taken = env;  // executes when CC
+    if (else_end >= 0) {
+      bool pred_taken = true;
+      if (!simulate(join_idx, else_end, env_taken, pass, pred_taken)) return false;
+      next_idx_ = else_end;
+    } else {
+      next_idx_ = join_idx;
+    }
+
+    // Merge: reg = CC ? taken : fall.
+    for (unsigned r = 1; r < isa::kNumRegisters; ++r) {
+      if (env_taken[r] != env_fall[r]) {
+        env[r] = dfg_.add(DfgOp::kMux, cond, env_taken[r], env_fall[r]);
+      } else {
+        env[r] = env_taken[r];
+      }
+    }
+    (void)predicated;
+    return true;
+  }
+
+  // Condition node (1 = branch taken) for `bCC rX, ...` given rX's value.
+  int branch_condition(const FusedInstr& br, const Env& env) {
+    const int x = env[br.instr.ra];
+    const DfgNode& n = dfg_.node(x);
+    // Pattern: cmp/cmpu result feeding the branch -> direct relational node.
+    if (n.op == DfgOp::kCmp3 || n.op == DfgOp::kCmp3U) {
+      const bool is_unsigned = n.op == DfgOp::kCmp3U;
+      switch (br.instr.op) {
+        case Opcode::kBeq: return dfg_.add(DfgOp::kCmpEq, n.a, n.b);
+        case Opcode::kBne: return dfg_.add(DfgOp::kCmpNe, n.a, n.b);
+        case Opcode::kBlt:
+          return dfg_.add(is_unsigned ? DfgOp::kCmpLtU : DfgOp::kCmpLt, n.a, n.b);
+        case Opcode::kBle:
+          if (is_unsigned) break;
+          return dfg_.add(DfgOp::kCmpLe, n.a, n.b);
+        case Opcode::kBgt:
+          if (is_unsigned) break;
+          return dfg_.add(DfgOp::kCmpGt, n.a, n.b);
+        case Opcode::kBge:
+          if (is_unsigned) break;
+          return dfg_.add(DfgOp::kCmpGe, n.a, n.b);
+        default: break;
+      }
+    }
+    const int zero = dfg_.add_const(0);
+    switch (br.instr.op) {
+      case Opcode::kBeq: return dfg_.add(DfgOp::kCmpEq, x, zero);
+      case Opcode::kBne: return dfg_.add(DfgOp::kCmpNe, x, zero);
+      case Opcode::kBlt: return dfg_.add(DfgOp::kCmpLt, x, zero);
+      case Opcode::kBle: return dfg_.add(DfgOp::kCmpLe, x, zero);
+      case Opcode::kBgt: return dfg_.add(DfgOp::kCmpGt, x, zero);
+      case Opcode::kBge: return dfg_.add(DfgOp::kCmpGe, x, zero);
+      default: return -1;
+    }
+  }
+
+  bool exec_instr(const FusedInstr& fi, Env& env, Pass pass, bool predicated) {
+    const auto& in = fi.instr;
+    const int a = env[in.ra];
+    const int b = env[in.rb];
+    const int imm = dfg_.add_const(static_cast<std::uint32_t>(fi.imm));
+    auto set = [&](int node) {
+      if (in.rd != 0) env[in.rd] = node;
+      return true;
+    };
+
+    switch (in.op) {
+      case Opcode::kAdd: return set(dfg_.add(DfgOp::kAdd, a, b));
+      case Opcode::kAddi: return set(dfg_.add(DfgOp::kAdd, a, imm));
+      case Opcode::kSub: return set(dfg_.add(DfgOp::kSub, a, b));
+      case Opcode::kMul: return set(dfg_.add(DfgOp::kMul, a, b));
+      case Opcode::kMuli: return set(dfg_.add(DfgOp::kMul, a, imm));
+      case Opcode::kIdiv: return reject("division in loop body (no divider in WCLA)");
+      case Opcode::kAnd: return set(dfg_.add(DfgOp::kAnd, a, b));
+      case Opcode::kAndi: return set(dfg_.add(DfgOp::kAnd, a, imm));
+      case Opcode::kOr: return set(dfg_.add(DfgOp::kOr, a, b));
+      case Opcode::kOri: return set(dfg_.add(DfgOp::kOr, a, imm));
+      case Opcode::kXor: return set(dfg_.add(DfgOp::kXor, a, b));
+      case Opcode::kXori: return set(dfg_.add(DfgOp::kXor, a, imm));
+      case Opcode::kSext8: return set(dfg_.add(DfgOp::kSext8, a));
+      case Opcode::kSext16: return set(dfg_.add(DfgOp::kSext16, a));
+      case Opcode::kSrl: return set(dfg_.add(DfgOp::kShrl, a, -1, -1, 1));
+      case Opcode::kSra: return set(dfg_.add(DfgOp::kShra, a, -1, -1, 1));
+      case Opcode::kBslli:
+        return set(dfg_.add(DfgOp::kShl, a, -1, -1, static_cast<std::uint32_t>(fi.imm) & 31));
+      case Opcode::kBsrli:
+        return set(dfg_.add(DfgOp::kShrl, a, -1, -1, static_cast<std::uint32_t>(fi.imm) & 31));
+      case Opcode::kBsrai:
+        return set(dfg_.add(DfgOp::kShra, a, -1, -1, static_cast<std::uint32_t>(fi.imm) & 31));
+      case Opcode::kBsll:
+      case Opcode::kBsrl:
+      case Opcode::kBsra: {
+        // Variable shift: only by a loop-constant that happens to be a
+        // known constant node (otherwise the fabric would need a full
+        // barrel shifter, which the simple WCLA fabric lacks).
+        if (!dfg_.is_const(b)) return reject("variable shift amount in loop body");
+        const std::uint32_t amount = dfg_.const_value(b) & 31;
+        const DfgOp sop = in.op == Opcode::kBsll
+                              ? DfgOp::kShl
+                              : (in.op == Opcode::kBsrl ? DfgOp::kShrl : DfgOp::kShra);
+        return set(dfg_.add(sop, a, -1, -1, amount));
+      }
+      case Opcode::kCmp: return set(dfg_.add(DfgOp::kCmp3, a, b));
+      case Opcode::kCmpu: return set(dfg_.add(DfgOp::kCmp3U, a, b));
+
+      case Opcode::kLw: case Opcode::kLwi: case Opcode::kLbu: case Opcode::kLbui:
+      case Opcode::kLhu: case Opcode::kLhui: {
+        const unsigned size = (in.op == Opcode::kLw || in.op == Opcode::kLwi) ? 4u
+                              : (in.op == Opcode::kLhu || in.op == Opcode::kLhui) ? 2u
+                                                                                  : 1u;
+        const int addr = isa::has_immediate(in.op) ? dfg_.add(DfgOp::kAdd, a, imm)
+                                                   : dfg_.add(DfgOp::kAdd, a, b);
+        return set(handle_load(fi.pc, addr, size, pass));
+      }
+      case Opcode::kSw: case Opcode::kSwi: case Opcode::kSb: case Opcode::kSbi:
+      case Opcode::kSh: case Opcode::kShi: {
+        if (predicated) return reject("predicated store in loop body");
+        const unsigned size = (in.op == Opcode::kSw || in.op == Opcode::kSwi) ? 4u
+                              : (in.op == Opcode::kSh || in.op == Opcode::kShi) ? 2u
+                                                                                : 1u;
+        const int addr = isa::has_immediate(in.op) ? dfg_.add(DfgOp::kAdd, a, imm)
+                                                   : dfg_.add(DfgOp::kAdd, a, b);
+        return handle_store(fi.pc, addr, env[in.rd], size, pass);
+      }
+      default:
+        return reject(format("unsupported instruction '%s' in loop body",
+                             std::string(isa::mnemonic(in.op)).c_str()));
+    }
+  }
+
+  // Loads: pass-dependent placeholder vs. resolved stream input.
+  int handle_load(std::uint32_t pc, int addr_node, unsigned size, Pass pass) {
+    if (pass == Pass::kFinal) {
+      const auto it = pc_stream_tap_.find(pc);
+      if (it == pc_stream_tap_.end()) {
+        // Should not happen: pass 2 visited the same instructions.
+        reject("internal: load without stream assignment");
+        return dfg_.add_const(0);
+      }
+      return dfg_.add_stream_in(static_cast<unsigned>(it->second.first),
+                                static_cast<unsigned>(it->second.second));
+    }
+    if (pass == Pass::kAddresses) {
+      MemAccess access;
+      access.pc = pc;
+      access.is_store = false;
+      access.size = size;
+      addr_nodes_.emplace_back(pc, addr_node);
+      accesses_.push_back(access);
+    }
+    // Opaque token: distinct per load site so address analysis can detect
+    // (and reject) data-dependent addressing.
+    return dfg_.add(DfgOp::kStreamIn, -1, -1, -1, 0xFF000000u + pc);
+  }
+
+  bool handle_store(std::uint32_t pc, int addr_node, int value_node, unsigned size, Pass pass) {
+    if (pass == Pass::kAddresses) {
+      MemAccess access;
+      access.pc = pc;
+      access.is_store = true;
+      access.size = size;
+      addr_nodes_.emplace_back(pc, addr_node);
+      accesses_.push_back(access);
+    }
+    if (pass == Pass::kFinal) {
+      const auto it = pc_stream_tap_.find(pc);
+      if (it == pc_stream_tap_.end()) return reject("internal: store without stream");
+      StreamWrite w;
+      w.stream = static_cast<std::uint8_t>(it->second.first);
+      w.tap = static_cast<std::uint8_t>(it->second.second);
+      w.node = value_node;
+      writes_.push_back(w);
+    }
+    return true;
+  }
+
+  // ------------------------------------------------------ induction analysis
+  void find_induction_variables(const Env& env) {
+    iv_step_.fill(std::nullopt);
+    for (unsigned r = 1; r < isa::kNumRegisters; ++r) {
+      const int initial = dfg_.add_live_in(r);
+      if (env[r] == initial) continue;
+      const DfgNode& n = dfg_.node(env[r]);
+      // r' = r + const  (addi with negative immediate gives step < 0).
+      if (n.op == DfgOp::kAdd && n.a == initial && dfg_.is_const(n.b)) {
+        iv_step_[r] = static_cast<std::int32_t>(dfg_.const_value(n.b));
+      } else if (n.op == DfgOp::kSub && n.a == initial && dfg_.is_const(n.b)) {
+        iv_step_[r] = -static_cast<std::int32_t>(dfg_.const_value(n.b));
+      }
+    }
+  }
+
+  // --------------------------------------------------------- affine analysis
+  std::optional<Affine> decompose_affine(int node_id) const {
+    const DfgNode& n = dfg_.node(node_id);
+    switch (n.op) {
+      case DfgOp::kConst:
+        return Affine{{}, static_cast<std::int64_t>(static_cast<std::int32_t>(n.value))};
+      case DfgOp::kLiveIn: {
+        Affine a;
+        a.terms.push_back({static_cast<std::uint8_t>(n.value), false, 1});
+        return a;
+      }
+      case DfgOp::kIv: {
+        Affine a;
+        a.terms.push_back({static_cast<std::uint8_t>(n.value), true, 1});
+        return a;
+      }
+      case DfgOp::kAdd: case DfgOp::kSub: {
+        auto lhs = decompose_affine(n.a);
+        auto rhs = decompose_affine(n.b);
+        if (!lhs || !rhs) return std::nullopt;
+        const std::int64_t sign = (n.op == DfgOp::kSub) ? -1 : 1;
+        lhs->constant += sign * rhs->constant;
+        for (auto term : rhs->terms) {
+          term.coeff *= sign;
+          lhs->terms.push_back(term);
+        }
+        return normalize(*lhs);
+      }
+      case DfgOp::kShl: {
+        auto inner = decompose_affine(n.a);
+        if (!inner) return std::nullopt;
+        const std::int64_t factor = std::int64_t{1} << (n.value & 31);
+        inner->constant *= factor;
+        for (auto& term : inner->terms) term.coeff *= factor;
+        return inner;
+      }
+      case DfgOp::kMul: {
+        const bool ca = dfg_.is_const(n.a);
+        const bool cb = dfg_.is_const(n.b);
+        if (!ca && !cb) return std::nullopt;
+        auto inner = decompose_affine(ca ? n.b : n.a);
+        if (!inner) return std::nullopt;
+        const std::int64_t factor =
+            static_cast<std::int32_t>(dfg_.const_value(ca ? n.a : n.b));
+        inner->constant *= factor;
+        for (auto& term : inner->terms) term.coeff *= factor;
+        return normalize(*inner);
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  static Affine normalize(const Affine& in) {
+    Affine out;
+    out.constant = in.constant;
+    for (const auto& term : in.terms) {
+      bool merged = false;
+      for (auto& existing : out.terms) {
+        if (existing.reg == term.reg && existing.is_iv == term.is_iv) {
+          existing.coeff += term.coeff;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) out.terms.push_back(term);
+    }
+    std::erase_if(out.terms, [](const AffineTerm& t) { return t.coeff == 0; });
+    std::sort(out.terms.begin(), out.terms.end(), [](const AffineTerm& a, const AffineTerm& b) {
+      return a.reg < b.reg;
+    });
+    return out;
+  }
+
+  // ------------------------------------------------------------ stream build
+  bool build_streams() {
+    // Resolve affine form for every access.
+    for (std::size_t i = 0; i < accesses_.size(); ++i) {
+      const auto affine = decompose_affine(addr_nodes_[i].second);
+      if (!affine) {
+        return reject(format("non-affine memory address at pc 0x%x", accesses_[i].pc));
+      }
+      accesses_[i].affine = *affine;
+    }
+
+    // Group by (terms, stride, elem size, direction); offsets become taps.
+    struct Group {
+      Affine key;            // terms only (constant ignored)
+      std::int64_t stride = 0;
+      unsigned size = 4;
+      bool is_store = false;
+      std::vector<std::size_t> members;
+      std::int64_t min_offset = 0;
+    };
+    std::vector<Group> groups;
+    for (std::size_t i = 0; i < accesses_.size(); ++i) {
+      const MemAccess& access = accesses_[i];
+      std::int64_t stride = 0;
+      for (const auto& term : access.affine.terms) {
+        if (term.is_iv) stride += term.coeff * *iv_step_[term.reg];
+      }
+      bool placed = false;
+      for (auto& group : groups) {
+        if (group.is_store == access.is_store && group.size == access.size &&
+            group.stride == stride && same_terms(group.key, access.affine)) {
+          group.members.push_back(i);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        Group g;
+        g.key = access.affine;
+        g.stride = stride;
+        g.size = access.size;
+        g.is_store = access.is_store;
+        g.members.push_back(i);
+        groups.push_back(std::move(g));
+      }
+    }
+    if (groups.size() > opts_.max_streams) {
+      return reject(format("kernel needs %zu streams, WCLA provides %u", groups.size(),
+                           opts_.max_streams));
+    }
+
+    streams_.clear();
+    pc_stream_tap_.clear();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      Group& group = groups[g];
+      group.min_offset = accesses_[group.members.front()].affine.constant;
+      for (std::size_t m : group.members) {
+        group.min_offset = std::min(group.min_offset, accesses_[m].affine.constant);
+      }
+      Stream stream;
+      stream.base_offset = static_cast<std::int32_t>(group.min_offset);
+      stream.elem_bytes = static_cast<std::uint8_t>(group.size);
+      stream.stride_bytes = static_cast<std::int32_t>(group.stride);
+      stream.is_write = group.is_store;
+      // Tap spacing: offsets must be uniformly spaced (the DADG steps a
+      // second, constant increment within an iteration).
+      std::vector<std::int64_t> deltas;
+      for (std::size_t m : group.members) {
+        deltas.push_back(accesses_[m].affine.constant - group.min_offset);
+      }
+      std::sort(deltas.begin(), deltas.end());
+      deltas.erase(std::unique(deltas.begin(), deltas.end()), deltas.end());
+      std::int64_t tap_stride = group.size;
+      if (deltas.size() > 1) tap_stride = deltas[1] - deltas[0];
+      if (tap_stride < group.size || tap_stride % group.size != 0) {
+        return reject("overlapping or misaligned stream taps");
+      }
+      for (std::size_t d = 0; d < deltas.size(); ++d) {
+        if (deltas[d] != static_cast<std::int64_t>(d) * tap_stride) {
+          return reject("non-uniform stream tap spacing");
+        }
+      }
+      if (deltas.size() > opts_.max_burst) {
+        return reject(format("stream burst %zu exceeds DADG window %u", deltas.size(),
+                             opts_.max_burst));
+      }
+      stream.tap_stride_bytes = static_cast<std::int32_t>(tap_stride);
+      stream.burst = static_cast<std::uint8_t>(deltas.size());
+      for (std::size_t m : group.members) {
+        const std::int64_t delta = accesses_[m].affine.constant - group.min_offset;
+        const std::int64_t tap = delta / tap_stride;
+        pc_stream_tap_[accesses_[m].pc] = {static_cast<int>(g), static_cast<int>(tap)};
+      }
+      // Base terms: every register term (including IV initial values); the
+      // stub computes Σ coeff*reg with shifts, so coefficients must be
+      // positive powers of two.
+      for (const auto& term : group.key.terms) {
+        if (term.coeff <= 0 || (term.coeff & (term.coeff - 1)) != 0) {
+          return reject(format("stream base coefficient %lld not a power of two",
+                               static_cast<long long>(term.coeff)));
+        }
+        stream.base_terms.push_back(
+            {term.reg, static_cast<std::int32_t>(term.coeff)});
+      }
+      streams_.push_back(std::move(stream));
+    }
+
+    // Alias check. The hardware preserves program order across iterations
+    // (reads at iteration start, writes at iteration end, iterations in
+    // sequence), so cross-iteration memory dependencies are safe. What the
+    // symbolic execution cannot represent is a *same-iteration* read of an
+    // address the same iteration writes — unless it is the exact in-place
+    // read-modify-write pattern, where the read textually precedes the
+    // write and yields the old value. Streams on different base registers
+    // are assumed disjoint arrays (the DADG model's standard assumption).
+    for (const auto& w : streams_) {
+      if (!w.is_write) continue;
+      for (const auto& r : streams_) {
+        if (r.is_write) continue;
+        if (!same_base_regs(w, r) || w.stride_bytes != r.stride_bytes) continue;
+        const std::int64_t w_lo = w.base_offset;
+        const std::int64_t w_hi =
+            w.base_offset + static_cast<std::int64_t>(w.burst - 1) * w.tap_stride_bytes +
+            w.elem_bytes;
+        const std::int64_t r_lo = r.base_offset;
+        const std::int64_t r_hi =
+            r.base_offset + static_cast<std::int64_t>(r.burst - 1) * r.tap_stride_bytes +
+            r.elem_bytes;
+        const bool same_iter_overlap = w_lo < r_hi && r_lo < w_hi;
+        if (!same_iter_overlap) continue;
+        const bool in_place = w.base_offset == r.base_offset &&
+                              w.elem_bytes == r.elem_bytes &&
+                              w.tap_stride_bytes == r.tap_stride_bytes && w.burst == r.burst;
+        if (!in_place) {
+          return reject("same-iteration read/write window overlap is not an in-place update");
+        }
+      }
+    }
+    return true;
+  }
+
+  static bool same_terms(const Affine& a, const Affine& b) {
+    if (a.terms.size() != b.terms.size()) return false;
+    for (std::size_t i = 0; i < a.terms.size(); ++i) {
+      if (a.terms[i].reg != b.terms[i].reg || a.terms[i].coeff != b.terms[i].coeff ||
+          a.terms[i].is_iv != b.terms[i].is_iv) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool same_base_regs(const Stream& a, const Stream& b) {
+    if (a.base_terms.size() != b.base_terms.size()) return false;
+    for (std::size_t i = 0; i < a.base_terms.size(); ++i) {
+      if (a.base_terms[i].reg != b.base_terms[i].reg ||
+          a.base_terms[i].coeff != b.base_terms[i].coeff) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // -------------------------------------------------------------- trip count
+  bool derive_trip_count(const Env& env) {
+    const FusedInstr& br = cfg_.instrs()[static_cast<std::size_t>(back_idx_)];
+    const Opcode bop = br.instr.op;
+    const int x = env[br.instr.ra];
+    const DfgNode& n = dfg_.node(x);
+
+    // Down-counter: value at branch = iv + step (step < 0), `bne`/`bgt`.
+    if (n.op == DfgOp::kIv || (n.op == DfgOp::kAdd && dfg_.node(n.a).op == DfgOp::kIv &&
+                               dfg_.is_const(n.b))) {
+      const DfgNode& iv_node = (n.op == DfgOp::kIv) ? n : dfg_.node(n.a);
+      const unsigned reg = iv_node.value;
+      const std::int32_t step = *iv_step_[reg];
+      if (step < 0 && (bop == Opcode::kBne || bop == Opcode::kBgt)) {
+        const std::int32_t magnitude = -step;
+        if ((magnitude & (magnitude - 1)) != 0) {
+          return reject("down-counter step is not a power of two");
+        }
+        trip_.kind = TripCount::Kind::kDownToZero;
+        trip_.reg = static_cast<std::uint8_t>(reg);
+        trip_.step = magnitude;
+        return true;
+      }
+      return reject("unsupported induction-variable exit test");
+    }
+
+    // Bounded up-counter: cmp (iv + step) against a bound, `blt`.
+    if ((n.op == DfgOp::kCmp3 || n.op == DfgOp::kCmp3U) && bop == Opcode::kBlt) {
+      const DfgNode& lhs = dfg_.node(n.a);
+      const DfgNode* iv_node = nullptr;
+      if (lhs.op == DfgOp::kIv) {
+        iv_node = &lhs;
+      } else if (lhs.op == DfgOp::kAdd && dfg_.node(lhs.a).op == DfgOp::kIv &&
+                 dfg_.is_const(lhs.b)) {
+        iv_node = &dfg_.node(lhs.a);
+      }
+      if (!iv_node) return reject("loop bound test is not on an induction variable");
+      const unsigned reg = iv_node->value;
+      const std::int32_t step = *iv_step_[reg];
+      if (step <= 0 || (step & (step - 1)) != 0) {
+        return reject("up-counter step is not a positive power of two");
+      }
+      trip_.kind = TripCount::Kind::kBoundedUp;
+      trip_.reg = static_cast<std::uint8_t>(reg);
+      trip_.step = step;
+      const DfgNode& bound = dfg_.node(n.b);
+      if (bound.op == DfgOp::kConst) {
+        trip_.bound_is_const = true;
+        trip_.bound_const = static_cast<std::int32_t>(bound.value);
+      } else if (bound.op == DfgOp::kLiveIn) {
+        trip_.bound_is_const = false;
+        trip_.bound_reg = static_cast<std::uint8_t>(bound.value);
+      } else {
+        return reject("loop bound is not a register or constant");
+      }
+      return true;
+    }
+    return reject("unrecognized loop exit condition");
+  }
+
+  // ------------------------------------------------------------------ outputs
+  bool classify_outputs(const Env& env) {
+    accumulators_.clear();
+    iv_finals_.clear();
+    dropped_scratch_ = 0;
+    // If the loop is the last code in the program, nothing can be live after.
+    const RegSet live_at_exit =
+        (cfg_.block_of_pc(exit_pc_) >= 0) ? live_.live_before_pc(exit_pc_) : 0u;
+
+    for (unsigned r = 1; r < isa::kNumRegisters; ++r) {
+      const bool is_iv = iv_step_[r].has_value();
+      const int initial = is_iv ? dfg_.add_iv(r) : dfg_.add_live_in(r);
+      if (env[r] == initial) continue;  // unmodified
+      const bool live = (live_at_exit >> r) & 1u;
+
+      if (is_iv) {
+        if (live) iv_finals_.push_back({static_cast<std::uint8_t>(r), *iv_step_[r]});
+        continue;
+      }
+      // Accumulator classification is needed even for exit-dead registers:
+      // if the register's start-of-iteration value feeds the datapath, the
+      // hardware must maintain it as a feedback register.
+      if (match_accumulator(r, env[r])) continue;
+      if (live) {
+        return reject(format("register r%u modified in loop, live at exit, and not an "
+                             "induction variable or accumulator", r));
+      }
+      dropped_scratch_ |= 1u << r;  // dead scratch; validated in build_ir
+    }
+    if (accumulators_.size() > opts_.max_accumulators) {
+      return reject("too many accumulators for the WCLA");
+    }
+    return true;
+  }
+
+  // acc pattern: env[r] is an op-chain of {kAdd} (or a single kOr/kXor/kAnd)
+  // containing the initial value of r exactly once.
+  bool match_accumulator(unsigned r, int node_id) {
+    const int initial = dfg_.add_live_in(r);
+    const DfgNode& n = dfg_.node(node_id);
+
+    if (n.op == DfgOp::kAdd || n.op == DfgOp::kSub) {
+      // Collect the +/- term list of the chain.
+      std::vector<std::pair<int, bool>> terms;  // (node, negated)
+      collect_add_terms(node_id, false, terms);
+      int self_count = 0;
+      for (const auto& [term, negated] : terms) {
+        if (term == initial && !negated) ++self_count;
+        else if (term == initial && negated) return false;
+      }
+      if (self_count != 1) return false;
+      // Contribution = chain minus the initial term.
+      int contribution = -1;
+      bool first = true;
+      for (const auto& [term, negated] : terms) {
+        if (term == initial) continue;
+        if (contains_live_in(term, r)) return false;  // self-reference inside f
+        if (first) {
+          contribution = negated ? dfg_.add(DfgOp::kSub, dfg_.add_const(0), term) : term;
+          first = false;
+        } else {
+          contribution = dfg_.add(negated ? DfgOp::kSub : DfgOp::kAdd, contribution, term);
+        }
+      }
+      if (contribution < 0) return false;
+      accumulators_.push_back({static_cast<std::uint8_t>(r), DfgOp::kAdd, contribution,
+                               static_cast<std::uint32_t>(r)});
+      return true;
+    }
+
+    if (n.op == DfgOp::kOr || n.op == DfgOp::kXor || n.op == DfgOp::kAnd) {
+      int other = -1;
+      if (n.a == initial) other = n.b;
+      else if (n.b == initial) other = n.a;
+      if (other < 0 || contains_live_in(other, r)) return false;
+      accumulators_.push_back({static_cast<std::uint8_t>(r), n.op, other,
+                               static_cast<std::uint32_t>(r)});
+      return true;
+    }
+    return false;
+  }
+
+  void collect_add_terms(int node_id, bool negated, std::vector<std::pair<int, bool>>& out) {
+    const DfgNode& n = dfg_.node(node_id);
+    if (n.op == DfgOp::kAdd) {
+      collect_add_terms(n.a, negated, out);
+      collect_add_terms(n.b, negated, out);
+    } else if (n.op == DfgOp::kSub) {
+      collect_add_terms(n.a, negated, out);
+      collect_add_terms(n.b, !negated, out);
+    } else {
+      out.emplace_back(node_id, negated);
+    }
+  }
+
+  bool contains_live_in(int node_id, unsigned reg) const {
+    const DfgNode& n = dfg_.node(node_id);
+    if (n.op == DfgOp::kLiveIn) return n.value == reg;
+    if (n.a >= 0 && contains_live_in(n.a, reg)) return true;
+    if (n.b >= 0 && contains_live_in(n.b, reg)) return true;
+    if (n.c >= 0 && contains_live_in(n.c, reg)) return true;
+    return false;
+  }
+
+  // ---------------------------------------------------------------- assembly
+  Result<KernelIR> build_ir(const Env& env) {
+    (void)env;
+    KernelIR ir;
+    ir.dfg = dfg_;
+    ir.streams = streams_;
+    ir.writes = writes_;
+    ir.accumulators = accumulators_;
+    ir.iv_finals = iv_finals_;
+    ir.trip = trip_;
+    ir.header_pc = header_pc_;
+    ir.branch_pc = branch_pc_;
+    ir.exit_pc = exit_pc_;
+
+    for (unsigned r = 1; r < isa::kNumRegisters; ++r) {
+      if (iv_step_[r].has_value()) {
+        ir.iv_regs.emplace_back(static_cast<std::uint8_t>(r), *iv_step_[r]);
+      }
+    }
+
+    // Live-in registers: referenced by reachable DFG nodes or stream bases
+    // or the trip computation.
+    std::vector<bool> reachable(dfg_.size(), false);
+    std::vector<int> roots;
+    for (const auto& w : writes_) roots.push_back(w.node);
+    for (const auto& acc : accumulators_) roots.push_back(acc.node);
+    std::vector<int> stack = roots;
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      if (id < 0 || reachable[static_cast<std::size_t>(id)]) continue;
+      reachable[static_cast<std::size_t>(id)] = true;
+      const DfgNode& n = dfg_.node(id);
+      stack.push_back(n.a);
+      stack.push_back(n.b);
+      stack.push_back(n.c);
+    }
+    std::uint32_t live_in_mask = 0;
+    for (std::size_t i = 0; i < dfg_.size(); ++i) {
+      if (!reachable[i]) continue;
+      const DfgNode& n = dfg_.node(static_cast<int>(i));
+      // kIv values are generated by the LCH from the register's latched
+      // initial value, so those registers are live-in as well.
+      if (n.op == DfgOp::kLiveIn || n.op == DfgOp::kIv) {
+        live_in_mask |= 1u << n.value;
+      }
+    }
+    // A dropped scratch register must not feed the datapath: its value at
+    // the start of an iteration is the previous iteration's result, which
+    // the hardware would have to maintain.
+    if ((live_in_mask & dropped_scratch_) != 0) {
+      return Result<KernelIR>::error(
+          "iteration-carried scratch register feeds the datapath");
+    }
+    for (const auto& stream : streams_) {
+      for (const auto& term : stream.base_terms) live_in_mask |= 1u << term.reg;
+    }
+    live_in_mask |= 1u << trip_.reg;
+    if (trip_.kind == TripCount::Kind::kBoundedUp && !trip_.bound_is_const) {
+      live_in_mask |= 1u << trip_.bound_reg;
+    }
+    for (const auto& acc : accumulators_) live_in_mask |= 1u << acc.reg;
+    live_in_mask &= ~1u;
+    for (unsigned r = 1; r < isa::kNumRegisters; ++r) {
+      if ((live_in_mask >> r) & 1u) ir.live_in_regs.push_back(static_cast<std::uint8_t>(r));
+    }
+
+    // Static software cost of one iteration (for the DPM's decision).
+    std::uint64_t cycles = 0;
+    for (int i = first_idx_; i <= back_idx_; ++i) {
+      const FusedInstr& fi = cfg_.instrs()[static_cast<std::size_t>(i)];
+      cycles += isa::latency_cycles(fi.instr.op, true);
+      if (fi.fused) cycles += 1;  // imm prefix
+    }
+    ir.sw_cycles_per_iter = cycles;
+    return ir;
+  }
+
+  const Cfg& cfg_;
+  const Liveness& live_;
+  ExtractOptions opts_;
+
+  int first_idx_ = 0;
+  int back_idx_ = 0;
+  int next_idx_ = 0;
+  std::uint32_t header_pc_ = 0;
+  std::uint32_t branch_pc_ = 0;
+  std::uint32_t exit_pc_ = 0;
+  std::uint32_t region_end_pc_ = 0;
+
+  Dfg dfg_;
+  std::array<std::optional<std::int32_t>, isa::kNumRegisters> iv_step_{};
+  std::vector<MemAccess> accesses_;
+  std::vector<std::pair<std::uint32_t, int>> addr_nodes_;  // (pc, addr node) in pass 2
+  std::map<std::uint32_t, std::pair<int, int>> pc_stream_tap_;
+  std::vector<Stream> streams_;
+  std::vector<StreamWrite> writes_;
+  std::vector<Accumulator> accumulators_;
+  std::vector<IvFinal> iv_finals_;
+  TripCount trip_;
+  RegSet dropped_scratch_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+common::Result<KernelIR> extract_kernel(const Cfg& cfg, const Liveness& liveness,
+                                        std::uint32_t branch_pc, std::uint32_t target_pc,
+                                        const ExtractOptions& options) {
+  Extractor extractor(cfg, liveness, options);
+  return extractor.run(branch_pc, target_pc);
+}
+
+}  // namespace warp::decompile

@@ -1,0 +1,41 @@
+// Kernel extraction: the decompilation core of ROCPART.
+//
+// Given a profiled hot loop (back-branch pc + target pc), the extractor
+// rebuilds a hardware-implementable KernelIR from the binary:
+//   1. locate the natural loop and verify it is a contiguous, single-back-
+//      edge, bottom-tested region with no calls or indirect jumps;
+//   2. symbolically execute the body to map every register to a dataflow
+//      expression; forward if/then(/else) diamonds are if-converted into
+//      select (mux) nodes;
+//   3. identify induction variables (r = r + const once per iteration);
+//   4. classify every load/store address as affine in the induction
+//      variables and group accesses into DADG streams (constant stride,
+//      small burst of consecutive elements);
+//   5. derive the loop trip count in a form the patched software stub can
+//      compute from live-in registers (down-counter or bounded up-counter);
+//   6. classify reduction registers as accumulators and check — using
+//      whole-binary liveness — that every other modified register is dead
+//      at the loop exit.
+//
+// Any check failure returns an error with the reason; the warp runtime then
+// leaves the loop in software, exactly as the real ROCPART must.
+#pragma once
+
+#include "common/error.hpp"
+#include "decompile/cfg.hpp"
+#include "decompile/kernel_ir.hpp"
+#include "decompile/liveness.hpp"
+
+namespace warp::decompile {
+
+struct ExtractOptions {
+  unsigned max_streams = kMaxStreams;
+  unsigned max_burst = kMaxBurst;
+  unsigned max_accumulators = kMaxAccumulators;
+};
+
+common::Result<KernelIR> extract_kernel(const Cfg& cfg, const Liveness& liveness,
+                                        std::uint32_t branch_pc, std::uint32_t target_pc,
+                                        const ExtractOptions& options = {});
+
+}  // namespace warp::decompile

@@ -1,0 +1,91 @@
+#include "decompile/liveness.hpp"
+
+#include "common/error.hpp"
+
+namespace warp::decompile {
+
+InstrUseDef instr_use_def(const FusedInstr& fi) {
+  InstrUseDef ud;
+  if (!fi.valid) return ud;
+  const auto& in = fi.instr;
+  const auto op = in.op;
+  if (isa::reads_ra(op)) ud.use |= 1u << in.ra;
+  if (isa::reads_rb(op)) ud.use |= 1u << in.rb;
+  // Stores read the value being stored from rd.
+  if (isa::classify(op) == isa::InstrClass::kStore) ud.use |= 1u << in.rd;
+  if (isa::writes_rd(op)) ud.def |= 1u << in.rd;
+  // r0 is hard-wired zero: never a real use or def.
+  ud.use &= ~1u;
+  ud.def &= ~1u;
+  return ud;
+}
+
+Liveness::Liveness(const Cfg& cfg) : cfg_(cfg) {
+  const std::size_t n = cfg.blocks().size();
+  live_in_.assign(n, 0);
+  live_out_.assign(n, 0);
+
+  // Per-block use/def (use = upward-exposed uses).
+  std::vector<RegSet> use(n, 0);
+  std::vector<RegSet> def(n, 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    const auto& bb = cfg.blocks()[b];
+    RegSet defined = 0;
+    for (int i = 0; i < bb.instr_count; ++i) {
+      const auto& fi = cfg.instrs()[static_cast<std::size_t>(bb.first_instr + i)];
+      const InstrUseDef ud = instr_use_def(fi);
+      use[b] |= ud.use & ~defined;
+      defined |= ud.def;
+    }
+    def[b] = defined;
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = n; b-- > 0;) {
+      const auto& bb = cfg.blocks()[b];
+      RegSet out = 0;
+      if (bb.has_indirect_exit) {
+        const auto& last = cfg.instrs()[static_cast<std::size_t>(
+            bb.first_instr + bb.instr_count - 1)];
+        if (last.valid && last.instr.op == isa::Opcode::kRtsd &&
+            last.instr.ra == isa::kLinkRegister) {
+          // Function return: only the ABI-visible registers survive
+          // (decompilation recovers calling-convention knowledge, exactly as
+          // binary-level partitioning relies on).
+          out = (1u << isa::kStackRegister) | (1u << isa::kRetValRegister);
+        } else {
+          // Truly unknown continuation: everything (but r0) may be live.
+          out = ~1u;
+        }
+      }
+      for (int s : bb.succs) out |= live_in_[static_cast<std::size_t>(s)];
+      const RegSet in = use[b] | (out & ~def[b]);
+      if (out != live_out_[b] || in != live_in_[b]) {
+        live_out_[b] = out;
+        live_in_[b] = in;
+        changed = true;
+      }
+    }
+  }
+}
+
+RegSet Liveness::live_before_pc(std::uint32_t pc) const {
+  const int b = cfg_.block_of_pc(pc);
+  if (b < 0) throw common::InternalError("live_before_pc: pc not in any block");
+  const auto& bb = cfg_.blocks()[static_cast<std::size_t>(b)];
+  // Walk the block backwards from its end to pc.
+  RegSet live = live_out_[static_cast<std::size_t>(b)];
+  for (int i = bb.instr_count - 1; i >= 0; --i) {
+    const auto& fi = cfg_.instrs()[static_cast<std::size_t>(bb.first_instr + i)];
+    if (fi.pc < pc) break;
+    const InstrUseDef ud = instr_use_def(fi);
+    live = ud.use | (live & ~ud.def);
+    if (fi.pc == pc) return live;
+  }
+  if (bb.start_pc == pc) return live_in_[static_cast<std::size_t>(b)];
+  return live;
+}
+
+}  // namespace warp::decompile

@@ -1,0 +1,51 @@
+// Register liveness analysis over the recovered CFG.
+//
+// The decompiler needs liveness twice:
+//  1. at the loop exit, to decide which modified registers the hardware
+//     kernel must reconstruct (dead registers can simply be dropped — one of
+//     the "high-level information" recoveries that makes binary-level
+//     partitioning competitive, per Stitt/Vahid);
+//  2. at the loop header, to find scratch registers the patched software
+//     stub may clobber while programming the WCLA.
+//
+// Standard backward iterative dataflow: live_in(b) = use(b) ∪ (live_out(b)
+// − def(b)); indirect jumps and calls conservatively treat every register
+// as live.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "decompile/cfg.hpp"
+
+namespace warp::decompile {
+
+using RegSet = std::uint32_t;  // bit i = register i
+
+struct InstrUseDef {
+  RegSet use = 0;
+  RegSet def = 0;
+};
+
+/// use/def sets of one fused instruction.
+InstrUseDef instr_use_def(const FusedInstr& fi);
+
+class Liveness {
+ public:
+  explicit Liveness(const Cfg& cfg);
+
+  RegSet live_in(int block) const { return live_in_[static_cast<std::size_t>(block)]; }
+  RegSet live_out(int block) const { return live_out_[static_cast<std::size_t>(block)]; }
+
+  /// Registers live immediately before the instruction at `pc` (i.e. at the
+  /// start of that instruction). pc must begin an instruction.
+  RegSet live_before_pc(std::uint32_t pc) const;
+
+ private:
+  const Cfg& cfg_;
+  std::vector<RegSet> live_in_;
+  std::vector<RegSet> live_out_;
+};
+
+}  // namespace warp::decompile

@@ -1,0 +1,120 @@
+#include "experiments/harness.hpp"
+
+#include "isa/assembler.hpp"
+
+namespace warp::experiments {
+
+HarnessOptions default_options() {
+  HarnessOptions options;
+  // Paper Section 4: barrel shifter + multiplier configured in, 85 MHz on
+  // Spartan3; the WCLA's fabric uses the default geometry.
+  options.cpu = isa::CpuConfig{true, true, false, 85.0};
+  options.system.cpu = options.cpu;
+  options.system.dpm.synth.csd_max_terms = 2;
+  return options;
+}
+
+BenchmarkResult run_benchmark(const workloads::Workload& workload,
+                              const HarnessOptions& options) {
+  BenchmarkResult result;
+  result.name = workload.name;
+
+  auto program = isa::assemble(workload.source, options.cpu);
+  if (!program) {
+    result.error = "assemble: " + program.message();
+    return result;
+  }
+
+  warpsys::WarpSystemConfig system_config = options.system;
+  system_config.cpu = options.cpu;
+  system_config.verify_hw = options.verify_hw;
+  warpsys::WarpSystem system(program.value(), workload.init, system_config);
+
+  // 1. Software baseline (profiled).
+  auto sw = system.run_software();
+  if (!sw) {
+    result.error = "software run: " + sw.message();
+    return result;
+  }
+  if (auto check = workload.check(system.data_mem()); !check) {
+    result.error = "software result: " + check.message();
+    return result;
+  }
+  result.mb_seconds = sw.value().seconds;
+  result.mb_stats = sw.value().core;
+  result.mb_energy_mj = sw.value().energy.total_mj();
+
+  // 2. Partition + 3. warped run.
+  const warpsys::PartitionOutcome& outcome = system.warp();
+  result.outcome = outcome;
+  result.warp_detail = outcome.detail;
+  result.dpm_seconds = outcome.dpm_seconds;
+  if (outcome.success) {
+    auto warped = system.run_warped();
+    if (!warped) {
+      result.error = "warped run: " + warped.message();
+      return result;
+    }
+    if (auto check = workload.check(system.data_mem()); !check) {
+      result.error = "warped result: " + check.message();
+      return result;
+    }
+    result.warped = true;
+    result.warp_run = warped.value();
+    result.warp_seconds = warped.value().seconds;
+    result.warp_energy_parts = warped.value().energy;
+    result.warp_energy_mj = warped.value().energy.total_mj();
+  } else {
+    // Fallback: the application keeps running in software.
+    result.warp_seconds = result.mb_seconds;
+    result.warp_energy_mj = result.mb_energy_mj;
+  }
+  result.warp_speedup = result.mb_seconds / result.warp_seconds;
+  result.warp_energy_norm = result.warp_energy_mj / result.mb_energy_mj;
+
+  // 4. ARM comparison points from the software run's instruction mix.
+  if (options.include_arm) {
+    for (const auto& core : {arm::arm7(), arm::arm9(), arm::arm10(), arm::arm11()}) {
+      const arm::ArmEstimate estimate = arm::estimate(core, result.mb_stats);
+      ArmPoint point;
+      point.name = core.name;
+      point.seconds = estimate.seconds;
+      point.energy_mj = estimate.energy_mj;
+      point.speedup_vs_mb = result.mb_seconds / estimate.seconds;
+      point.energy_vs_mb = estimate.energy_mj / result.mb_energy_mj;
+      result.arm.push_back(point);
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+std::vector<BenchmarkResult> run_all_benchmarks(const HarnessOptions& options) {
+  std::vector<BenchmarkResult> results;
+  for (const auto& workload : workloads::all_workloads()) {
+    results.push_back(run_benchmark(workload, options));
+  }
+  return results;
+}
+
+common::Result<double> run_software_only(const workloads::Workload& workload,
+                                         const isa::CpuConfig& cpu) {
+  auto program = isa::assemble(workload.source, cpu);
+  if (!program) return common::Result<double>::error(program.message());
+
+  sim::Memory instr_mem(1 << 16);
+  sim::Memory data_mem(1 << 20);
+  sim::Core core(instr_mem, data_mem, cpu);
+  core.load_program(program.value());
+  workload.init(data_mem);
+  const sim::StopReason reason = core.run();
+  if (reason != sim::StopReason::kHalted) {
+    return common::Result<double>::error("run did not halt: " + core.error());
+  }
+  if (auto check = workload.check(data_mem); !check) {
+    return common::Result<double>::error(check.message());
+  }
+  return core.stats().seconds(cpu.clock_mhz);
+}
+
+}  // namespace warp::experiments

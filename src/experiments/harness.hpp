@@ -1,0 +1,80 @@
+// Experiment harness: runs a workload through the full warp-processing
+// methodology of the paper's Section 4 and collects every number Figures
+// 5/6/7 need:
+//
+//   1. assemble the benchmark for the configured MicroBlaze;
+//   2. software-only run (with profiling) -> baseline time, instruction
+//      mix, golden-output check;
+//   3. DPM partitioning -> hardware kernel, DPM time, CAD statistics;
+//   4. warped run -> time with the kernel on the WCLA, idle/active split,
+//      golden-output check (hardware must be bit-exact);
+//   5. energy model (Figure 5) for both runs;
+//   6. trace-driven ARM7/9/10/11 estimates from the software run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arm/arm_model.hpp"
+#include "warp/warp_system.hpp"
+#include "workloads/workload.hpp"
+
+namespace warp::experiments {
+
+struct ArmPoint {
+  std::string name;
+  double seconds = 0.0;
+  double energy_mj = 0.0;
+  double speedup_vs_mb = 0.0;
+  double energy_vs_mb = 0.0;  // normalized to the MicroBlaze-alone run
+};
+
+struct BenchmarkResult {
+  std::string name;
+  bool ok = false;           // golden checks passed on both runs
+  std::string error;
+
+  // MicroBlaze alone.
+  double mb_seconds = 0.0;
+  double mb_energy_mj = 0.0;
+  sim::CoreStats mb_stats;
+
+  // Warp processor.
+  bool warped = false;       // partitioning succeeded
+  std::string warp_detail;
+  double warp_seconds = 0.0;
+  double warp_energy_mj = 0.0;
+  double warp_speedup = 0.0;
+  double warp_energy_norm = 0.0;  // vs MicroBlaze alone
+  energy::EnergyBreakdown warp_energy_parts;
+  double dpm_seconds = 0.0;
+  warpsys::PartitionOutcome outcome;
+  warpsys::RunStats warp_run;
+
+  // Hard-core comparison points.
+  std::vector<ArmPoint> arm;
+};
+
+struct HarnessOptions {
+  isa::CpuConfig cpu;                 // barrel shifter + multiplier by default
+  warpsys::WarpSystemConfig system;   // dpm/profiler/fabric settings
+  bool verify_hw = false;             // per-write fabric-vs-DFG cross-check
+  bool include_arm = true;
+};
+
+HarnessOptions default_options();
+
+/// Full methodology for one workload.
+BenchmarkResult run_benchmark(const workloads::Workload& workload,
+                              const HarnessOptions& options);
+
+/// All six paper benchmarks.
+std::vector<BenchmarkResult> run_all_benchmarks(const HarnessOptions& options);
+
+/// Software-only run (no warping) under an arbitrary processor
+/// configuration — the Section 2 ablation primitive. Returns seconds.
+common::Result<double> run_software_only(const workloads::Workload& workload,
+                                         const isa::CpuConfig& cpu);
+
+}  // namespace warp::experiments

@@ -1,0 +1,181 @@
+#include "fabric/wcla.hpp"
+
+#include <cmath>
+
+namespace warp::fabric {
+namespace {
+
+// Bitstream framing: a small tagged word format. This is not trying to be
+// dense; it is trying to be decodable and to scale with design size the way
+// a real partial bitstream would.
+enum : std::uint32_t {
+  kMagic = 0x57434C41u,  // "WCLA"
+  kTagGeometry = 1,
+  kTagInput = 2,
+  kTagOutput = 3,
+  kTagLut = 4,
+  kTagRoute = 5,
+  kTagEnd = 6,
+};
+
+std::uint32_t pack_site(const LutSite& site) {
+  return (static_cast<std::uint32_t>(site.x + 1) & 0xFFFu) |
+         ((static_cast<std::uint32_t>(site.y) & 0xFFFu) << 12) |
+         ((site.slot & 0xFFu) << 24);
+}
+
+LutSite unpack_site(std::uint32_t w) {
+  LutSite site;
+  site.x = static_cast<int>(w & 0xFFFu) - 1;
+  site.y = static_cast<int>((w >> 12) & 0xFFFu);
+  site.slot = (w >> 24) & 0xFFu;
+  return site;
+}
+
+std::uint32_t pack_ref(const techmap::NetRef& ref) {
+  return (static_cast<std::uint32_t>(ref.kind) << 28) |
+         (static_cast<std::uint32_t>(ref.index + 1) & 0x0FFFFFFFu);
+}
+
+techmap::NetRef unpack_ref(std::uint32_t w) {
+  techmap::NetRef ref;
+  ref.kind = static_cast<techmap::NetRef::Kind>(w >> 28);
+  ref.index = static_cast<int>(w & 0x0FFFFFFFu) - 1;
+  return ref;
+}
+
+}  // namespace
+
+double FabricConfig::fabric_clock_mhz() const {
+  // The fabric is pipelined: registers bound each stage to ~4 levels of
+  // logic, so the clock is the geometry ceiling unless a single stage
+  // (IO + a few LUT levels + routing) exceeds the period — in that case the
+  // clock is derated to the stage delay.
+  const double period_ceiling_ns = 1000.0 / geometry.max_clock_mhz;
+  const unsigned stages = pipeline_stages();
+  const double stage_ns = (stages == 0) ? period_ceiling_ns
+                                        : critical_path_ns / static_cast<double>(stages);
+  const double period = std::max(period_ceiling_ns, stage_ns);
+  return 1000.0 / period;
+}
+
+unsigned FabricConfig::pipeline_stages() const {
+  const double period_ns = 1000.0 / geometry.max_clock_mhz;
+  if (critical_path_ns <= period_ns) return 1;
+  return static_cast<unsigned>(std::ceil(critical_path_ns / period_ns));
+}
+
+std::vector<std::uint32_t> encode_bitstream(const FabricConfig& config) {
+  std::vector<std::uint32_t> words;
+  words.push_back(kMagic);
+  words.push_back(kTagGeometry);
+  words.push_back(config.geometry.width);
+  words.push_back(config.geometry.height);
+  words.push_back(config.geometry.luts_per_clb);
+  words.push_back(config.geometry.channel_capacity);
+  words.push_back(static_cast<std::uint32_t>(config.critical_path_ns * 1000.0));  // ps
+
+  for (std::size_t i = 0; i < config.input_pads.size(); ++i) {
+    words.push_back(kTagInput);
+    words.push_back(pack_site(config.input_pads[i]));
+  }
+  for (std::size_t i = 0; i < config.output_pads.size(); ++i) {
+    words.push_back(kTagOutput);
+    words.push_back(pack_site(config.output_pads[i]));
+    words.push_back(pack_ref(config.netlist.outputs[i].source));
+  }
+  for (std::size_t i = 0; i < config.netlist.luts.size(); ++i) {
+    const auto& lut = config.netlist.luts[i];
+    words.push_back(kTagLut);
+    words.push_back(pack_site(config.placement[i]));
+    words.push_back(lut.truth | (lut.num_inputs << 8));
+    for (unsigned k = 0; k < techmap::kLutInputs; ++k) {
+      words.push_back(pack_ref(lut.inputs[k]));
+    }
+  }
+  for (const auto& net : config.routes) {
+    for (const auto& sink : net.sinks) {
+      words.push_back(kTagRoute);
+      words.push_back(static_cast<std::uint32_t>(sink.path.size()));
+      for (const auto& [x, y] : sink.path) {
+        words.push_back((static_cast<std::uint32_t>(x + 1) & 0xFFFFu) |
+                        (static_cast<std::uint32_t>(y) << 16));
+      }
+    }
+  }
+  words.push_back(kTagEnd);
+  return words;
+}
+
+common::Result<FabricConfig> decode_bitstream(const std::vector<std::uint32_t>& words) {
+  using Result = common::Result<FabricConfig>;
+  if (words.size() < 8 || words[0] != kMagic || words[1] != kTagGeometry) {
+    return Result::error("bad bitstream header");
+  }
+  FabricConfig config;
+  config.geometry.width = words[2];
+  config.geometry.height = words[3];
+  config.geometry.luts_per_clb = words[4];
+  config.geometry.channel_capacity = words[5];
+  config.critical_path_ns = static_cast<double>(words[6]) / 1000.0;
+
+  std::size_t i = 7;
+  while (i < words.size()) {
+    const std::uint32_t tag = words[i++];
+    switch (tag) {
+      case kTagInput: {
+        if (i + 1 > words.size()) return Result::error("truncated input record");
+        config.input_pads.push_back(unpack_site(words[i++]));
+        config.netlist.primary_inputs.push_back("in" +
+                                                std::to_string(config.input_pads.size() - 1));
+        break;
+      }
+      case kTagOutput: {
+        if (i + 2 > words.size()) return Result::error("truncated output record");
+        config.output_pads.push_back(unpack_site(words[i++]));
+        techmap::MappedOutput out;
+        out.name = "out" + std::to_string(config.output_pads.size() - 1);
+        out.source = unpack_ref(words[i++]);
+        config.netlist.outputs.push_back(std::move(out));
+        break;
+      }
+      case kTagLut: {
+        if (i + 2 + techmap::kLutInputs > words.size()) {
+          return Result::error("truncated LUT record");
+        }
+        config.placement.push_back(unpack_site(words[i++]));
+        techmap::Lut lut;
+        const std::uint32_t packed = words[i++];
+        lut.truth = static_cast<std::uint8_t>(packed & 0xFFu);
+        lut.num_inputs = (packed >> 8) & 0xFFu;
+        for (unsigned k = 0; k < techmap::kLutInputs; ++k) {
+          lut.inputs[k] = unpack_ref(words[i++]);
+        }
+        config.netlist.luts.push_back(lut);
+        break;
+      }
+      case kTagRoute: {
+        if (i + 1 > words.size()) return Result::error("truncated route record");
+        const std::uint32_t length = words[i++];
+        if (i + length > words.size()) return Result::error("truncated route path");
+        RoutedNet net;
+        RoutedNet::Sink sink;
+        for (std::uint32_t k = 0; k < length; ++k) {
+          const std::uint32_t w = words[i++];
+          sink.path.emplace_back(static_cast<int>(w & 0xFFFFu) - 1,
+                                 static_cast<int>(w >> 16));
+        }
+        net.sinks.push_back(std::move(sink));
+        config.routes.push_back(std::move(net));
+        break;
+      }
+      case kTagEnd:
+        return config;
+      default:
+        return Result::error("unknown bitstream tag");
+    }
+  }
+  return Result::error("bitstream missing end marker");
+}
+
+}  // namespace warp::fabric

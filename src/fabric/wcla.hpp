@@ -1,0 +1,89 @@
+// Warp configurable logic architecture (WCLA) model — paper Figure 3.
+//
+// The WCLA is the simplified configurable fabric Lysecky & Vahid designed
+// together with the lean on-chip CAD tools (DATE'04): a grid of CLBs (each
+// with two 3-input LUTs) connected through switch-matrix routing channels,
+// plus hard datapath blocks that keep wide arithmetic out of the fabric:
+//   - DADG + LCH: data address generator with loop-control hardware, one
+//     data-BRAM access per cycle, regular (affine) address patterns;
+//   - Reg0..Reg2: data registers between the BRAM and the fabric;
+//   - a 32-bit MAC with native accumulate.
+//
+// This header defines the fabric geometry, the configuration (what a
+// bitstream programs), and the bitstream encode/decode used to measure
+// configuration time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "techmap/techmap.hpp"
+
+namespace warp::fabric {
+
+struct FabricGeometry {
+  unsigned width = 64;    // CLB columns
+  unsigned height = 40;   // CLB rows
+  unsigned luts_per_clb = 2;
+  // Nets through one cell's switch matrix. The IO columns (the WCLA's
+  // input/output register banks, x = -1 and x = width) are dedicated buses
+  // and are not capacity-limited (paper Figure 3: registers connect to the
+  // fabric over dedicated buses).
+  unsigned channel_capacity = 64;
+
+  // Delays (UMC 0.18um-class estimates, Section 4 of the paper).
+  double lut_delay_ns = 0.45;
+  double wire_hop_delay_ns = 0.35;
+  double io_delay_ns = 0.60;      // register/pad to fabric entry
+  double max_clock_mhz = 250.0;   // paper: non-processor circuits reach 250 MHz
+
+  unsigned lut_capacity() const { return width * height * luts_per_clb; }
+
+  static FabricGeometry small() { return {16, 8, 2, 24, 0.45, 0.35, 0.60, 250.0}; }
+};
+
+/// Placed location of one LUT.
+struct LutSite {
+  int x = 0;       // 0..width-1; -1 = left IO column, width = right IO column
+  int y = 0;
+  unsigned slot = 0;
+};
+
+/// One routed net: a driver and per-sink routed paths (cell-to-cell hops).
+struct RoutedNet {
+  int driver_lut = -1;       // -1: primary input pad
+  int driver_input = -1;     // valid when driver_lut < 0
+  struct Sink {
+    int lut = -1;            // -1: primary output pad
+    int output_index = -1;   // valid when lut < 0
+    unsigned input_pin = 0;  // LUT input pin
+    std::vector<std::pair<int, int>> path;  // cells from driver to sink, inclusive
+  };
+  std::vector<Sink> sinks;
+};
+
+/// Everything a WCLA bitstream programs for the fabric portion.
+struct FabricConfig {
+  FabricGeometry geometry;
+  techmap::LutNetlist netlist;
+  std::vector<LutSite> placement;       // per LUT
+  std::vector<LutSite> input_pads;      // per primary input
+  std::vector<LutSite> output_pads;     // per primary output
+  std::vector<RoutedNet> routes;
+  double critical_path_ns = 0.0;
+
+  /// Fabric clock after derating by the routed critical path, and the
+  /// pipeline depth needed to sustain one iteration per initiation interval.
+  double fabric_clock_mhz() const;
+  unsigned pipeline_stages() const;
+};
+
+/// Serialize/deserialize the configuration. The encoded word count is the
+/// quantity the DPM's configuration-time model uses (the paper's DPM
+/// "configures the configurable logic" before patching the binary).
+std::vector<std::uint32_t> encode_bitstream(const FabricConfig& config);
+common::Result<FabricConfig> decode_bitstream(const std::vector<std::uint32_t>& words);
+
+}  // namespace warp::fabric

@@ -1,0 +1,290 @@
+#include "hwsim/executor.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace warp::hwsim {
+
+using decompile::DfgOp;
+using synth::HwKernel;
+
+KernelExecutor::KernelExecutor(const HwKernel& kernel, const fabric::FabricConfig& config)
+    : kernel_(kernel), config_(config) {
+  bind_ports();
+}
+
+void KernelExecutor::bind_ports() {
+  const auto& netlist = config_.netlist;
+  input_bindings_.resize(netlist.primary_inputs.size());
+  for (std::size_t i = 0; i < netlist.primary_inputs.size(); ++i) {
+    const std::string& name = netlist.primary_inputs[i];
+    InputBinding binding;
+    unsigned a = 0, b = 0, bit = 0;
+    if (std::sscanf(name.c_str(), "s%ut%u[%u]", &a, &b, &bit) == 3) {
+      binding.kind = InputBinding::Kind::kStream;
+    } else if (std::sscanf(name.c_str(), "li%u[%u]", &a, &bit) == 2) {
+      binding.kind = InputBinding::Kind::kLiveIn;
+    } else if (std::sscanf(name.c_str(), "iv%u[%u]", &a, &bit) == 2) {
+      binding.kind = InputBinding::Kind::kIv;
+    } else if (std::sscanf(name.c_str(), "mac%u[%u]", &a, &bit) == 2) {
+      binding.kind = InputBinding::Kind::kMacResult;
+    } else if (std::sscanf(name.c_str(), "acc%u[%u]", &a, &bit) == 2) {
+      binding.kind = InputBinding::Kind::kAccState;
+    } else {
+      throw common::InternalError("executor: unknown input port " + name);
+    }
+    binding.a = a;
+    binding.b = b;
+    binding.bit = bit;
+    input_bindings_[i] = binding;
+  }
+
+  output_bindings_.resize(netlist.outputs.size());
+  for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
+    const std::string& name = netlist.outputs[i].name;
+    OutputBinding binding;
+    unsigned a = 0, b = 0, bit = 0;
+    if (std::sscanf(name.c_str(), "w%ut%u[%u]", &a, &b, &bit) == 3) {
+      binding.kind = OutputBinding::Kind::kWrite;
+      // Write outputs are identified by (stream, tap): find the index.
+      for (std::size_t w = 0; w < kernel_.write_outputs.size(); ++w) {
+        if (kernel_.write_outputs[w].stream == a && kernel_.write_outputs[w].tap == b) {
+          binding.a = static_cast<unsigned>(w);
+          break;
+        }
+      }
+    } else if (std::sscanf(name.c_str(), "macA%u[%u]", &a, &bit) == 2) {
+      binding.kind = OutputBinding::Kind::kMacA;
+      binding.a = a;
+    } else if (std::sscanf(name.c_str(), "macB%u[%u]", &a, &bit) == 2) {
+      binding.kind = OutputBinding::Kind::kMacB;
+      binding.a = a;
+    } else if (std::sscanf(name.c_str(), "accnext%u[%u]", &a, &bit) == 2) {
+      binding.kind = OutputBinding::Kind::kAccNext;
+      binding.a = a;
+    } else {
+      throw common::InternalError("executor: unknown output port " + name);
+    }
+    binding.bit = bit;
+    output_bindings_[i] = binding;
+  }
+}
+
+std::uint32_t KernelExecutor::read_output_word(const std::vector<bool>& lut_values,
+                                               OutputBinding::Kind kind, unsigned a) const {
+  const auto& netlist = config_.netlist;
+  std::uint32_t word = 0;
+  for (std::size_t i = 0; i < output_bindings_.size(); ++i) {
+    const OutputBinding& binding = output_bindings_[i];
+    if (binding.kind != kind || binding.a != a) continue;
+    const techmap::NetRef& ref = netlist.outputs[i].source;
+    bool value = false;
+    switch (ref.kind) {
+      case techmap::NetRef::Kind::kConst0: value = false; break;
+      case techmap::NetRef::Kind::kConst1: value = true; break;
+      case techmap::NetRef::Kind::kLut:
+        value = lut_values[static_cast<std::size_t>(ref.index)];
+        break;
+      case techmap::NetRef::Kind::kPrimaryInput:
+        // Pass-through of an input bit: resolved by caller via rebind; the
+        // executor re-evaluates inputs, so look it up in the current frame.
+        value = current_inputs_ ? (*current_inputs_)[static_cast<std::size_t>(ref.index)]
+                                : false;
+        break;
+    }
+    if (value) word |= 1u << binding.bit;
+  }
+  return word;
+}
+
+int KernelExecutor::find_write_node(unsigned stream, unsigned tap) const {
+  for (const auto& w : kernel_.ir.writes) {
+    if (w.stream == stream && w.tap == tap) return w.node;
+  }
+  throw common::InternalError("executor: no DFG node for write output");
+}
+
+common::Result<KernelRunResult> KernelExecutor::run(sim::Memory& memory,
+                                                    const KernelInvocation& invocation,
+                                                    bool verify_against_dfg) {
+  using Result = common::Result<KernelRunResult>;
+  const auto& ir = kernel_.ir;
+  if (invocation.stream_bases.size() != ir.streams.size()) {
+    return Result::error("invocation stream base count mismatch");
+  }
+  if (invocation.acc_init.size() != ir.accumulators.size()) {
+    return Result::error("invocation accumulator init count mismatch");
+  }
+
+  // Accumulator state (both MAC-held and fabric-held).
+  std::vector<std::uint32_t> acc = invocation.acc_init;
+
+  const auto& netlist = config_.netlist;
+  std::vector<bool> inputs(netlist.primary_inputs.size(), false);
+  current_inputs_ = &inputs;
+
+  for (std::uint64_t iter = 0; iter < invocation.trip; ++iter) {
+    // Accumulator values at iteration start: what the fabric's AccState
+    // inputs and the golden model both observe.
+    acc_start_of_iter_ = acc;
+
+    // 1. DADG: fetch read-stream taps.
+    std::vector<std::vector<std::uint32_t>> tap_values(ir.streams.size());
+    for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+      const auto& stream = ir.streams[s];
+      tap_values[s].assign(stream.burst, 0);
+      if (stream.is_write) continue;
+      const std::uint32_t base =
+          invocation.stream_bases[s] +
+          static_cast<std::uint32_t>(static_cast<std::int64_t>(stream.stride_bytes) *
+                                     static_cast<std::int64_t>(iter));
+      for (unsigned t = 0; t < stream.burst; ++t) {
+        const std::uint32_t addr =
+            base + t * static_cast<std::uint32_t>(stream.tap_stride_bytes);
+        switch (stream.elem_bytes) {
+          case 1: tap_values[s][t] = memory.read8(addr); break;
+          case 2: tap_values[s][t] = memory.read16(addr); break;
+          default: tap_values[s][t] = memory.read32(addr); break;
+        }
+      }
+    }
+
+    // Induction-variable values at iteration start.
+    auto iv_value = [&](unsigned reg) -> std::uint32_t {
+      for (const auto& [r, step] : ir.iv_regs) {
+        if (r == reg) {
+          const auto it = invocation.live_in.find(reg);
+          const std::uint32_t init = (it != invocation.live_in.end()) ? it->second : 0;
+          return init + static_cast<std::uint32_t>(
+                            static_cast<std::int64_t>(step) * static_cast<std::int64_t>(iter));
+        }
+      }
+      return 0;
+    };
+
+    // 2. Evaluate fabric + MAC (MAC ops in order, refreshing the fabric
+    //    between them because operands may depend on earlier results).
+    std::vector<std::uint32_t> mac_results(kernel_.mac_ops.size(), 0);
+    auto load_inputs = [&] {
+      for (std::size_t i = 0; i < input_bindings_.size(); ++i) {
+        const InputBinding& binding = input_bindings_[i];
+        std::uint32_t word = 0;
+        switch (binding.kind) {
+          case InputBinding::Kind::kStream:
+            word = tap_values[binding.a][binding.b];
+            break;
+          case InputBinding::Kind::kLiveIn: {
+            const auto it = invocation.live_in.find(binding.a);
+            word = (it != invocation.live_in.end()) ? it->second : 0;
+            break;
+          }
+          case InputBinding::Kind::kIv:
+            word = iv_value(binding.a);
+            break;
+          case InputBinding::Kind::kMacResult:
+            word = mac_results[binding.a];
+            break;
+          case InputBinding::Kind::kAccState:
+            word = acc_start_of_iter_[binding.a];
+            break;
+        }
+        inputs[i] = (word >> binding.bit) & 1u;
+      }
+    };
+
+    std::vector<bool> lut_values;
+    load_inputs();
+    lut_values = netlist.evaluate(inputs);
+    for (std::size_t m = 0; m < kernel_.mac_ops.size(); ++m) {
+      const std::uint32_t a = read_output_word(lut_values, OutputBinding::Kind::kMacA,
+                                               static_cast<unsigned>(m));
+      const std::uint32_t b = read_output_word(lut_values, OutputBinding::Kind::kMacB,
+                                               static_cast<unsigned>(m));
+      const std::uint32_t product = a * b;
+      if (kernel_.mac_ops[m].accumulate) {
+        acc[static_cast<std::size_t>(kernel_.mac_ops[m].acc_index)] += product;
+      } else {
+        mac_results[m] = product;  // indexed by global MAC-op number
+        // Refresh fabric with the new MAC result.
+        load_inputs();
+        lut_values = netlist.evaluate(inputs);
+      }
+    }
+
+    // 3. Stream writes.
+    for (std::size_t w = 0; w < kernel_.write_outputs.size(); ++w) {
+      const auto& out = kernel_.write_outputs[w];
+      const auto& stream = ir.streams[out.stream];
+      const std::uint32_t base =
+          invocation.stream_bases[out.stream] +
+          static_cast<std::uint32_t>(static_cast<std::int64_t>(stream.stride_bytes) *
+                                     static_cast<std::int64_t>(iter));
+      const std::uint32_t addr =
+          base + out.tap * static_cast<std::uint32_t>(stream.tap_stride_bytes);
+      const std::uint32_t value =
+          read_output_word(lut_values, OutputBinding::Kind::kWrite, static_cast<unsigned>(w));
+      switch (stream.elem_bytes) {
+        case 1: memory.write8(addr, static_cast<std::uint8_t>(value)); break;
+        case 2: memory.write16(addr, static_cast<std::uint16_t>(value)); break;
+        default: memory.write32(addr, value); break;
+      }
+      if (verify_against_dfg) {
+        decompile::Dfg::Inputs golden;
+        for (const auto& [reg, value_in] : invocation.live_in) golden.live_in[reg] = value_in;
+        for (const auto& [reg, step] : ir.iv_regs) {
+          (void)step;
+          golden.iv[reg] = iv_value(reg);
+        }
+        for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+          for (unsigned t = 0; t < ir.streams[s].burst; ++t) {
+            golden.stream_in[(static_cast<std::uint32_t>(s) << 16) | t] = tap_values[s][t];
+          }
+        }
+        // Accumulator live-ins observe the value at iteration start.
+        for (std::size_t k = 0; k < ir.accumulators.size(); ++k) {
+          golden.live_in[ir.accumulators[k].reg] = acc_start_of_iter_[k];
+        }
+        for (const auto& [reg, step] : ir.iv_regs) {
+          (void)step;
+          golden.live_in.erase(reg);  // iv regs enter the DFG as kIv nodes
+          golden.iv[reg] = iv_value(reg);
+        }
+        const std::uint32_t expect = ir.dfg.eval(
+            find_write_node(static_cast<unsigned>(out.stream), out.tap), golden);
+        std::uint32_t masked = expect;
+        if (stream.elem_bytes == 1) masked &= 0xFFu;
+        if (stream.elem_bytes == 2) masked &= 0xFFFFu;
+        std::uint32_t got = value;
+        if (stream.elem_bytes == 1) got &= 0xFFu;
+        if (stream.elem_bytes == 2) got &= 0xFFFFu;
+        if (got != masked) {
+          throw common::InternalError(common::format(
+              "fabric/DFG mismatch at iter %llu stream %u tap %u: fabric=0x%x dfg=0x%x",
+              static_cast<unsigned long long>(iter), out.stream, out.tap, got, masked));
+        }
+      }
+    }
+
+    // 4. Fabric-held accumulator updates.
+    for (const auto& out : kernel_.acc_outputs) {
+      if (out.via_mac) continue;
+      acc[out.acc_index] =
+          read_output_word(lut_values, OutputBinding::Kind::kAccNext, out.acc_index);
+    }
+  }
+
+  current_inputs_ = nullptr;
+
+  KernelRunResult result;
+  const unsigned ii = kernel_.initiation_interval();
+  result.wcla_cycles = static_cast<std::uint64_t>(ii) * invocation.trip +
+                       config_.pipeline_stages() + kStartupCycles;
+  result.clock_mhz = config_.fabric_clock_mhz();
+  result.time_ns = static_cast<double>(result.wcla_cycles) * 1000.0 / result.clock_mhz;
+  result.acc_final = acc;
+  return result;
+}
+
+}  // namespace warp::hwsim

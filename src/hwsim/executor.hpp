@@ -1,0 +1,88 @@
+// Cycle-level execution of a configured WCLA kernel.
+//
+// The executor runs the *mapped* LUT netlist (not the source dataflow
+// graph), so a run exercises the entire ROCPART flow end to end: what the
+// fabric computes is what the cut-based mapper produced from the bit-blasted
+// netlist. Stream data moves through the shared (dual-ported) data BRAM,
+// mirroring Figure 3's DADG <-> BRAM connection. The cycle model:
+//
+//   cycles = II * trip + pipeline_latency + kStartupCycles
+//     II   = max(1, BRAM accesses/iter, MAC ops/iter)    (port conflicts)
+//   clock  = fabric clock after critical-path derating
+//
+// The executor also provides a golden cross-check mode that evaluates the
+// original dataflow graph and verifies the fabric against it per iteration.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "fabric/wcla.hpp"
+#include "sim/memory.hpp"
+#include "synth/hw_kernel.hpp"
+
+namespace warp::hwsim {
+
+inline constexpr unsigned kStartupCycles = 2;  // DADG setup + result writeback
+
+/// Per-invocation inputs provided by the patched software stub.
+struct KernelInvocation {
+  std::uint64_t trip = 0;
+  std::vector<std::uint32_t> stream_bases;        // per stream, byte address
+  std::unordered_map<unsigned, std::uint32_t> live_in;  // reg -> value
+  std::vector<std::uint32_t> acc_init;            // per accumulator
+};
+
+struct KernelRunResult {
+  std::uint64_t wcla_cycles = 0;
+  double clock_mhz = 0.0;
+  double time_ns = 0.0;
+  std::vector<std::uint32_t> acc_final;  // per accumulator
+};
+
+class KernelExecutor {
+ public:
+  /// `kernel` and `config` must outlive the executor.
+  KernelExecutor(const synth::HwKernel& kernel, const fabric::FabricConfig& config);
+
+  /// Execute one invocation against `memory`.
+  /// When `verify_against_dfg` is set, every iteration is cross-checked
+  /// against the dataflow-graph golden model (throws InternalError on
+  /// mismatch — a CAD-flow bug, not a data error).
+  common::Result<KernelRunResult> run(sim::Memory& memory, const KernelInvocation& invocation,
+                                      bool verify_against_dfg = false);
+
+  const synth::HwKernel& kernel() const { return kernel_; }
+  const fabric::FabricConfig& config() const { return config_; }
+
+ private:
+  struct InputBinding {
+    enum class Kind : std::uint8_t { kStream, kLiveIn, kIv, kMacResult, kAccState };
+    Kind kind = Kind::kLiveIn;
+    unsigned a = 0;  // stream | reg | mac index | acc index
+    unsigned b = 0;  // tap (streams)
+    unsigned bit = 0;
+  };
+  struct OutputBinding {
+    enum class Kind : std::uint8_t { kWrite, kMacA, kMacB, kAccNext };
+    Kind kind = Kind::kWrite;
+    unsigned a = 0;  // write index | mac index | acc index
+    unsigned bit = 0;
+  };
+
+  void bind_ports();
+  std::uint32_t read_output_word(const std::vector<bool>& values, OutputBinding::Kind kind,
+                                 unsigned a) const;
+  int find_write_node(unsigned stream, unsigned tap) const;
+
+  const synth::HwKernel& kernel_;
+  const fabric::FabricConfig& config_;
+  std::vector<InputBinding> input_bindings_;    // per primary input
+  std::vector<OutputBinding> output_bindings_;  // per netlist output
+  const std::vector<bool>* current_inputs_ = nullptr;    // valid during run()
+  std::vector<std::uint32_t> acc_start_of_iter_;
+};
+
+}  // namespace warp::hwsim

@@ -1,0 +1,86 @@
+#include "hwsim/wcla_device.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace warp::hwsim {
+
+void WclaDevice::configure(std::shared_ptr<const synth::HwKernel> kernel,
+                           std::shared_ptr<const fabric::FabricConfig> config) {
+  kernel_ = std::move(kernel);
+  config_ = std::move(config);
+  executor_ = std::make_unique<KernelExecutor>(*kernel_, *config_);
+  invocation_ = KernelInvocation{};
+  invocation_.stream_bases.assign(kernel_->ir.streams.size(), 0);
+  invocation_.acc_init.assign(kernel_->ir.accumulators.size(), 0);
+  acc_result_.assign(kernel_->ir.accumulators.size(), 0);
+  done_ = true;
+  pending_idle_cycles_ = 0;
+}
+
+sim::OpbReadResult WclaDevice::read32(std::uint32_t addr) {
+  const std::uint32_t offset = addr - base_;
+  if (offset == kWclaStatus) {
+    if (!done_) {
+      // The core blocks on the busy WCLA: charge the hardware runtime as
+      // idle MicroBlaze cycles, then report completion.
+      done_ = true;
+      const sim::OpbReadResult result{0, pending_idle_cycles_};
+      pending_idle_cycles_ = 0;
+      return result;
+    }
+    return {1, 0};
+  }
+  if (offset >= kWclaAccBase && offset < kWclaAccBase + 4 * acc_result_.size()) {
+    return {acc_result_[(offset - kWclaAccBase) / 4], 0};
+  }
+  return {0, 0};
+}
+
+void WclaDevice::write32(std::uint32_t addr, std::uint32_t value) {
+  const std::uint32_t offset = addr - base_;
+  if (offset == kWclaCtrl) {
+    if (value == 1) start();
+    return;
+  }
+  if (offset == kWclaTrip) {
+    invocation_.trip = value;
+    return;
+  }
+  if (offset >= kWclaStreamBase && offset < kWclaStreamBase + 4 * invocation_.stream_bases.size()) {
+    invocation_.stream_bases[(offset - kWclaStreamBase) / 4] = value;
+    return;
+  }
+  if (offset >= kWclaConstBase && offset < kWclaConstBase + 0x80) {
+    const std::size_t index = (offset - kWclaConstBase) / 4;
+    if (kernel_ && index < kernel_->ir.live_in_regs.size()) {
+      invocation_.live_in[kernel_->ir.live_in_regs[index]] = value;
+    }
+    return;
+  }
+  if (offset >= kWclaAccBase && offset < kWclaAccBase + 4 * invocation_.acc_init.size()) {
+    invocation_.acc_init[(offset - kWclaAccBase) / 4] = value;
+    return;
+  }
+}
+
+void WclaDevice::start() {
+  if (!executor_) {
+    throw common::InternalError("WCLA started without a configured kernel");
+  }
+  auto result = executor_->run(data_mem_, invocation_, verify_);
+  if (!result) {
+    throw common::InternalError("WCLA execution failed: " + result.message());
+  }
+  const KernelRunResult& run = result.value();
+  acc_result_ = run.acc_final;
+  done_ = false;
+  pending_idle_cycles_ =
+      static_cast<std::uint64_t>(std::ceil(run.time_ns * mb_clock_mhz_ / 1000.0));
+  ++stats_.invocations;
+  stats_.wcla_cycles += run.wcla_cycles;
+  stats_.busy_ns += run.time_ns;
+}
+
+}  // namespace warp::hwsim

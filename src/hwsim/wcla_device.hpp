@@ -1,0 +1,88 @@
+// The WCLA as an OPB peripheral of the MicroBlaze system (paper Figure 2).
+//
+// After the DPM configures the fabric, the patched binary talks to the WCLA
+// through memory-mapped registers: it loads per-invocation state (trip
+// count, stream base addresses, latched live-in values, accumulator
+// initial values), starts the kernel, polls the status register — during
+// which the MicroBlaze sits idle while the WCLA streams data through the
+// second BRAM port — and finally reads accumulator results back.
+//
+// Register map (word offsets from kWclaBase):
+//   +0x000  CTRL    (w)  write 1: run the configured kernel
+//   +0x004  STATUS  (r)  0 = busy (read stalls the core for the HW runtime),
+//                        1 = done
+//   +0x008  TRIP    (w)  loop trip count for the LCH
+//   +0x010+4s BASE[s]  (w) stream base byte address, s < 3
+//   +0x080+4k CONST[k] (w) latched live-in value k (order = ir.live_in_regs)
+//   +0x100+4k ACC[k]   (rw) accumulator k: write initial, read final
+#pragma once
+
+#include <memory>
+
+#include "hwsim/executor.hpp"
+#include "sim/device.hpp"
+#include "sim/memory.hpp"
+
+namespace warp::hwsim {
+
+inline constexpr std::uint32_t kWclaBase = sim::kOpbBase;
+inline constexpr std::uint32_t kWclaCtrl = 0x000;
+inline constexpr std::uint32_t kWclaStatus = 0x004;
+inline constexpr std::uint32_t kWclaTrip = 0x008;
+inline constexpr std::uint32_t kWclaStreamBase = 0x010;
+inline constexpr std::uint32_t kWclaConstBase = 0x080;
+inline constexpr std::uint32_t kWclaAccBase = 0x100;
+inline constexpr std::uint32_t kWclaSpan = 0x200;
+
+/// Cumulative WCLA activity, input to the Figure 5 energy model.
+struct WclaStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t wcla_cycles = 0;
+  double busy_ns = 0.0;
+};
+
+class WclaDevice : public sim::OpbDevice {
+ public:
+  /// `data_mem` is the second port of the processor's data BRAM.
+  /// `mb_clock_mhz` converts WCLA busy time into MicroBlaze idle cycles.
+  WclaDevice(sim::Memory& data_mem, double mb_clock_mhz, std::uint32_t base = kWclaBase)
+      : data_mem_(data_mem), mb_clock_mhz_(mb_clock_mhz), base_(base) {}
+
+  /// Install a synthesized + placed-and-routed kernel.
+  void configure(std::shared_ptr<const synth::HwKernel> kernel,
+                 std::shared_ptr<const fabric::FabricConfig> config);
+  bool configured() const { return executor_ != nullptr; }
+
+  /// Cross-check the fabric against the DFG golden model on every write
+  /// (slow; used by tests).
+  void set_verify(bool verify) { verify_ = verify; }
+
+  const WclaStats& stats() const { return stats_; }
+  void clear_stats() { stats_ = WclaStats{}; }
+
+  // OpbDevice:
+  bool contains(std::uint32_t addr) const override {
+    return addr >= base_ && addr < base_ + kWclaSpan;
+  }
+  sim::OpbReadResult read32(std::uint32_t addr) override;
+  void write32(std::uint32_t addr, std::uint32_t value) override;
+
+ private:
+  void start();
+
+  sim::Memory& data_mem_;
+  double mb_clock_mhz_;
+  std::uint32_t base_;
+  std::shared_ptr<const synth::HwKernel> kernel_;
+  std::shared_ptr<const fabric::FabricConfig> config_;
+  std::unique_ptr<KernelExecutor> executor_;
+  bool verify_ = false;
+
+  KernelInvocation invocation_;
+  std::vector<std::uint32_t> acc_result_;
+  bool done_ = true;
+  std::uint64_t pending_idle_cycles_ = 0;
+  WclaStats stats_;
+};
+
+}  // namespace warp::hwsim

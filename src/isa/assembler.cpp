@@ -1,0 +1,626 @@
+#include "isa/assembler.hpp"
+
+#include <sstream>
+
+#include "common/bitutil.hpp"
+#include "common/strings.hpp"
+
+namespace warp::isa {
+namespace {
+
+using common::Result;
+using common::format;
+using common::parse_int;
+using common::split;
+using common::trim;
+
+// Software multiply: standard shift-and-add. Arguments in r5/r6, result in
+// r3, clobbers r5..r7 and r15 — the calling convention mb-gcc uses for
+// libgcc helpers. Uses only instructions available on a minimal core.
+constexpr const char* kMulRoutine = R"(
+__mulsi3:
+  add r3, r0, r0
+__mulsi3_loop:
+  beq r6, __mulsi3_done
+  andi r7, r6, 1
+  beq r7, __mulsi3_skip
+  add r3, r3, r5
+__mulsi3_skip:
+  add r5, r5, r5
+  srl r6, r6
+  br __mulsi3_loop
+__mulsi3_done:
+  rtsd r15, 0
+)";
+
+// Software divide (unsigned restoring division on magnitudes, sign fixed
+// up at the end). r3 = r5 / r6; clobbers r4..r9 and r15.
+constexpr const char* kDivRoutine = R"(
+__divsi3:
+  add r9, r0, r0       ; r9 = sign flag
+  bge r5, __divsi3_p1
+  sub r5, r0, r5
+  xori r9, r9, 1
+__divsi3_p1:
+  bge r6, __divsi3_p2
+  sub r6, r0, r6
+  xori r9, r9, 1
+__divsi3_p2:
+  add r3, r0, r0       ; quotient
+  add r4, r0, r0       ; remainder
+  addi r8, r0, 32      ; bit counter
+__divsi3_loop:
+  beq r8, __divsi3_fix
+  add r4, r4, r4       ; rem <<= 1
+  blt r5, __divsi3_msb1
+  br __divsi3_msb0
+__divsi3_msb1:
+  ori r4, r4, 1
+__divsi3_msb0:
+  add r5, r5, r5       ; num <<= 1
+  add r3, r3, r3       ; quo <<= 1
+  cmpu r7, r4, r6      ; rem < den ?
+  blt r7, __divsi3_next
+  sub r4, r4, r6
+  ori r3, r3, 1
+__divsi3_next:
+  addi r8, r8, -1
+  br __divsi3_loop
+__divsi3_fix:
+  beq r9, __divsi3_ret
+  sub r3, r0, r3
+__divsi3_ret:
+  rtsd r15, 0
+)";
+
+// Variable left shift: r3 = r5 << r6 (r6 masked to 5 bits); clobbers r5..r6, r15.
+constexpr const char* kShlRoutine = R"(
+__lshl:
+  andi r6, r6, 31
+  add r3, r5, r0
+__lshl_loop:
+  beq r6, __lshl_done
+  add r3, r3, r3
+  addi r6, r6, -1
+  br __lshl_loop
+__lshl_done:
+  rtsd r15, 0
+)";
+
+// Variable logical right shift: r3 = r5 >> r6; clobbers r5..r6, r15.
+constexpr const char* kShrRoutine = R"(
+__lshr:
+  andi r6, r6, 31
+  add r3, r5, r0
+__lshr_loop:
+  beq r6, __lshr_done
+  srl r3, r3
+  addi r6, r6, -1
+  br __lshr_loop
+__lshr_done:
+  rtsd r15, 0
+)";
+
+struct Line {
+  std::string text;
+  int source_line;
+};
+
+// One expanded item: either a real instruction, a label, or a data word.
+struct Item {
+  enum class Kind { kInstr, kLabel, kWord } kind = Kind::kInstr;
+  std::string mnemonic;                 // for kInstr
+  std::vector<std::string> operands;    // for kInstr
+  std::string label;                    // for kLabel
+  std::uint32_t word = 0;               // for kWord
+  int source_line = 0;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(const CpuConfig& config) : config_(config) {}
+
+  Result<Program> run(std::string_view source) {
+    std::vector<Line> lines = to_lines(source);
+    // Macro expansion may request runtime routines; append and re-expand them.
+    if (!expand_all(lines)) return Result<Program>::error(error_);
+    for (const auto& name : needed_runtime()) {
+      std::vector<Line> extra = to_lines(runtime_source(name));
+      if (!expand_all(extra)) return Result<Program>::error(error_);
+    }
+    if (!assign_addresses()) return Result<Program>::error(error_);
+    if (!emit()) return Result<Program>::error(error_);
+    Program prog;
+    prog.words = std::move(words_);
+    prog.symbols = labels_;
+    for (const auto& [name, value] : equs_) prog.symbols.emplace(name, value);
+    prog.config = config_;
+    return prog;
+  }
+
+ private:
+  static std::vector<Line> to_lines(std::string_view source) {
+    std::vector<Line> lines;
+    int n = 0;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      const auto pos = source.find('\n', start);
+      const auto end = (pos == std::string_view::npos) ? source.size() : pos;
+      ++n;
+      std::string_view raw = source.substr(start, end - start);
+      const auto comment = raw.find_first_of(";#");
+      if (comment != std::string_view::npos) raw = raw.substr(0, comment);
+      raw = trim(raw);
+      if (!raw.empty()) lines.push_back({std::string(raw), n});
+      if (pos == std::string_view::npos) break;
+      start = pos + 1;
+    }
+    return lines;
+  }
+
+  bool fail(int line, const std::string& msg) {
+    error_ = format("line %d: %s", line, msg.c_str());
+    return false;
+  }
+
+  std::vector<std::string> needed_runtime() {
+    std::vector<std::string> out;
+    if (need_mul_) out.push_back("__mulsi3");
+    if (need_div_) out.push_back("__divsi3");
+    if (need_shl_) out.push_back("__lshl");
+    if (need_shr_) out.push_back("__lshr");
+    return out;
+  }
+
+  static std::string runtime_source(const std::string& name) {
+    if (name == "__mulsi3") return kMulRoutine;
+    if (name == "__divsi3") return kDivRoutine;
+    if (name == "__lshl") return kShlRoutine;
+    return kShrRoutine;
+  }
+
+  bool expand_all(const std::vector<Line>& lines) {
+    for (const auto& line : lines) {
+      if (!expand_line(line)) return false;
+    }
+    return true;
+  }
+
+  bool expand_line(const Line& line) {
+    std::string_view text = line.text;
+    // Labels (possibly followed by an instruction on the same line).
+    while (true) {
+      const auto colon = text.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view candidate = trim(text.substr(0, colon));
+      if (candidate.find_first_of(" \t,") != std::string_view::npos) break;
+      Item item;
+      item.kind = Item::Kind::kLabel;
+      item.label = std::string(candidate);
+      item.source_line = line.source_line;
+      items_.push_back(std::move(item));
+      text = trim(text.substr(colon + 1));
+      if (text.empty()) return true;
+    }
+
+    const auto ws = text.find_first_of(" \t");
+    std::string mnem(text.substr(0, ws == std::string_view::npos ? text.size() : ws));
+    std::string rest = (ws == std::string_view::npos)
+                           ? std::string()
+                           : std::string(trim(text.substr(ws)));
+    std::vector<std::string> ops;
+    for (auto piece : split(rest, ",")) ops.emplace_back(trim(piece));
+
+    // Directives.
+    if (mnem == ".equ") {
+      if (ops.size() != 2) return fail(line.source_line, ".equ needs name, value");
+      long long value;
+      if (!parse_int(ops[1], value)) return fail(line.source_line, ".equ value must be integer");
+      equs_[ops[0]] = static_cast<std::uint32_t>(value);
+      return true;
+    }
+    if (mnem == ".word") {
+      if (ops.size() != 1) return fail(line.source_line, ".word needs one value");
+      long long value;
+      if (!parse_int(ops[0], value)) return fail(line.source_line, ".word value must be integer");
+      Item item;
+      item.kind = Item::Kind::kWord;
+      item.word = static_cast<std::uint32_t>(value);
+      item.source_line = line.source_line;
+      items_.push_back(std::move(item));
+      return true;
+    }
+    if (mnem == ".space") {
+      if (ops.size() != 1) return fail(line.source_line, ".space needs word count");
+      long long count;
+      if (!parse_int(ops[0], count)) return fail(line.source_line, ".space count must be integer");
+      for (long long i = 0; i < count; ++i) {
+        Item item;
+        item.kind = Item::Kind::kWord;
+        item.source_line = line.source_line;
+        items_.push_back(std::move(item));
+      }
+      return true;
+    }
+
+    return expand_instruction(mnem, ops, line.source_line);
+  }
+
+  void push(const std::string& mnem, std::vector<std::string> ops, int line) {
+    Item item;
+    item.kind = Item::Kind::kInstr;
+    item.mnemonic = mnem;
+    item.operands = std::move(ops);
+    item.source_line = line;
+    items_.push_back(std::move(item));
+  }
+
+  // Lower pseudo-instructions according to the processor configuration.
+  bool expand_instruction(const std::string& mnem, const std::vector<std::string>& ops,
+                          int line) {
+    auto op_count = [&](std::size_t n) {
+      if (ops.size() != n) {
+        fail(line, format("'%s' expects %zu operands, got %zu", mnem.c_str(), n, ops.size()));
+        return false;
+      }
+      return true;
+    };
+
+    if (mnem == "nop") {
+      push("or", {"r0", "r0", "r0"}, line);
+      return true;
+    }
+    if (mnem == "mv") {
+      if (!op_count(2)) return false;
+      push("add", {ops[0], ops[1], "r0"}, line);
+      return true;
+    }
+    if (mnem == "inc") {
+      if (!op_count(1)) return false;
+      push("addi", {ops[0], ops[0], "1"}, line);
+      return true;
+    }
+    if (mnem == "dec") {
+      if (!op_count(1)) return false;
+      push("addi", {ops[0], ops[0], "-1"}, line);
+      return true;
+    }
+    if (mnem == "call") {
+      if (!op_count(1)) return false;
+      push("brl", {"r15", ops[0]}, line);
+      return true;
+    }
+    if (mnem == "ret") {
+      push("rtsd", {"r15", "0"}, line);
+      return true;
+    }
+    // Large-immediate ALU forms: emit the imm prefix when needed, exactly
+    // like mb-gcc does for 32-bit constants.
+    if (mnem == "addil" || mnem == "andil" || mnem == "oril" || mnem == "xoril") {
+      if (!op_count(3)) return false;
+      const std::string real = mnem.substr(0, mnem.size() - 1);  // drop the 'l'
+      long long value;
+      if (parse_int(ops[2], value) && common::fits_signed(value, 16)) {
+        push(real, {ops[0], ops[1], ops[2]}, line);
+      } else {
+        push("imm", {"%hi:" + ops[2]}, line);
+        push(real, {ops[0], ops[1], "%lo:" + ops[2]}, line);
+      }
+      return true;
+    }
+    if (mnem == "muli_p") {
+      if (!op_count(3)) return false;
+      if (config_.has_multiplier) {
+        long long value;
+        if (parse_int(ops[2], value) && common::fits_signed(value, 16)) {
+          push("muli", {ops[0], ops[1], ops[2]}, line);
+        } else {
+          push("imm", {"%hi:" + ops[2]}, line);
+          push("muli", {ops[0], ops[1], "%lo:" + ops[2]}, line);
+        }
+        return true;
+      }
+      need_mul_ = true;
+      push("add", {"r5", ops[1], "r0"}, line);
+      long long value;
+      if (parse_int(ops[2], value) && common::fits_signed(value, 16)) {
+        push("addi", {"r6", "r0", ops[2]}, line);
+      } else {
+        push("imm", {"%hi:" + ops[2]}, line);
+        push("addi", {"r6", "r0", "%lo:" + ops[2]}, line);
+      }
+      push("brl", {"r15", "__mulsi3"}, line);
+      push("add", {ops[0], "r3", "r0"}, line);
+      return true;
+    }
+    if (mnem == "li" || mnem == "la") {
+      if (!op_count(2)) return false;
+      long long value;
+      if (parse_int(ops[1], value) && common::fits_signed(value, 16)) {
+        push("addi", {ops[0], "r0", ops[1]}, line);
+      } else {
+        // 32-bit constant (or symbol, resolved later): imm prefix + addi.
+        push("imm", {"%hi:" + ops[1]}, line);
+        push("addi", {ops[0], "r0", "%lo:" + ops[1]}, line);
+      }
+      return true;
+    }
+    if (mnem == "shl_i" || mnem == "shr_i" || mnem == "sar_i") {
+      if (!op_count(3)) return false;
+      long long n;
+      if (!parse_int(ops[2], n) || n < 0 || n > 31) {
+        return fail(line, "shift amount must be a literal in [0,31]");
+      }
+      if (config_.has_barrel_shifter) {
+        const char* hw = mnem == "shl_i" ? "bslli" : (mnem == "shr_i" ? "bsrli" : "bsrai");
+        push(hw, {ops[0], ops[1], ops[2]}, line);
+        return true;
+      }
+      // No barrel shifter: n-step expansion (paper, Section 2).
+      if (mnem == "shl_i") {
+        push("add", {ops[0], ops[1], "r0"}, line);
+        for (long long i = 0; i < n; ++i) push("add", {ops[0], ops[0], ops[0]}, line);
+      } else {
+        const char* one = mnem == "shr_i" ? "srl" : "sra";
+        if (n == 0) {
+          push("add", {ops[0], ops[1], "r0"}, line);
+        } else {
+          push(one, {ops[0], ops[1]}, line);
+          for (long long i = 1; i < n; ++i) push(one, {ops[0], ops[0]}, line);
+        }
+      }
+      return true;
+    }
+    if (mnem == "shl_r" || mnem == "shr_r") {
+      if (!op_count(3)) return false;
+      if (config_.has_barrel_shifter) {
+        push(mnem == "shl_r" ? "bsll" : "bsrl", {ops[0], ops[1], ops[2]}, line);
+        return true;
+      }
+      const char* routine = mnem == "shl_r" ? "__lshl" : "__lshr";
+      (mnem == "shl_r" ? need_shl_ : need_shr_) = true;
+      push("add", {"r5", ops[1], "r0"}, line);
+      push("add", {"r6", ops[2], "r0"}, line);
+      push("brl", {"r15", routine}, line);
+      push("add", {ops[0], "r3", "r0"}, line);
+      return true;
+    }
+    if (mnem == "mul_p") {
+      if (!op_count(3)) return false;
+      if (config_.has_multiplier) {
+        push("mul", {ops[0], ops[1], ops[2]}, line);
+        return true;
+      }
+      need_mul_ = true;
+      push("add", {"r5", ops[1], "r0"}, line);
+      push("add", {"r6", ops[2], "r0"}, line);
+      push("brl", {"r15", "__mulsi3"}, line);
+      push("add", {ops[0], "r3", "r0"}, line);
+      return true;
+    }
+    if (mnem == "div_p") {
+      if (!op_count(3)) return false;
+      if (config_.has_divider) {
+        push("idiv", {ops[0], ops[1], ops[2]}, line);
+        return true;
+      }
+      need_div_ = true;
+      push("add", {"r5", ops[1], "r0"}, line);
+      push("add", {"r6", ops[2], "r0"}, line);
+      push("brl", {"r15", "__divsi3"}, line);
+      push("add", {ops[0], "r3", "r0"}, line);
+      return true;
+    }
+
+    // A real instruction: validate mnemonic now, resolve operands later.
+    if (!opcode_from_mnemonic(mnem)) {
+      return fail(line, "unknown mnemonic '" + mnem + "'");
+    }
+    push(mnem, ops, line);
+    return true;
+  }
+
+  bool assign_addresses() {
+    std::uint32_t addr = 0;
+    for (auto& item : items_) {
+      switch (item.kind) {
+        case Item::Kind::kLabel:
+          if (labels_.count(item.label)) {
+            return fail(item.source_line, "duplicate label '" + item.label + "'");
+          }
+          labels_[item.label] = addr;
+          break;
+        case Item::Kind::kInstr:
+        case Item::Kind::kWord:
+          addresses_.push_back(addr);
+          addr += 4;
+          break;
+      }
+    }
+    return true;
+  }
+
+  // Resolve an operand to an integer value (registers handled separately).
+  bool resolve_value(const std::string& operand, int line, std::int64_t& out) {
+    std::string_view s = operand;
+    bool hi = false, lo = false;
+    if (common::starts_with(s, "%hi:")) { hi = true; s.remove_prefix(4); }
+    else if (common::starts_with(s, "%lo:")) { lo = true; s.remove_prefix(4); }
+
+    std::int64_t base = 0;
+    std::int64_t offset = 0;
+    const auto plus = s.find('+');
+    std::string_view sym = (plus == std::string_view::npos) ? s : s.substr(0, plus);
+    if (plus != std::string_view::npos) {
+      long long off;
+      if (!parse_int(s.substr(plus + 1), off)) return fail(line, "bad offset in '" + operand + "'");
+      offset = off;
+    }
+    long long literal;
+    if (parse_int(sym, literal)) {
+      base = literal;
+    } else {
+      const std::string name(trim(sym));
+      if (auto it = labels_.find(name); it != labels_.end()) base = it->second;
+      else if (auto it2 = equs_.find(name); it2 != equs_.end()) base = it2->second;
+      else return fail(line, "undefined symbol '" + name + "'");
+    }
+    std::int64_t value = base + offset;
+    if (hi) value = (value >> 16) & 0xFFFF;
+    if (lo) value = value & 0xFFFF;
+    out = value;
+    return true;
+  }
+
+  static bool parse_register(const std::string& operand, unsigned& reg) {
+    if (operand.size() < 2 || (operand[0] != 'r' && operand[0] != 'R')) return false;
+    long long n;
+    if (!parse_int(operand.substr(1), n) || n < 0 || n >= kNumRegisters) return false;
+    reg = static_cast<unsigned>(n);
+    return true;
+  }
+
+  bool want_register(const std::string& op, int line, std::uint8_t& out) {
+    unsigned reg;
+    if (!parse_register(op, reg)) return fail(line, "expected register, got '" + op + "'");
+    out = static_cast<std::uint8_t>(reg);
+    return true;
+  }
+
+  bool want_imm16(const std::string& op, int line, std::int32_t& out, bool pc_relative,
+                  std::uint32_t pc) {
+    std::int64_t value;
+    if (!resolve_value(op, line, value)) return false;
+    if (pc_relative) value -= pc;
+    // %hi/%lo-masked values are raw 16-bit fields; others must fit signed 16.
+    const bool masked = common::starts_with(op, "%hi:") || common::starts_with(op, "%lo:");
+    if (!masked && !common::fits_signed(value, 16)) {
+      return fail(line, format("immediate %lld does not fit in 16 bits", (long long)value));
+    }
+    out = static_cast<std::int32_t>(common::sign_extend(static_cast<std::uint32_t>(value), 16));
+    return true;
+  }
+
+  bool emit() {
+    std::size_t index = 0;  // index into addresses_
+    for (const auto& item : items_) {
+      if (item.kind == Item::Kind::kLabel) continue;
+      const std::uint32_t pc = addresses_[index++];
+      if (item.kind == Item::Kind::kWord) {
+        words_.push_back(item.word);
+        continue;
+      }
+      const auto opcode = opcode_from_mnemonic(item.mnemonic);
+      if (!opcode) return fail(item.source_line, "unknown mnemonic '" + item.mnemonic + "'");
+      Instr instr;
+      instr.op = *opcode;
+      const auto& ops = item.operands;
+      const int line = item.source_line;
+      auto arity = [&](std::size_t n) {
+        if (ops.size() != n) {
+          fail(line, format("'%s' expects %zu operands, got %zu", item.mnemonic.c_str(), n,
+                            ops.size()));
+          return false;
+        }
+        return true;
+      };
+
+      switch (instr.op) {
+        case Opcode::kHalt:
+          if (!arity(0)) return false;
+          break;
+        case Opcode::kImm:
+          if (!arity(1)) return false;
+          if (!want_imm16(ops[0], line, instr.imm, false, pc)) return false;
+          break;
+        case Opcode::kBr:
+          if (!arity(1)) return false;
+          if (!want_imm16(ops[0], line, instr.imm, true, pc)) return false;
+          break;
+        case Opcode::kBrl:
+          if (!arity(2)) return false;
+          if (!want_register(ops[0], line, instr.rd)) return false;
+          if (!want_imm16(ops[1], line, instr.imm, true, pc)) return false;
+          break;
+        case Opcode::kBrr:
+          if (!arity(1)) return false;
+          if (!want_register(ops[0], line, instr.ra)) return false;
+          break;
+        case Opcode::kRtsd:
+          if (!arity(2)) return false;
+          if (!want_register(ops[0], line, instr.ra)) return false;
+          if (!want_imm16(ops[1], line, instr.imm, false, pc)) return false;
+          break;
+        case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+        case Opcode::kBle: case Opcode::kBgt: case Opcode::kBge:
+          if (!arity(2)) return false;
+          if (!want_register(ops[0], line, instr.ra)) return false;
+          if (!want_imm16(ops[1], line, instr.imm, true, pc)) return false;
+          break;
+        case Opcode::kSext8: case Opcode::kSext16: case Opcode::kSrl: case Opcode::kSra:
+          if (!arity(2)) return false;
+          if (!want_register(ops[0], line, instr.rd)) return false;
+          if (!want_register(ops[1], line, instr.ra)) return false;
+          break;
+        default:
+          if (!arity(3)) return false;
+          if (!want_register(ops[0], line, instr.rd)) return false;
+          if (!want_register(ops[1], line, instr.ra)) return false;
+          if (has_immediate(instr.op)) {
+            if (!want_imm16(ops[2], line, instr.imm, false, pc)) return false;
+          } else {
+            if (!want_register(ops[2], line, instr.rb)) return false;
+          }
+          break;
+      }
+
+      if (requires_barrel_shifter(instr.op) && !config_.has_barrel_shifter) {
+        return fail(line, "barrel-shifter instruction on a core without one");
+      }
+      if (requires_multiplier(instr.op) && !config_.has_multiplier) {
+        return fail(line, "multiply instruction on a core without a multiplier");
+      }
+      if (requires_divider(instr.op) && !config_.has_divider) {
+        return fail(line, "divide instruction on a core without a divider");
+      }
+      words_.push_back(encode(instr));
+    }
+    return true;
+  }
+
+  CpuConfig config_;
+  std::vector<Item> items_;
+  std::vector<std::uint32_t> addresses_;
+  std::unordered_map<std::string, std::uint32_t> labels_;
+  std::unordered_map<std::string, std::uint32_t> equs_;
+  std::vector<std::uint32_t> words_;
+  std::string error_;
+  bool need_mul_ = false;
+  bool need_div_ = false;
+  bool need_shl_ = false;
+  bool need_shr_ = false;
+};
+
+}  // namespace
+
+std::uint32_t Program::label(const std::string& name) const {
+  const auto it = symbols.find(name);
+  if (it == symbols.end()) throw common::InternalError("undefined label: " + name);
+  return it->second;
+}
+
+std::string Program::disassembly() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::uint32_t pc = static_cast<std::uint32_t>(i * 4);
+    os << common::format("%04x: %08x  ", pc, words[i]) << disassemble(words[i], pc) << '\n';
+  }
+  return os.str();
+}
+
+common::Result<Program> assemble(std::string_view source, const CpuConfig& config) {
+  Assembler assembler(config);
+  return assembler.run(source);
+}
+
+}  // namespace warp::isa

@@ -1,0 +1,51 @@
+// Two-pass macro assembler for the MicroBlaze-subset ISA.
+//
+// This plays the role of mb-gcc in the study: benchmark kernels are written
+// once against pseudo-instructions, and the assembler lowers them according
+// to the processor configuration (CpuConfig):
+//
+//   mul_p rd,ra,rb   -> `mul` when the multiplier is present, otherwise a
+//                       call to the injected software routine __mulsi3
+//                       (shift-and-add loop) — the Section-2 matmul ablation;
+//   div_p rd,ra,rb   -> `idiv` or a call to __divsi3;
+//   shl_i rd,ra,n    -> `bslli` with a barrel shifter, otherwise n successive
+//                       `add rd,rd,rd` (the paper: "an n-bit shift by using n
+//                       successive add operations") — the brev ablation;
+//   shr_i / sar_i    -> `bsrli`/`bsrai` or n successive `srl`/`sra`;
+//   shl_r / shr_r    -> `bsll`/`bsrl` or calls to __lshl/__lshr loops;
+//   li/la rd, value  -> `addi` or `imm`+`addi` for 32-bit constants;
+//   mv, nop, call, ret, inc, dec — the usual conveniences.
+//
+// Syntax: one instruction/directive per line; `;` or `#` start comments;
+// `label:` defines a code label; directives: `.equ name, value`,
+// `.word value`, `.space n_words`. Operands: registers (r0..r31), integer
+// literals (decimal or 0x hex), symbols (labels or .equ), or `symbol+offset`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "isa/isa.hpp"
+
+namespace warp::isa {
+
+/// An assembled binary image (loaded at instruction address 0).
+struct Program {
+  std::vector<std::uint32_t> words;
+  std::unordered_map<std::string, std::uint32_t> symbols;  // label -> byte addr
+  CpuConfig config;  // configuration the binary was compiled for
+
+  std::uint32_t size_bytes() const { return static_cast<std::uint32_t>(words.size() * 4); }
+  /// Byte address of a label; throws InternalError if undefined.
+  std::uint32_t label(const std::string& name) const;
+  /// Disassemble the whole program (for debugging and the decompiler tests).
+  std::string disassembly() const;
+};
+
+/// Assemble `source` for the given processor configuration.
+common::Result<Program> assemble(std::string_view source, const CpuConfig& config);
+
+}  // namespace warp::isa

@@ -1,0 +1,252 @@
+#include "isa/isa.hpp"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/bitutil.hpp"
+#include "common/strings.hpp"
+
+namespace warp::isa {
+namespace {
+
+using common::bits;
+using common::set_bits;
+using common::sign_extend;
+
+struct OpInfo {
+  Opcode op;
+  const char* name;
+  InstrClass cls;
+};
+
+constexpr std::array<OpInfo, static_cast<std::size_t>(Opcode::kOpcodeCount)> kOpInfo = {{
+    {Opcode::kAdd, "add", InstrClass::kAlu},
+    {Opcode::kAddi, "addi", InstrClass::kAlu},
+    {Opcode::kSub, "sub", InstrClass::kAlu},
+    {Opcode::kMul, "mul", InstrClass::kMul},
+    {Opcode::kMuli, "muli", InstrClass::kMul},
+    {Opcode::kIdiv, "idiv", InstrClass::kDiv},
+    {Opcode::kAnd, "and", InstrClass::kAlu},
+    {Opcode::kAndi, "andi", InstrClass::kAlu},
+    {Opcode::kOr, "or", InstrClass::kAlu},
+    {Opcode::kOri, "ori", InstrClass::kAlu},
+    {Opcode::kXor, "xor", InstrClass::kAlu},
+    {Opcode::kXori, "xori", InstrClass::kAlu},
+    {Opcode::kSext8, "sext8", InstrClass::kAlu},
+    {Opcode::kSext16, "sext16", InstrClass::kAlu},
+    {Opcode::kSrl, "srl", InstrClass::kShift},
+    {Opcode::kSra, "sra", InstrClass::kShift},
+    {Opcode::kBsll, "bsll", InstrClass::kShift},
+    {Opcode::kBsrl, "bsrl", InstrClass::kShift},
+    {Opcode::kBsra, "bsra", InstrClass::kShift},
+    {Opcode::kBslli, "bslli", InstrClass::kShift},
+    {Opcode::kBsrli, "bsrli", InstrClass::kShift},
+    {Opcode::kBsrai, "bsrai", InstrClass::kShift},
+    {Opcode::kCmp, "cmp", InstrClass::kAlu},
+    {Opcode::kCmpu, "cmpu", InstrClass::kAlu},
+    {Opcode::kLw, "lw", InstrClass::kLoad},
+    {Opcode::kLwi, "lwi", InstrClass::kLoad},
+    {Opcode::kSw, "sw", InstrClass::kStore},
+    {Opcode::kSwi, "swi", InstrClass::kStore},
+    {Opcode::kLbu, "lbu", InstrClass::kLoad},
+    {Opcode::kLbui, "lbui", InstrClass::kLoad},
+    {Opcode::kSb, "sb", InstrClass::kStore},
+    {Opcode::kSbi, "sbi", InstrClass::kStore},
+    {Opcode::kLhu, "lhu", InstrClass::kLoad},
+    {Opcode::kLhui, "lhui", InstrClass::kLoad},
+    {Opcode::kSh, "sh", InstrClass::kStore},
+    {Opcode::kShi, "shi", InstrClass::kStore},
+    {Opcode::kBeq, "beq", InstrClass::kBranch},
+    {Opcode::kBne, "bne", InstrClass::kBranch},
+    {Opcode::kBlt, "blt", InstrClass::kBranch},
+    {Opcode::kBle, "ble", InstrClass::kBranch},
+    {Opcode::kBgt, "bgt", InstrClass::kBranch},
+    {Opcode::kBge, "bge", InstrClass::kBranch},
+    {Opcode::kBr, "br", InstrClass::kJump},
+    {Opcode::kBrl, "brl", InstrClass::kJump},
+    {Opcode::kBrr, "brr", InstrClass::kJump},
+    {Opcode::kRtsd, "rtsd", InstrClass::kJump},
+    {Opcode::kImm, "imm", InstrClass::kImmPrefix},
+    {Opcode::kHalt, "halt", InstrClass::kHalt},
+}};
+
+}  // namespace
+
+std::uint32_t encode(const Instr& instr) {
+  std::uint32_t w = 0;
+  w = set_bits(w, 26, 6, static_cast<std::uint32_t>(instr.op));
+  w = set_bits(w, 21, 5, instr.rd);
+  w = set_bits(w, 16, 5, instr.ra);
+  if (has_immediate(instr.op)) {
+    w = set_bits(w, 0, 16, static_cast<std::uint32_t>(instr.imm));
+  } else {
+    w = set_bits(w, 11, 5, instr.rb);
+  }
+  return w;
+}
+
+std::optional<Instr> decode(std::uint32_t word) {
+  const std::uint32_t opfield = bits(word, 26, 6);
+  if (opfield >= static_cast<std::uint32_t>(Opcode::kOpcodeCount)) return std::nullopt;
+  Instr instr;
+  instr.op = static_cast<Opcode>(opfield);
+  instr.rd = static_cast<std::uint8_t>(bits(word, 21, 5));
+  instr.ra = static_cast<std::uint8_t>(bits(word, 16, 5));
+  if (has_immediate(instr.op)) {
+    instr.rb = 0;
+    instr.imm = sign_extend(bits(word, 0, 16), 16);
+  } else {
+    instr.rb = static_cast<std::uint8_t>(bits(word, 11, 5));
+    instr.imm = 0;
+  }
+  return instr;
+}
+
+std::string_view mnemonic(Opcode op) {
+  return kOpInfo[static_cast<std::size_t>(op)].name;
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view m) {
+  static const auto* kMap = [] {
+    auto* map = new std::unordered_map<std::string_view, Opcode>();
+    for (const auto& info : kOpInfo) map->emplace(info.name, info.op);
+    return map;
+  }();
+  const auto it = kMap->find(m);
+  if (it == kMap->end()) return std::nullopt;
+  return it->second;
+}
+
+InstrClass classify(Opcode op) { return kOpInfo[static_cast<std::size_t>(op)].cls; }
+
+bool is_conditional_branch(Opcode op) { return classify(op) == InstrClass::kBranch; }
+
+bool is_control_flow(Opcode op) {
+  const InstrClass c = classify(op);
+  return c == InstrClass::kBranch || c == InstrClass::kJump || c == InstrClass::kHalt;
+}
+
+bool is_memory(Opcode op) {
+  const InstrClass c = classify(op);
+  return c == InstrClass::kLoad || c == InstrClass::kStore;
+}
+
+bool has_immediate(Opcode op) {
+  switch (op) {
+    case Opcode::kAddi: case Opcode::kMuli: case Opcode::kAndi: case Opcode::kOri:
+    case Opcode::kXori: case Opcode::kBslli: case Opcode::kBsrli: case Opcode::kBsrai:
+    case Opcode::kLwi: case Opcode::kSwi: case Opcode::kLbui: case Opcode::kSbi:
+    case Opcode::kLhui: case Opcode::kShi:
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt: case Opcode::kBle:
+    case Opcode::kBgt: case Opcode::kBge:
+    case Opcode::kBr: case Opcode::kBrl: case Opcode::kRtsd: case Opcode::kImm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool requires_barrel_shifter(Opcode op) {
+  switch (op) {
+    case Opcode::kBsll: case Opcode::kBsrl: case Opcode::kBsra:
+    case Opcode::kBslli: case Opcode::kBsrli: case Opcode::kBsrai:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool requires_multiplier(Opcode op) {
+  return op == Opcode::kMul || op == Opcode::kMuli;
+}
+
+bool requires_divider(Opcode op) { return op == Opcode::kIdiv; }
+
+bool writes_rd(Opcode op) {
+  switch (classify(op)) {
+    case InstrClass::kAlu: case InstrClass::kShift: case InstrClass::kMul:
+    case InstrClass::kDiv: case InstrClass::kLoad:
+      return true;
+    case InstrClass::kJump:
+      return op == Opcode::kBrl;
+    default:
+      return false;
+  }
+}
+
+bool reads_ra(Opcode op) {
+  switch (op) {
+    case Opcode::kBr: case Opcode::kBrl: case Opcode::kImm: case Opcode::kHalt:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool reads_rb(Opcode op) {
+  if (has_immediate(op)) return false;
+  switch (op) {
+    case Opcode::kSext8: case Opcode::kSext16: case Opcode::kSrl: case Opcode::kSra:
+    case Opcode::kBrr: case Opcode::kHalt:
+      return false;
+    // Register-form stores read the value from rd as well; rb is the index.
+    default:
+      return true;
+  }
+}
+
+std::string disassemble(std::uint32_t word, std::uint32_t pc) {
+  const auto decoded = decode(word);
+  if (!decoded) return common::format(".word 0x%08x", word);
+  const Instr& i = *decoded;
+  const char* m = kOpInfo[static_cast<std::size_t>(i.op)].name;
+  switch (i.op) {
+    case Opcode::kHalt:
+      return m;
+    case Opcode::kImm:
+      return common::format("%s 0x%x", m, static_cast<std::uint16_t>(i.imm));
+    case Opcode::kBr:
+      return common::format("%s 0x%x", m, pc + static_cast<std::uint32_t>(i.imm));
+    case Opcode::kBrl:
+      return common::format("%s r%d, 0x%x", m, i.rd, pc + static_cast<std::uint32_t>(i.imm));
+    case Opcode::kBrr:
+      return common::format("%s r%d", m, i.ra);
+    case Opcode::kRtsd:
+      return common::format("%s r%d, %d", m, i.ra, i.imm);
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBle: case Opcode::kBgt: case Opcode::kBge:
+      return common::format("%s r%d, 0x%x", m, i.ra, pc + static_cast<std::uint32_t>(i.imm));
+    case Opcode::kSext8: case Opcode::kSext16: case Opcode::kSrl: case Opcode::kSra:
+      return common::format("%s r%d, r%d", m, i.rd, i.ra);
+    default:
+      if (has_immediate(i.op)) {
+        return common::format("%s r%d, r%d, %d", m, i.rd, i.ra, i.imm);
+      }
+      return common::format("%s r%d, r%d, r%d", m, i.rd, i.ra, i.rb);
+  }
+}
+
+unsigned latency_cycles(Opcode op, bool taken) {
+  switch (classify(op)) {
+    case InstrClass::kAlu:
+    case InstrClass::kShift:
+    case InstrClass::kImmPrefix:
+      return 1;
+    case InstrClass::kMul:
+      return 3;  // MicroBlaze multiply: 3 cycles (paper, Section 2)
+    case InstrClass::kDiv:
+      return 32;  // iterative divider
+    case InstrClass::kLoad:
+    case InstrClass::kStore:
+      return 2;  // LMB BRAM access: 1 wait state
+    case InstrClass::kBranch:
+      return taken ? 3u : 1u;  // delay slots unused -> taken branches flush
+    case InstrClass::kJump:
+      return 3;
+    case InstrClass::kHalt:
+      return 1;
+  }
+  return 1;
+}
+
+}  // namespace warp::isa

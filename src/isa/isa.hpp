@@ -1,0 +1,139 @@
+// MicroBlaze-subset instruction-set architecture.
+//
+// The warp-processing study operates on *binaries*: the profiler watches
+// instruction addresses, and ROCPART decompiles machine code back into a
+// control/data-flow graph. This module defines the binary format everything
+// else consumes.
+//
+// The ISA mirrors the MicroBlaze features the paper depends on:
+//  - 32 general registers, r0 hard-wired to zero, r15 used as link register;
+//  - Harvard memory (separate instruction/data BRAM address spaces);
+//  - an IMM prefix instruction supplying the upper 16 bits of the next
+//    instruction's immediate (the MicroBlaze mechanism for 32-bit constants);
+//  - configurable barrel shifter (bsll/bsrl/bsra), multiplier (mul) and
+//    divider (idiv): when a unit is absent the assembler lowers the
+//    operation to software, exactly as mb-gcc does (Section 2 of the paper);
+//  - per-class instruction latencies of the 3-stage MicroBlaze pipeline
+//    (ALU 1 cycle, mul 3, load/store 2, taken branch 3 / not-taken 1).
+//
+// Encoding (fixed 32-bit words):
+//   [31:26] opcode   [25:21] rd   [20:16] ra   [15:11] rb   (register form)
+//   [31:26] opcode   [25:21] rd   [20:16] ra   [15:0]  imm16 (immediate form)
+// Simplifications relative to the real MicroBlaze encoding are documented in
+// DESIGN.md; the decompiler uses only this binary format, no side channel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace warp::isa {
+
+inline constexpr unsigned kNumRegisters = 32;
+inline constexpr unsigned kLinkRegister = 15;   // r15 holds return addresses
+inline constexpr unsigned kStackRegister = 1;   // r1 is the stack pointer
+inline constexpr unsigned kRetValRegister = 3;  // r3 holds return values
+inline constexpr unsigned kArg0Register = 5;    // r5..r10 carry arguments
+
+enum class Opcode : std::uint8_t {
+  // Arithmetic.
+  kAdd, kAddi, kSub, kMul, kMuli, kIdiv,
+  // Logic.
+  kAnd, kAndi, kOr, kOri, kXor, kXori,
+  // Sign extension.
+  kSext8, kSext16,
+  // Single-bit shifts (always present, as on MicroBlaze).
+  kSrl, kSra,
+  // Barrel-shifter instructions (present only when configured).
+  kBsll, kBsrl, kBsra, kBslli, kBsrli, kBsrai,
+  // Compares: rd = -1/0/+1 (signed / unsigned).
+  kCmp, kCmpu,
+  // Memory: register-indexed (addr = ra + rb) and immediate (addr = ra + imm).
+  kLw, kLwi, kSw, kSwi, kLbu, kLbui, kSb, kSbi, kLhu, kLhui, kSh, kShi,
+  // Branches: compare ra against zero, PC-relative byte offset in imm16.
+  kBeq, kBne, kBlt, kBle, kBgt, kBge,
+  // Unconditional control flow.
+  kBr,    // pc += imm
+  kBrl,   // rd = pc + 4; pc += imm  (call)
+  kBrr,   // pc = ra                 (indirect jump)
+  kRtsd,  // pc = ra + imm           (return)
+  // Immediate prefix: latches imm16 as the upper half of the next imm.
+  kImm,
+  // Stop simulation.
+  kHalt,
+  kOpcodeCount,
+};
+
+/// Coarse classes used by the timing, energy, and ARM-comparison models.
+enum class InstrClass : std::uint8_t {
+  kAlu, kShift, kMul, kDiv, kLoad, kStore, kBranch, kJump, kImmPrefix, kHalt,
+};
+
+/// A decoded instruction.
+struct Instr {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::int32_t imm = 0;  // sign-extended 16-bit field
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// MicroBlaze configurable options (Section 2 of the paper). The assembler
+/// consults this when lowering pseudo-instructions, and the simulator traps
+/// if a binary uses an instruction whose unit is absent.
+struct CpuConfig {
+  bool has_barrel_shifter = true;
+  bool has_multiplier = true;
+  bool has_divider = false;
+  double clock_mhz = 85.0;  // MicroBlaze on Spartan3 (paper, Section 4)
+
+  static CpuConfig full() { return CpuConfig{true, true, true, 85.0}; }
+  static CpuConfig minimal() { return CpuConfig{false, false, false, 85.0}; }
+};
+
+/// Encode a decoded instruction into a 32-bit word.
+std::uint32_t encode(const Instr& instr);
+
+/// Decode a 32-bit word. Returns std::nullopt for invalid opcodes.
+std::optional<Instr> decode(std::uint32_t word);
+
+/// Mnemonic for an opcode ("add", "bslli", ...).
+std::string_view mnemonic(Opcode op);
+
+/// Opcode for a mnemonic; nullopt if unknown.
+std::optional<Opcode> opcode_from_mnemonic(std::string_view m);
+
+/// Classify for the timing/energy models.
+InstrClass classify(Opcode op);
+
+/// True for conditional branches (beq..bge).
+bool is_conditional_branch(Opcode op);
+/// True for any instruction that can change the PC.
+bool is_control_flow(Opcode op);
+/// True for loads/stores.
+bool is_memory(Opcode op);
+/// True if the instruction uses the imm16 field.
+bool has_immediate(Opcode op);
+/// True if executing this opcode requires the given optional unit.
+bool requires_barrel_shifter(Opcode op);
+bool requires_multiplier(Opcode op);
+bool requires_divider(Opcode op);
+/// True if the instruction writes register rd.
+bool writes_rd(Opcode op);
+/// True if the instruction reads ra / rb.
+bool reads_ra(Opcode op);
+bool reads_rb(Opcode op);
+
+/// Human-readable disassembly of one instruction word at address `pc`
+/// (pc is used to render branch targets as absolute addresses).
+std::string disassemble(std::uint32_t word, std::uint32_t pc);
+
+/// Cycle cost of one instruction on the 3-stage MicroBlaze pipeline.
+/// `taken` matters only for branches (taken 3 cycles, not-taken 1); the
+/// assembler never fills delay slots, matching the paper's observation that
+/// most branches cost more than one cycle.
+unsigned latency_cycles(Opcode op, bool taken);
+
+}  // namespace warp::isa

@@ -1,0 +1,211 @@
+#include "logicopt/rocm.hpp"
+
+#include <algorithm>
+
+#include "common/bitutil.hpp"
+#include "common/error.hpp"
+
+namespace warp::logicopt {
+
+bool cubes_intersect(const Cube& a, const Cube& b) {
+  // Disjoint iff some shared variable has opposite literals.
+  const std::uint16_t shared = a.care & b.care;
+  return ((a.polarity ^ b.polarity) & shared) == 0;
+}
+
+bool cube_contains(const Cube& outer, const Cube& inner) {
+  // outer ⊇ inner iff every literal of outer appears in inner with the same
+  // polarity.
+  if ((outer.care & inner.care) != outer.care) return false;
+  return ((outer.polarity ^ inner.polarity) & outer.care) == 0;
+}
+
+bool cover_eval(const Cover& cover, unsigned num_vars, std::uint32_t assignment) {
+  (void)num_vars;
+  for (const auto& cube : cover) {
+    if (((assignment ^ cube.polarity) & cube.care) == 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Cofactor the cover with respect to literal (var = value). Cubes with the
+// opposite literal vanish; the variable is dropped from the rest.
+Cover cofactor(const Cover& cover, unsigned var, bool value) {
+  Cover out;
+  const std::uint16_t bit = static_cast<std::uint16_t>(1u << var);
+  for (const auto& cube : cover) {
+    if (cube.care & bit) {
+      const bool pol = cube.polarity & bit;
+      if (pol != value) continue;
+      Cube reduced = cube;
+      reduced.care = static_cast<std::uint16_t>(reduced.care & ~bit);
+      reduced.polarity = static_cast<std::uint16_t>(reduced.polarity & ~bit);
+      out.push_back(reduced);
+    } else {
+      out.push_back(cube);
+    }
+  }
+  return out;
+}
+
+bool tautology_recursive(const Cover& cover, unsigned num_vars, std::uint64_t* calls) {
+  if (calls) ++*calls;
+  // A cover containing the universal cube is a tautology.
+  for (const auto& cube : cover) {
+    if (cube.care == 0) return true;
+  }
+  if (cover.empty()) return false;
+
+  // Unate shortcut: if some variable appears only positively (or only
+  // negatively), the cofactor w.r.t. the missing phase removes those cubes;
+  // tautology requires the cover to be a tautology in that cofactor. Pick
+  // the most binate variable for splitting (classic heuristic).
+  int best_var = -1;
+  int best_score = -1;
+  for (unsigned v = 0; v < num_vars; ++v) {
+    const std::uint16_t bit = static_cast<std::uint16_t>(1u << v);
+    int pos = 0;
+    int neg = 0;
+    for (const auto& cube : cover) {
+      if (cube.care & bit) {
+        if (cube.polarity & bit) ++pos; else ++neg;
+      }
+    }
+    if (pos + neg == 0) continue;
+    const int score = std::min(pos, neg) * 1000 + pos + neg;
+    if (score > best_score) {
+      best_score = score;
+      best_var = static_cast<int>(v);
+    }
+  }
+  if (best_var < 0) {
+    // No cube mentions any variable, and none was universal -> empty cubes
+    // only, handled above; be safe:
+    return !cover.empty();
+  }
+  return tautology_recursive(cofactor(cover, static_cast<unsigned>(best_var), false),
+                             num_vars, calls) &&
+         tautology_recursive(cofactor(cover, static_cast<unsigned>(best_var), true),
+                             num_vars, calls);
+}
+
+}  // namespace
+
+bool cover_is_tautology(Cover cover, unsigned num_vars) {
+  return tautology_recursive(cover, num_vars, nullptr);
+}
+
+unsigned cover_literals(const Cover& cover) {
+  unsigned n = 0;
+  for (const auto& cube : cover) n += common::popcount32(cube.care);
+  return n;
+}
+
+Cover rocm_minimize(const Cover& on, const Cover& off, unsigned num_vars, RocmStats* stats) {
+  if (num_vars > kMaxCubeVars) throw common::InternalError("rocm: too many variables");
+  RocmStats local;
+  local.initial_cubes = static_cast<unsigned>(on.size());
+  local.initial_literals = cover_literals(on);
+
+  // EXPAND: raise literals while the cube stays disjoint from the OFF-set.
+  // Processing wider cubes first tends to produce better covers.
+  Cover cover = on;
+  std::sort(cover.begin(), cover.end(), [](const Cube& a, const Cube& b) {
+    return common::popcount32(a.care) < common::popcount32(b.care);
+  });
+  for (auto& cube : cover) {
+    for (unsigned v = 0; v < num_vars; ++v) {
+      const std::uint16_t bit = static_cast<std::uint16_t>(1u << v);
+      if (!(cube.care & bit)) continue;
+      Cube raised = cube;
+      raised.care = static_cast<std::uint16_t>(raised.care & ~bit);
+      raised.polarity = static_cast<std::uint16_t>(raised.polarity & ~bit);
+      ++local.expand_steps;
+      bool hits_off = false;
+      for (const auto& off_cube : off) {
+        if (cubes_intersect(raised, off_cube)) {
+          hits_off = true;
+          break;
+        }
+      }
+      if (!hits_off) cube = raised;
+    }
+  }
+
+  // Single-cube containment removal (cheap pass before tautology work).
+  Cover pruned;
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    bool contained = false;
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      if (i == j) continue;
+      if (cube_contains(cover[j], cover[i]) &&
+          !(cover[i] == cover[j] && j > i)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) pruned.push_back(cover[i]);
+  }
+  cover = std::move(pruned);
+
+  // IRREDUNDANT: drop cubes covered by the union of the others, detected by
+  // checking that (rest cofactored by cube) is a tautology.
+  Cover result;
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    Cover rest;
+    for (std::size_t j = 0; j < cover.size(); ++j) {
+      if (j == i) continue;
+      // Keep already-dropped cubes out; kept cubes and not-yet-visited ones in.
+      if (j < i) {
+        bool kept = false;
+        for (const auto& r : result) {
+          if (r == cover[j]) { kept = true; break; }
+        }
+        if (!kept) continue;
+      }
+      if (!cubes_intersect(cover[j], cover[i])) continue;
+      // Cofactor cover[j] w.r.t. cover[i]'s literals.
+      Cube cof = cover[j];
+      cof.care = static_cast<std::uint16_t>(cof.care & ~cover[i].care);
+      cof.polarity = static_cast<std::uint16_t>(cof.polarity & cof.care);
+      rest.push_back(cof);
+    }
+    ++local.tautology_calls;
+    std::uint64_t calls = 0;
+    const bool redundant = tautology_recursive(rest, num_vars, &calls);
+    local.tautology_calls += calls;
+    if (!redundant) result.push_back(cover[i]);
+  }
+
+  local.final_cubes = static_cast<unsigned>(result.size());
+  local.final_literals = cover_literals(result);
+  if (stats) *stats = local;
+  return result;
+}
+
+void covers_from_truth(std::uint64_t truth, unsigned num_vars, Cover& on, Cover& off) {
+  if (num_vars > 6) throw common::InternalError("covers_from_truth: num_vars > 6");
+  on.clear();
+  off.clear();
+  const std::uint32_t n = 1u << num_vars;
+  const std::uint16_t all = static_cast<std::uint16_t>(n - 1);
+  for (std::uint32_t m = 0; m < n; ++m) {
+    Cube cube;
+    cube.care = all;
+    cube.polarity = static_cast<std::uint16_t>(m);
+    if ((truth >> m) & 1u) on.push_back(cube); else off.push_back(cube);
+  }
+}
+
+std::uint64_t truth_from_cover(const Cover& cover, unsigned num_vars) {
+  if (num_vars > 6) throw common::InternalError("truth_from_cover: num_vars > 6");
+  std::uint64_t truth = 0;
+  for (std::uint32_t m = 0; m < (1u << num_vars); ++m) {
+    if (cover_eval(cover, num_vars, m)) truth |= std::uint64_t{1} << m;
+  }
+  return truth;
+}
+
+}  // namespace warp::logicopt

@@ -1,0 +1,68 @@
+// ROCM: Riverside On-Chip logic Minimizer (after Lysecky & Vahid, DAC'03
+// "On-chip Logic Minimization").
+//
+// A lean two-level minimizer designed to run on an embedded processor with
+// tiny memory: single-pass EXPAND against an explicit OFF-set followed by
+// IRREDUNDANT-cover extraction via cofactor tautology checking. This is the
+// Espresso-style core the warp processor's DPM uses to minimize LUT
+// functions and small logic cones; its whole working set is two cube lists.
+//
+// Cube encoding over up to 16 variables: `care` has a bit per variable that
+// appears in the cube; `polarity` gives the literal sign for care bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace warp::logicopt {
+
+inline constexpr unsigned kMaxCubeVars = 16;
+
+struct Cube {
+  std::uint16_t care = 0;      // variable i appears iff bit i set
+  std::uint16_t polarity = 0;  // literal sign for care variables (1 = positive)
+
+  bool operator==(const Cube&) const = default;
+};
+
+using Cover = std::vector<Cube>;
+
+/// True if the two cubes share at least one minterm.
+bool cubes_intersect(const Cube& a, const Cube& b);
+
+/// True if `inner` ⊆ `outer`.
+bool cube_contains(const Cube& outer, const Cube& inner);
+
+/// True if `cover` evaluates to 1 for the given input assignment.
+bool cover_eval(const Cover& cover, unsigned num_vars, std::uint32_t assignment);
+
+/// True if `cover` is a tautology over `num_vars` variables (recursive
+/// Shannon cofactoring with unate shortcuts).
+bool cover_is_tautology(Cover cover, unsigned num_vars);
+
+/// Number of literals in the cover (the classic minimization objective).
+unsigned cover_literals(const Cover& cover);
+
+struct RocmStats {
+  unsigned initial_cubes = 0;
+  unsigned initial_literals = 0;
+  unsigned final_cubes = 0;
+  unsigned final_literals = 0;
+  std::uint64_t expand_steps = 0;     // metered work for the DPM time model
+  std::uint64_t tautology_calls = 0;
+};
+
+/// Minimize `on` against the explicit `off` set. The result covers every
+/// minterm of `on`, covers no minterm of `off`, and minterm sets outside
+/// on/off (don't-cares) may be covered freely.
+Cover rocm_minimize(const Cover& on, const Cover& off, unsigned num_vars,
+                    RocmStats* stats = nullptr);
+
+/// Build the ON/OFF covers of a truth table (bit i of `truth` = output for
+/// input assignment i); num_vars <= 5 keeps this exact and cheap.
+void covers_from_truth(std::uint64_t truth, unsigned num_vars, Cover& on, Cover& off);
+
+/// Truth table of a cover (num_vars <= 5).
+std::uint64_t truth_from_cover(const Cover& cover, unsigned num_vars);
+
+}  // namespace warp::logicopt

@@ -1,0 +1,318 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "pnr/pnr.hpp"
+
+#include "common/strings.hpp"
+
+namespace warp::pnr {
+namespace {
+
+using fabric::FabricGeometry;
+using fabric::LutSite;
+using fabric::RoutedNet;
+using techmap::LutNetlist;
+using techmap::NetRef;
+
+// Routing-resource grid: cells (x, y) with x in [-1, width] (the two IO
+// columns) and y in [0, height). Congestion is tracked per cell: each cell's
+// switch matrix passes at most `capacity` nets.
+struct Grid {
+  const FabricGeometry& g;
+  explicit Grid(const FabricGeometry& geometry) : g(geometry) {}
+
+  int cols() const { return static_cast<int>(g.width) + 2; }
+  int rows() const { return static_cast<int>(g.height); }
+  int id(int x, int y) const { return (x + 1) * rows() + y; }
+  int size() const { return cols() * rows(); }
+  bool valid(int x, int y) const {
+    return x >= -1 && x <= static_cast<int>(g.width) && y >= 0 && y < rows();
+  }
+};
+
+struct NetToRoute {
+  int driver_lut = -1;
+  int driver_input = -1;
+  std::pair<int, int> source;
+  struct SinkSpec {
+    int lut = -1;
+    int output_index = -1;
+    unsigned input_pin = 0;
+    std::pair<int, int> cell;
+  };
+  std::vector<SinkSpec> sinks;
+};
+
+}  // namespace
+
+common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometry& geometry,
+                                  const PlaceResult& placement, const RouteOptions& options) {
+  Grid grid(geometry);
+
+  // Build the net list with physical positions.
+  std::vector<NetToRoute> nets;
+  std::map<std::pair<int, int>, int> net_of_driver;  // (kind, index) -> net
+  auto net_for = [&](const NetRef& ref) -> int {
+    if (ref.kind == NetRef::Kind::kConst0 || ref.kind == NetRef::Kind::kConst1) return -1;
+    const int kind = (ref.kind == NetRef::Kind::kLut) ? 0 : 1;
+    const auto key = std::make_pair(kind, ref.index);
+    const auto it = net_of_driver.find(key);
+    if (it != net_of_driver.end()) return it->second;
+    NetToRoute net;
+    if (kind == 0) {
+      net.driver_lut = ref.index;
+      const LutSite site = placement.placement[static_cast<std::size_t>(ref.index)];
+      net.source = {site.x, site.y};
+    } else {
+      net.driver_input = ref.index;
+      const LutSite site = placement.input_pads[static_cast<std::size_t>(ref.index)];
+      net.source = {site.x, site.y};
+    }
+    const int id = static_cast<int>(nets.size());
+    nets.push_back(std::move(net));
+    net_of_driver.emplace(key, id);
+    return id;
+  };
+
+  for (std::size_t i = 0; i < netlist.luts.size(); ++i) {
+    const LutSite site = placement.placement[i];
+    for (unsigned k = 0; k < netlist.luts[i].num_inputs; ++k) {
+      const int n = net_for(netlist.luts[i].inputs[k]);
+      if (n < 0) continue;
+      NetToRoute::SinkSpec sink;
+      sink.lut = static_cast<int>(i);
+      sink.input_pin = k;
+      sink.cell = {site.x, site.y};
+      nets[static_cast<std::size_t>(n)].sinks.push_back(sink);
+    }
+  }
+  for (std::size_t o = 0; o < netlist.outputs.size(); ++o) {
+    const int n = net_for(netlist.outputs[o].source);
+    if (n < 0) continue;
+    NetToRoute::SinkSpec sink;
+    sink.output_index = static_cast<int>(o);
+    const LutSite pad = placement.output_pads[o];
+    sink.cell = {pad.x, pad.y};
+    nets[static_cast<std::size_t>(n)].sinks.push_back(sink);
+  }
+
+  RouteResult result;
+  std::vector<double> history(static_cast<std::size_t>(grid.size()), 0.0);
+  std::vector<int> usage(static_cast<std::size_t>(grid.size()), 0);
+  std::vector<std::vector<std::pair<int, int>>> sink_paths;  // flat, per (net, sink)
+
+  const int dx[4] = {1, -1, 0, 0};
+  const int dy[4] = {0, 0, 1, -1};
+
+  for (unsigned iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    std::fill(usage.begin(), usage.end(), 0);
+    sink_paths.clear();
+    const double present_weight = options.present_factor * static_cast<double>(iter);
+
+    for (auto& net : nets) {
+      // Route to each sink with A*, reusing the growing tree (cells of the
+      // net cost nothing to re-enter). Sort sinks near-to-far for better
+      // trees.
+      std::sort(net.sinks.begin(), net.sinks.end(),
+                [&](const NetToRoute::SinkSpec& a, const NetToRoute::SinkSpec& b) {
+                  const int da = std::abs(a.cell.first - net.source.first) +
+                                 std::abs(a.cell.second - net.source.second);
+                  const int db = std::abs(b.cell.first - net.source.first) +
+                                 std::abs(b.cell.second - net.source.second);
+                  return da < db;
+                });
+
+      std::map<int, unsigned> tree_hops;  // cell id -> hops from driver
+      tree_hops[grid.id(net.source.first, net.source.second)] = 0;
+
+      for (auto& sink : net.sinks) {
+        const int goal = grid.id(sink.cell.first, sink.cell.second);
+        // A* from the whole tree.
+        std::vector<double> best_cost(static_cast<std::size_t>(grid.size()), 1e30);
+        std::vector<int> parent(static_cast<std::size_t>(grid.size()), -2);
+        using QE = std::pair<double, int>;  // (cost + heuristic, cell)
+        std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
+        auto heuristic = [&](int cell) {
+          const int x = cell / grid.rows() - 1;
+          const int y = cell % grid.rows();
+          return static_cast<double>(std::abs(x - sink.cell.first) +
+                                     std::abs(y - sink.cell.second));
+        };
+        for (const auto& [cell, hops] : tree_hops) {
+          best_cost[static_cast<std::size_t>(cell)] = 0.0;
+          parent[static_cast<std::size_t>(cell)] = -1;
+          queue.emplace(heuristic(cell), cell);
+        }
+        int found = -1;
+        while (!queue.empty()) {
+          const auto [prio, cell] = queue.top();
+          queue.pop();
+          const double cost = prio - heuristic(cell);
+          if (cost > best_cost[static_cast<std::size_t>(cell)] + 1e-9) continue;
+          ++result.expansions;
+          if (cell == goal) {
+            found = cell;
+            break;
+          }
+          const int x = cell / grid.rows() - 1;
+          const int y = cell % grid.rows();
+          for (int d = 0; d < 4; ++d) {
+            const int nx = x + dx[d];
+            const int ny = y + dy[d];
+            if (!grid.valid(nx, ny)) continue;
+            const int next = grid.id(nx, ny);
+            const std::size_t ni = static_cast<std::size_t>(next);
+            // IO register-bank columns are dedicated buses: no congestion.
+            const bool io_column = (nx < 0 || nx >= static_cast<int>(geometry.width));
+            const double over =
+                io_column ? 0.0
+                          : std::max(0, usage[ni] + 1 -
+                                            static_cast<int>(geometry.channel_capacity));
+            const double step = 1.0 + present_weight * over + history[ni];
+            const double ncost = cost + step;
+            if (ncost + 1e-9 < best_cost[ni]) {
+              best_cost[ni] = ncost;
+              parent[ni] = cell;
+              queue.emplace(ncost + heuristic(next), next);
+            }
+          }
+        }
+        std::vector<std::pair<int, int>> path;
+        if (found < 0) {
+          // Unreachable (should not happen on a connected grid).
+          sink_paths.push_back(path);
+          continue;
+        }
+        // Trace back to the tree.
+        std::vector<int> cells;
+        int cur = found;
+        while (parent[static_cast<std::size_t>(cur)] != -1) {
+          cells.push_back(cur);
+          cur = parent[static_cast<std::size_t>(cur)];
+        }
+        cells.push_back(cur);  // tree entry
+        std::reverse(cells.begin(), cells.end());
+        const unsigned entry_hops = tree_hops[cells.front()];
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+          const int cell = cells[i];
+          if (!tree_hops.count(cell)) {
+            tree_hops[cell] = entry_hops + static_cast<unsigned>(i);
+            ++usage[static_cast<std::size_t>(cell)];
+          }
+          path.emplace_back(cell / grid.rows() - 1, cell % grid.rows());
+        }
+        
+        sink_paths.push_back(path);
+      }
+    }
+
+    // Legality check (IO register-bank columns are uncapacitated).
+    bool overused = false;
+    for (std::size_t i = 0; i < usage.size(); ++i) {
+      const int x = static_cast<int>(i) / grid.rows() - 1;
+      if (x < 0 || x >= static_cast<int>(geometry.width)) continue;
+      const int over = usage[i] - static_cast<int>(geometry.channel_capacity);
+      if (over > 0) {
+        overused = true;
+        history[i] += options.history_factor * over;
+      }
+    }
+    if (!overused) {
+      result.success = true;
+      break;
+    }
+  }
+
+  // Convert to RoutedNet records (even on failure, for diagnostics).
+  std::size_t flat = 0;
+  for (const auto& net : nets) {
+    RoutedNet routed;
+    routed.driver_lut = net.driver_lut;
+    routed.driver_input = net.driver_input;
+    for (const auto& sink : net.sinks) {
+      RoutedNet::Sink s;
+      s.lut = sink.lut;
+      s.output_index = sink.output_index;
+      s.input_pin = sink.input_pin;
+      if (flat < sink_paths.size()) s.path = sink_paths[flat];
+      ++flat;
+      result.max_hops = std::max(result.max_hops,
+                                 static_cast<unsigned>(s.path.empty() ? 0 : s.path.size() - 1));
+      routed.sinks.push_back(std::move(s));
+    }
+    result.routes.push_back(std::move(routed));
+  }
+
+  if (!result.success) {
+    return common::Result<RouteResult>::error(common::format(
+        "routing did not converge after %u iterations", result.iterations));
+  }
+
+  // Timing: arrival-time propagation. Net delay to a sink = io + hops*wire.
+  std::vector<double> arrival(netlist.luts.size(), 0.0);
+  std::vector<double> net_delay_to_lut_pin(netlist.luts.size() * techmap::kLutInputs, 0.0);
+  std::vector<double> output_arrival(netlist.outputs.size(), 0.0);
+  // Collect per-sink delays.
+  for (const auto& routed : result.routes) {
+    for (const auto& sink : routed.sinks) {
+      const double hops = sink.path.empty() ? 0.0 : static_cast<double>(sink.path.size() - 1);
+      const double delay = geometry.io_delay_ns * (routed.driver_input >= 0 ? 1.0 : 0.0) +
+                           hops * geometry.wire_hop_delay_ns;
+      if (sink.lut >= 0) {
+        net_delay_to_lut_pin[static_cast<std::size_t>(sink.lut) * techmap::kLutInputs +
+                             sink.input_pin] = delay;
+      } else if (sink.output_index >= 0) {
+        output_arrival[static_cast<std::size_t>(sink.output_index)] = delay;
+      }
+    }
+  }
+  // LUT ids are in topological order (techmap covers leaves first).
+  double critical = 0.0;
+  for (std::size_t i = 0; i < netlist.luts.size(); ++i) {
+    double in_arrival = 0.0;
+    for (unsigned k = 0; k < netlist.luts[i].num_inputs; ++k) {
+      const NetRef& ref = netlist.luts[i].inputs[k];
+      double src = 0.0;
+      if (ref.kind == NetRef::Kind::kLut) src = arrival[static_cast<std::size_t>(ref.index)];
+      in_arrival = std::max(in_arrival,
+                            src + net_delay_to_lut_pin[i * techmap::kLutInputs + k]);
+    }
+    arrival[i] = in_arrival + geometry.lut_delay_ns;
+    critical = std::max(critical, arrival[i]);
+  }
+  for (std::size_t o = 0; o < netlist.outputs.size(); ++o) {
+    const NetRef& ref = netlist.outputs[o].source;
+    double src = 0.0;
+    if (ref.kind == NetRef::Kind::kLut) src = arrival[static_cast<std::size_t>(ref.index)];
+    critical = std::max(critical, src + output_arrival[o] + geometry.io_delay_ns);
+  }
+  result.critical_path_ns = critical;
+  return result;
+}
+
+common::Result<PnrResult> place_and_route(const LutNetlist& netlist,
+                                          const fabric::FabricGeometry& geometry,
+                                          const PnrOptions& options) {
+  auto placed = place(netlist, geometry, options.place);
+  if (!placed) return common::Result<PnrResult>::error(placed.message());
+  auto routed = route(netlist, geometry, placed.value(), options.route);
+  if (!routed) return common::Result<PnrResult>::error(routed.message());
+
+  PnrResult result;
+  result.place = std::move(placed).value();
+  result.route = std::move(routed).value();
+
+  result.config.geometry = geometry;
+  result.config.netlist = netlist;
+  result.config.placement = result.place.placement;
+  result.config.input_pads = result.place.input_pads;
+  result.config.output_pads = result.place.output_pads;
+  result.config.routes = result.route.routes;
+  result.config.critical_path_ns = result.route.critical_path_ns;
+  return result;
+}
+
+}  // namespace warp::pnr

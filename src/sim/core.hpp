@@ -1,0 +1,119 @@
+// Cycle-approximate MicroBlaze-subset core.
+//
+// Models the 3-stage MicroBlaze pipeline at the level the study needs:
+// each instruction retires with its class latency (ALU 1, mul 3, div 32,
+// load/store 2, taken branch 3 / not-taken 1, jumps 3 — see
+// isa::latency_cycles). The core exposes:
+//   - a trace hook (the Xilinx Microprocessor Debug Engine substitute);
+//   - a branch hook feeding the non-intrusive on-chip profiler, which in
+//     hardware snoops the instruction-side LMB;
+//   - OPB device dispatch for data accesses at/above sim::kOpbBase;
+//   - separate active/idle cycle counters for the Figure 5 energy model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+#include "sim/device.hpp"
+#include "sim/memory.hpp"
+
+namespace warp::sim {
+
+/// Why a run() call returned.
+enum class StopReason { kHalted, kMaxInstructions, kError };
+
+/// Execution statistics for the timing / energy / ARM models.
+struct CoreStats {
+  std::uint64_t cycles = 0;       // total, including idle
+  std::uint64_t idle_cycles = 0;  // waiting on OPB devices (WCLA execution)
+  std::uint64_t instructions = 0;
+  std::uint64_t taken_branches = 0;
+  std::uint64_t not_taken_branches = 0;
+  std::array<std::uint64_t, 10> per_class{};  // indexed by isa::InstrClass
+
+  std::uint64_t active_cycles() const { return cycles - idle_cycles; }
+  std::uint64_t count(isa::InstrClass c) const {
+    return per_class[static_cast<std::size_t>(c)];
+  }
+  double seconds(double clock_mhz) const {
+    return static_cast<double>(cycles) / (clock_mhz * 1e6);
+  }
+};
+
+/// One retired instruction, as seen by the trace hook.
+struct TraceEvent {
+  std::uint32_t pc = 0;
+  isa::Instr instr;
+  bool is_branch = false;
+  bool taken = false;
+  std::uint32_t target = 0;  // valid when taken
+};
+
+class Core {
+ public:
+  /// The core owns neither memory: the instruction BRAM is shared with the
+  /// DPM (binary patching) and the data BRAM with the WCLA (DADG streaming).
+  Core(Memory& instr_mem, Memory& data_mem, isa::CpuConfig config);
+
+  /// Load a program at instruction address 0 and reset the core.
+  void load_program(const isa::Program& program);
+  void reset();
+
+  /// Registers / PC access (r0 reads as zero and ignores writes).
+  std::uint32_t reg(unsigned index) const { return regs_[index]; }
+  void set_reg(unsigned index, std::uint32_t value) {
+    if (index != 0) regs_[index] = value;
+  }
+  std::uint32_t pc() const { return pc_; }
+  void set_pc(std::uint32_t pc) { pc_ = pc; }
+  bool halted() const { return halted_; }
+
+  const CoreStats& stats() const { return stats_; }
+  void clear_stats() { stats_ = CoreStats{}; }
+  const isa::CpuConfig& config() const { return config_; }
+  Memory& data_mem() { return data_mem_; }
+  Memory& instr_mem() { return instr_mem_; }
+
+  /// Hooks. The branch hook fires for every conditional branch and direct
+  /// jump (what an instruction-bus snooper can observe); the trace hook for
+  /// every retired instruction.
+  using TraceHook = std::function<void(const TraceEvent&)>;
+  using BranchHook = std::function<void(std::uint32_t pc, std::uint32_t target, bool taken)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+  void set_branch_hook(BranchHook hook) { branch_hook_ = std::move(hook); }
+
+  void add_device(OpbDevice* device) { devices_.push_back(device); }
+
+  /// Execute one instruction; returns false if halted or on error.
+  bool step();
+  /// Run until halt or the instruction limit. Returns the stop reason.
+  StopReason run(std::uint64_t max_instructions = 500'000'000);
+
+  /// Last error message (valid after StopReason::kError).
+  const std::string& error() const { return error_; }
+
+ private:
+  std::uint32_t data_read(std::uint32_t addr, unsigned size);
+  void data_write(std::uint32_t addr, std::uint32_t value, unsigned size);
+  OpbDevice* find_device(std::uint32_t addr);
+
+  Memory& instr_mem_;
+  Memory& data_mem_;
+  isa::CpuConfig config_;
+  std::array<std::uint32_t, isa::kNumRegisters> regs_{};
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  bool imm_valid_ = false;
+  std::uint32_t imm_latch_ = 0;
+  CoreStats stats_;
+  TraceHook trace_hook_;
+  BranchHook branch_hook_;
+  std::vector<OpbDevice*> devices_;
+  std::string error_;
+};
+
+}  // namespace warp::sim

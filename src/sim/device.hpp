@@ -1,0 +1,37 @@
+// On-chip peripheral bus (OPB) device interface.
+//
+// The warp configurable logic architecture communicates with the MicroBlaze
+// over the OPB (paper, Section 3). Data-space addresses at or above
+// kOpbBase are dispatched to registered devices instead of the data BRAM.
+#pragma once
+
+#include <cstdint>
+
+namespace warp::sim {
+
+inline constexpr std::uint32_t kOpbBase = 0x8000'0000u;
+
+/// Extra cycles an OPB transaction costs beyond the load/store itself: the
+/// on-chip peripheral bus arbitrates and is far slower than the LMB (the
+/// paper's WCLA "communicates with the MicroBlaze processor using the
+/// on-chip peripheral bus").
+inline constexpr unsigned kOpbExtraCycles = 3;
+
+/// Result of an OPB read: the value plus cycles the processor spends
+/// *idle* waiting for the device (used when software blocks on the WCLA —
+/// the energy model distinguishes idle from active processor time).
+struct OpbReadResult {
+  std::uint32_t value = 0;
+  std::uint64_t idle_cycles = 0;
+};
+
+class OpbDevice {
+ public:
+  virtual ~OpbDevice() = default;
+  /// Address-range check (absolute data-space address).
+  virtual bool contains(std::uint32_t addr) const = 0;
+  virtual OpbReadResult read32(std::uint32_t addr) = 0;
+  virtual void write32(std::uint32_t addr, std::uint32_t value) = 0;
+};
+
+}  // namespace warp::sim

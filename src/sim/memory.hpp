@@ -1,0 +1,77 @@
+// Block-RAM memory model.
+//
+// The MicroBlaze system in the paper (Figure 1) has a Harvard organization:
+// an instruction BRAM and a data BRAM on separate local memory buses. Both
+// BRAMs are dual-ported: the second port of the instruction BRAM is how the
+// DPM reads (and patches) the binary, and the second port of the data BRAM
+// is how the WCLA's data-address generator streams array data (Figure 3).
+// We model a BRAM as a flat byte array; "second port" users simply share the
+// Memory object.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace warp::sim {
+
+class Memory {
+ public:
+  explicit Memory(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+  std::size_t size() const { return bytes_.size(); }
+
+  std::uint8_t read8(std::uint32_t addr) const {
+    check(addr, 1);
+    return bytes_[addr];
+  }
+  std::uint16_t read16(std::uint32_t addr) const {
+    check(addr, 2);
+    return static_cast<std::uint16_t>(bytes_[addr]) |
+           static_cast<std::uint16_t>(bytes_[addr + 1]) << 8;
+  }
+  std::uint32_t read32(std::uint32_t addr) const {
+    check(addr, 4);
+    return static_cast<std::uint32_t>(bytes_[addr]) |
+           static_cast<std::uint32_t>(bytes_[addr + 1]) << 8 |
+           static_cast<std::uint32_t>(bytes_[addr + 2]) << 16 |
+           static_cast<std::uint32_t>(bytes_[addr + 3]) << 24;
+  }
+
+  void write8(std::uint32_t addr, std::uint8_t value) {
+    check(addr, 1);
+    bytes_[addr] = value;
+  }
+  void write16(std::uint32_t addr, std::uint16_t value) {
+    check(addr, 2);
+    bytes_[addr] = static_cast<std::uint8_t>(value);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+  }
+  void write32(std::uint32_t addr, std::uint32_t value) {
+    check(addr, 4);
+    bytes_[addr] = static_cast<std::uint8_t>(value);
+    bytes_[addr + 1] = static_cast<std::uint8_t>(value >> 8);
+    bytes_[addr + 2] = static_cast<std::uint8_t>(value >> 16);
+    bytes_[addr + 3] = static_cast<std::uint8_t>(value >> 24);
+  }
+
+  /// Bulk load (program images, workload data).
+  void load_words(std::uint32_t addr, const std::vector<std::uint32_t>& words) {
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      write32(addr + static_cast<std::uint32_t>(i * 4), words[i]);
+    }
+  }
+
+ private:
+  void check(std::uint32_t addr, unsigned size) const {
+    if (addr + size > bytes_.size()) {
+      throw common::InternalError("BRAM access out of range: addr=" + std::to_string(addr) +
+                                  " size=" + std::to_string(bytes_.size()));
+    }
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace warp::sim

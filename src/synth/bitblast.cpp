@@ -1,0 +1,429 @@
+// Dataflow-graph to gate-netlist lowering (see hw_kernel.hpp).
+#include <optional>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+#include "synth/csd.hpp"
+#include "synth/hw_kernel.hpp"
+
+namespace warp::synth {
+namespace {
+
+using decompile::DfgNode;
+using decompile::DfgOp;
+using decompile::KernelIR;
+using common::format;
+
+class BitBlaster {
+ public:
+  BitBlaster(const KernelIR& ir, const SynthOptions& options) : ir_(ir), opts_(options) {
+    for (std::size_t k = 0; k < ir_.accumulators.size(); ++k) {
+      acc_index_of_reg_[ir_.accumulators[k].reg] = static_cast<int>(k);
+    }
+  }
+
+  common::Result<HwKernel> run() {
+    kernel_.ir = ir_;
+
+    // Decide which accumulators merge into MAC-accumulate operations: an
+    // add-reduction whose contribution is a single multiply that itself
+    // goes to the MAC.
+    for (std::size_t k = 0; k < ir_.accumulators.size(); ++k) {
+      const auto& acc = ir_.accumulators[k];
+      if (acc.op == DfgOp::kAdd && node(acc.node).op == DfgOp::kMul &&
+          mul_goes_to_mac(acc.node)) {
+        merged_acc_[static_cast<int>(k)] = true;
+      }
+    }
+
+    // Outputs: stream writes.
+    for (const auto& w : ir_.writes) {
+      const Bits bits = blast(w.node);
+      WriteOutput out;
+      out.stream = w.stream;
+      out.tap = w.tap;
+      out.bits = bits;
+      const unsigned width = 8u * ir_.streams[w.stream].elem_bytes;
+      for (unsigned i = 0; i < width; ++i) {
+        net_.add_output(format("w%ut%u[%u]", w.stream, w.tap, i), bits[i]);
+      }
+      kernel_.write_outputs.push_back(out);
+    }
+
+    // Outputs: accumulators.
+    for (std::size_t k = 0; k < ir_.accumulators.size(); ++k) {
+      const auto& acc = ir_.accumulators[k];
+      AccOutput out;
+      out.acc_index = static_cast<unsigned>(k);
+      if (merged_acc_.count(static_cast<int>(k))) {
+        // acc += a*b natively in the MAC.
+        const DfgNode& mul = node(acc.node);
+        MacOp op;
+        op.a_bits = blast(mul.a);
+        op.b_bits = blast(mul.b);
+        op.accumulate = true;
+        op.acc_index = static_cast<int>(k);
+        emit_mac_operand_outputs(op, kernel_.mac_ops.size());
+        kernel_.mac_ops.push_back(op);
+        out.via_mac = true;
+        kernel_.acc_outputs.push_back(out);
+        continue;
+      }
+      if (acc.op == DfgOp::kAdd) {
+        // acc += f via MAC with multiplicand 1 (keeps the wide carry chain
+        // in the hard datapath, not the fabric).
+        MacOp op;
+        op.a_bits = blast(acc.node);
+        op.b_bits = const_bits(1);
+        op.accumulate = true;
+        op.acc_index = static_cast<int>(k);
+        emit_mac_operand_outputs(op, kernel_.mac_ops.size());
+        kernel_.mac_ops.push_back(op);
+        out.via_mac = true;
+        kernel_.acc_outputs.push_back(out);
+        continue;
+      }
+      // Logical reduction: next = acc <op> f computed in fabric; the
+      // accumulator lives in fabric flip-flops.
+      const Bits state = acc_state_bits(static_cast<unsigned>(k));
+      const Bits f = blast(acc.node);
+      Bits next{};
+      for (unsigned i = 0; i < 32; ++i) {
+        switch (acc.op) {
+          case DfgOp::kOr: next[i] = net_.gate_or(state[i], f[i]); break;
+          case DfgOp::kXor: next[i] = net_.gate_xor(state[i], f[i]); break;
+          case DfgOp::kAnd: next[i] = net_.gate_and(state[i], f[i]); break;
+          default:
+            return common::Result<HwKernel>::error("unsupported accumulator op");
+        }
+        net_.add_output(format("accnext%zu[%u]", k, i), next[i]);
+      }
+      out.via_mac = false;
+      out.bits = next;
+      kernel_.acc_outputs.push_back(out);
+    }
+
+    if (net_.size() > opts_.max_fabric_gates) {
+      return common::Result<HwKernel>::error("kernel logic exceeds synthesis gate bound");
+    }
+
+    kernel_.fabric = std::move(net_);
+    unsigned mem = 0;
+    for (const auto& s : ir_.streams) mem += s.burst;
+    kernel_.mem_accesses_per_iter = mem;
+    kernel_.mac_cycles_per_iter = static_cast<unsigned>(kernel_.mac_ops.size());
+    return std::move(kernel_);
+  }
+
+ private:
+  const DfgNode& node(int id) const { return ir_.dfg.node(id); }
+
+  bool mul_goes_to_mac(int id) const {
+    const DfgNode& n = node(id);
+    const bool ca = ir_.dfg.is_const(n.a);
+    const bool cb = ir_.dfg.is_const(n.b);
+    if (!ca && !cb) return true;
+    const std::int32_t c =
+        static_cast<std::int32_t>(ir_.dfg.const_value(ca ? n.a : n.b));
+    return csd_digits(c).size() > opts_.csd_max_terms;
+  }
+
+  Bits const_bits(std::uint32_t value) {
+    Bits bits{};
+    for (unsigned i = 0; i < 32; ++i) {
+      bits[i] = ((value >> i) & 1u) ? net_.const1() : net_.const0();
+    }
+    return bits;
+  }
+
+  Bits input_bus(const std::string& prefix, unsigned width = 32) {
+    Bits bits{};
+    for (unsigned i = 0; i < 32; ++i) {
+      bits[i] = (i < width) ? net_.add_input(format("%s[%u]", prefix.c_str(), i))
+                            : net_.const0();
+    }
+    return bits;
+  }
+
+  Bits acc_state_bits(unsigned k) {
+    const auto it = kernel_.acc_state_inputs.find(k);
+    if (it != kernel_.acc_state_inputs.end()) return it->second;
+    const Bits bits = input_bus(format("acc%u", k));
+    kernel_.acc_state_inputs.emplace(k, bits);
+    return bits;
+  }
+
+  void emit_mac_operand_outputs(const MacOp& op, std::size_t index) {
+    for (unsigned i = 0; i < 32; ++i) {
+      net_.add_output(format("macA%zu[%u]", index, i), op.a_bits[i]);
+      net_.add_output(format("macB%zu[%u]", index, i), op.b_bits[i]);
+    }
+  }
+
+  // Ripple-carry addition: out = a + b + cin.
+  Bits adder(const Bits& a, const Bits& b, int cin) {
+    Bits sum{};
+    int carry = cin;
+    for (unsigned i = 0; i < 32; ++i) {
+      const int axb = net_.gate_xor(a[i], b[i]);
+      sum[i] = net_.gate_xor(axb, carry);
+      carry = net_.gate_or(net_.gate_and(a[i], b[i]), net_.gate_and(carry, axb));
+    }
+    last_carry_out_ = carry;
+    return sum;
+  }
+
+  Bits subtract(const Bits& a, const Bits& b) {
+    Bits nb{};
+    for (unsigned i = 0; i < 32; ++i) nb[i] = net_.gate_not(b[i]);
+    return adder(a, nb, net_.const1());
+  }
+
+  int unsigned_lt(const Bits& a, const Bits& b) {
+    (void)subtract(a, b);
+    return net_.gate_not(last_carry_out_);  // borrow
+  }
+
+  int signed_lt(const Bits& a, const Bits& b) {
+    const Bits diff = subtract(a, b);
+    const int sa = a[31];
+    const int sb = b[31];
+    const int signs_differ = net_.gate_xor(sa, sb);
+    return net_.gate_mux(signs_differ, sa, diff[31]);
+  }
+
+  int not_equal(const Bits& a, const Bits& b) {
+    int ne = net_.const0();
+    for (unsigned i = 0; i < 32; ++i) {
+      ne = net_.gate_or(ne, net_.gate_xor(a[i], b[i]));
+    }
+    return ne;
+  }
+
+  Bits bool_bits(int bit) {
+    Bits bits{};
+    bits[0] = bit;
+    for (unsigned i = 1; i < 32; ++i) bits[i] = net_.const0();
+    return bits;
+  }
+
+  Bits shift_const(const Bits& x, int amount, bool arithmetic, bool left) {
+    Bits out{};
+    for (int i = 0; i < 32; ++i) {
+      int src;
+      if (left) {
+        src = i - amount;
+        out[static_cast<std::size_t>(i)] = (src >= 0) ? x[static_cast<std::size_t>(src)]
+                                                      : net_.const0();
+      } else {
+        src = i + amount;
+        out[static_cast<std::size_t>(i)] =
+            (src < 32) ? x[static_cast<std::size_t>(src)]
+                       : (arithmetic ? x[31] : net_.const0());
+      }
+    }
+    return out;
+  }
+
+  Bits const_multiply(const Bits& x, std::int32_t constant) {
+    const auto digits = csd_digits(constant);
+    if (digits.empty()) return const_bits(0);
+    std::optional<Bits> acc;
+    for (const auto& d : digits) {
+      const Bits term = shift_const(x, static_cast<int>(d.shift), false, true);
+      if (!acc) {
+        if (d.negative) {
+          acc = subtract(const_bits(0), term);
+        } else {
+          acc = term;
+        }
+      } else {
+        acc = d.negative ? subtract(*acc, term) : adder(*acc, term, net_.const0());
+      }
+    }
+    return *acc;
+  }
+
+  Bits blast(int id) {
+    const auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    const DfgNode& n = node(id);
+    Bits out{};
+    switch (n.op) {
+      case DfgOp::kConst:
+        out = const_bits(n.value);
+        break;
+      case DfgOp::kLiveIn: {
+        const unsigned reg = n.value;
+        const auto acc_it = acc_index_of_reg_.find(reg);
+        if (acc_it != acc_index_of_reg_.end()) {
+          // The running value of an accumulator register.
+          const int k = acc_it->second;
+          if (merged_acc_.count(k) ||
+              ir_.accumulators[static_cast<std::size_t>(k)].op == DfgOp::kAdd) {
+            out = mac_acc_state_bits(static_cast<unsigned>(k));
+          } else {
+            out = acc_state_bits(static_cast<unsigned>(k));
+          }
+        } else {
+          auto li = kernel_.livein_inputs.find(reg);
+          if (li == kernel_.livein_inputs.end()) {
+            const Bits bits = input_bus(format("li%u", reg));
+            li = kernel_.livein_inputs.emplace(reg, bits).first;
+          }
+          out = li->second;
+        }
+        break;
+      }
+      case DfgOp::kIv: {
+        const unsigned reg = n.value;
+        auto iv = kernel_.iv_inputs.find(reg);
+        if (iv == kernel_.iv_inputs.end()) {
+          const Bits bits = input_bus(format("iv%u", reg));
+          iv = kernel_.iv_inputs.emplace(reg, bits).first;
+        }
+        out = iv->second;
+        break;
+      }
+      case DfgOp::kStreamIn: {
+        const unsigned stream = n.value >> 16;
+        const unsigned tap = n.value & 0xFFFFu;
+        auto si = kernel_.stream_inputs.find({stream, tap});
+        if (si == kernel_.stream_inputs.end()) {
+          const unsigned width = 8u * ir_.streams[stream].elem_bytes;
+          const Bits bits = input_bus(format("s%ut%u", stream, tap), width);
+          si = kernel_.stream_inputs.emplace(std::make_pair(stream, tap), bits).first;
+        }
+        out = si->second;
+        break;
+      }
+      case DfgOp::kAdd:
+        out = adder(blast(n.a), blast(n.b), net_.const0());
+        break;
+      case DfgOp::kSub:
+        out = subtract(blast(n.a), blast(n.b));
+        break;
+      case DfgOp::kMul: {
+        const bool ca = ir_.dfg.is_const(n.a);
+        const bool cb = ir_.dfg.is_const(n.b);
+        if ((ca || cb) && !mul_goes_to_mac(id)) {
+          const std::int32_t c =
+              static_cast<std::int32_t>(ir_.dfg.const_value(ca ? n.a : n.b));
+          out = const_multiply(blast(ca ? n.b : n.a), c);
+        } else {
+          // Variable (or expensive-constant) multiply: hard MAC operation.
+          MacOp op;
+          op.a_bits = blast(n.a);
+          op.b_bits = blast(n.b);
+          op.accumulate = false;
+          const std::size_t index = kernel_.mac_ops.size();
+          emit_mac_operand_outputs(op, index);
+          kernel_.mac_ops.push_back(op);
+          const Bits result = input_bus(format("mac%zu", index));
+          kernel_.mac_result_inputs.push_back(result);
+          out = result;
+        }
+        break;
+      }
+      case DfgOp::kAnd: case DfgOp::kOr: case DfgOp::kXor: {
+        const Bits a = blast(n.a);
+        const Bits b = blast(n.b);
+        for (unsigned i = 0; i < 32; ++i) {
+          out[i] = (n.op == DfgOp::kAnd)  ? net_.gate_and(a[i], b[i])
+                   : (n.op == DfgOp::kOr) ? net_.gate_or(a[i], b[i])
+                                          : net_.gate_xor(a[i], b[i]);
+        }
+        break;
+      }
+      case DfgOp::kShl:
+        out = shift_const(blast(n.a), static_cast<int>(n.value & 31), false, true);
+        break;
+      case DfgOp::kShrl:
+        out = shift_const(blast(n.a), static_cast<int>(n.value & 31), false, false);
+        break;
+      case DfgOp::kShra:
+        out = shift_const(blast(n.a), static_cast<int>(n.value & 31), true, false);
+        break;
+      case DfgOp::kSext8: {
+        const Bits a = blast(n.a);
+        for (unsigned i = 0; i < 8; ++i) out[i] = a[i];
+        for (unsigned i = 8; i < 32; ++i) out[i] = a[7];
+        break;
+      }
+      case DfgOp::kSext16: {
+        const Bits a = blast(n.a);
+        for (unsigned i = 0; i < 16; ++i) out[i] = a[i];
+        for (unsigned i = 16; i < 32; ++i) out[i] = a[15];
+        break;
+      }
+      case DfgOp::kMux: {
+        const Bits c = blast(n.a);
+        const Bits t = blast(n.b);
+        const Bits f = blast(n.c);
+        for (unsigned i = 0; i < 32; ++i) out[i] = net_.gate_mux(c[0], t[i], f[i]);
+        break;
+      }
+      case DfgOp::kCmpEq:
+        out = bool_bits(net_.gate_not(not_equal(blast(n.a), blast(n.b))));
+        break;
+      case DfgOp::kCmpNe:
+        out = bool_bits(not_equal(blast(n.a), blast(n.b)));
+        break;
+      case DfgOp::kCmpLt:
+        out = bool_bits(signed_lt(blast(n.a), blast(n.b)));
+        break;
+      case DfgOp::kCmpLe:
+        out = bool_bits(net_.gate_not(signed_lt(blast(n.b), blast(n.a))));
+        break;
+      case DfgOp::kCmpGt:
+        out = bool_bits(signed_lt(blast(n.b), blast(n.a)));
+        break;
+      case DfgOp::kCmpGe:
+        out = bool_bits(net_.gate_not(signed_lt(blast(n.a), blast(n.b))));
+        break;
+      case DfgOp::kCmpLtU:
+        out = bool_bits(unsigned_lt(blast(n.a), blast(n.b)));
+        break;
+      case DfgOp::kCmp3: case DfgOp::kCmp3U: {
+        const Bits a = blast(n.a);
+        const Bits b = blast(n.b);
+        const int lt = (n.op == DfgOp::kCmp3) ? signed_lt(a, b) : unsigned_lt(a, b);
+        const int ne = not_equal(a, b);
+        out[0] = ne;
+        for (unsigned i = 1; i < 32; ++i) out[i] = lt;
+        break;
+      }
+    }
+    memo_.emplace(id, out);
+    return out;
+  }
+
+  // For MAC-held accumulators, the iteration-start value is exported by the
+  // MAC as a fabric input bus.
+  Bits mac_acc_state_bits(unsigned k) {
+    const auto it = kernel_.acc_state_inputs.find(k);
+    if (it != kernel_.acc_state_inputs.end()) return it->second;
+    const Bits bits = input_bus(format("acc%u", k));
+    kernel_.acc_state_inputs.emplace(k, bits);
+    return bits;
+  }
+
+  const KernelIR& ir_;
+  SynthOptions opts_;
+  GateNetlist net_;
+  HwKernel kernel_;
+  std::unordered_map<int, Bits> memo_;
+  std::unordered_map<unsigned, int> acc_index_of_reg_;
+  std::unordered_map<int, bool> merged_acc_;
+  int last_carry_out_ = 0;
+};
+
+}  // namespace
+
+common::Result<HwKernel> synthesize(const decompile::KernelIR& ir,
+                                    const SynthOptions& options) {
+  BitBlaster blaster(ir, options);
+  return blaster.run();
+}
+
+}  // namespace warp::synth

@@ -1,0 +1,38 @@
+#include "synth/csd.hpp"
+
+namespace warp::synth {
+
+std::vector<CsdDigit> csd_digits(std::int32_t value) {
+  std::vector<CsdDigit> digits;
+  // Standard CSD recoding: scan LSB to MSB over the 2's-complement value,
+  // replacing runs of 1s with (+1 at run end, -1 at run start).
+  std::int64_t v = value;
+  unsigned shift = 0;
+  while (v != 0) {
+    if (v & 1) {
+      // Digit is +1 or -1 depending on the next bit (v mod 4).
+      const std::int64_t mod4 = v & 3;
+      if (mod4 == 3) {
+        digits.push_back({shift, true});  // -1, carry into higher bits
+        v += 1;
+      } else {
+        digits.push_back({shift, false});  // +1
+        v -= 1;
+      }
+    }
+    v >>= 1;
+    ++shift;
+  }
+  return digits;
+}
+
+std::int64_t csd_value(const std::vector<CsdDigit>& digits) {
+  std::int64_t v = 0;
+  for (const auto& d : digits) {
+    const std::int64_t term = std::int64_t{1} << d.shift;
+    v += d.negative ? -term : term;
+  }
+  return v;
+}
+
+}  // namespace warp::synth

@@ -1,0 +1,26 @@
+// Canonical signed-digit (CSD) decomposition of multiplier constants.
+//
+// ROCPART strength-reduces multiplications by constants into shift/add
+// networks when the CSD form is cheap, keeping the single hard MAC free for
+// variable multiplies. CSD guarantees no two adjacent non-zero digits, so a
+// k-bit constant needs at most ceil(k/2)+1 terms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace warp::synth {
+
+struct CsdDigit {
+  unsigned shift = 0;
+  bool negative = false;
+};
+
+/// CSD digits of `value` (interpreted as signed 32-bit), LSB-first.
+/// value == 0 yields an empty vector.
+std::vector<CsdDigit> csd_digits(std::int32_t value);
+
+/// Reconstruct the constant from its digits (for testing).
+std::int64_t csd_value(const std::vector<CsdDigit>& digits);
+
+}  // namespace warp::synth

@@ -1,0 +1,88 @@
+// Synthesized hardware kernel: the WCLA-level implementation of a
+// decompiled loop.
+//
+// The WCLA (paper Figure 3) executes a kernel as:
+//   - the DADG streams array elements between the dual-ported data BRAM and
+//     the input/output registers (one BRAM access per cycle);
+//   - the hard 32-bit MAC performs variable multiplies and add-reductions
+//     (one operation per cycle, with native accumulate);
+//   - all remaining word operations are bit-blasted into the configurable
+//     logic fabric, which is pipelined at the fabric clock;
+//   - logical reductions (or/xor/and) live in fabric feedback registers.
+//
+// Synthesis therefore partitions the dataflow graph into MAC operations and
+// a combinational GateNetlist, and records the per-iteration resource usage
+// that determines the loop's initiation interval.
+#pragma once
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "decompile/kernel_ir.hpp"
+#include "synth/netlist.hpp"
+
+namespace warp::synth {
+
+using Bits = std::array<int, 32>;  // gate ids, LSB first
+
+struct MacOp {
+  Bits a_bits{};
+  Bits b_bits{};
+  bool accumulate = false;  // true: acc[acc_index] += a*b; false: result feeds fabric
+  int acc_index = -1;
+};
+
+struct WriteOutput {
+  unsigned stream = 0;
+  unsigned tap = 0;
+  Bits bits{};
+};
+
+struct AccOutput {
+  unsigned acc_index = 0;  // index into ir.accumulators
+  bool via_mac = false;    // true: handled entirely by a MacOp (accumulate)
+  Bits bits{};             // !via_mac: fabric-computed next accumulator value
+};
+
+struct HwKernel {
+  decompile::KernelIR ir;
+  GateNetlist fabric;
+
+  // Fabric input buses (gate ids per bit).
+  std::map<std::pair<unsigned, unsigned>, Bits> stream_inputs;  // (stream, tap)
+  std::map<unsigned, Bits> livein_inputs;                       // register
+  std::map<unsigned, Bits> iv_inputs;                           // register
+  std::vector<Bits> mac_result_inputs;                          // per non-accumulate MacOp
+  std::map<unsigned, Bits> acc_state_inputs;                    // acc index
+
+  std::vector<MacOp> mac_ops;
+  std::vector<WriteOutput> write_outputs;
+  std::vector<AccOutput> acc_outputs;
+
+  // Per-iteration resource usage (determines the initiation interval).
+  unsigned mem_accesses_per_iter = 0;
+  unsigned mac_cycles_per_iter = 0;
+
+  /// Steady-state initiation interval in WCLA cycles: the BRAM port and the
+  /// MAC are the only non-pipelined resources.
+  unsigned initiation_interval() const {
+    unsigned ii = 1;
+    if (mem_accesses_per_iter > ii) ii = mem_accesses_per_iter;
+    if (mac_cycles_per_iter > ii) ii = mac_cycles_per_iter;
+    return ii;
+  }
+};
+
+struct SynthOptions {
+  unsigned csd_max_terms = 4;   // constant multiplies with more CSD digits go to the MAC
+  std::size_t max_fabric_gates = 200000;  // sanity bound before mapping
+};
+
+/// Lower a decompiled kernel to hardware. Fails (software fallback) only on
+/// structural impossibilities; fabric capacity is checked later by P&R.
+common::Result<HwKernel> synthesize(const decompile::KernelIR& ir,
+                                    const SynthOptions& options = {});
+
+}  // namespace warp::synth

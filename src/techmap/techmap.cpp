@@ -1,0 +1,324 @@
+#include "techmap/techmap.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/strings.hpp"
+
+namespace warp::techmap {
+namespace {
+
+using synth::Gate;
+using synth::GateKind;
+using synth::GateNetlist;
+
+// A cut: up to K leaf gate ids, sorted.
+struct Cut {
+  std::array<int, kLutInputs> leaves{};
+  unsigned size = 0;
+  unsigned depth = 0;
+  double area_flow = 0.0;
+
+  bool operator==(const Cut& other) const {
+    if (size != other.size) return false;
+    for (unsigned i = 0; i < size; ++i) {
+      if (leaves[i] != other.leaves[i]) return false;
+    }
+    return true;
+  }
+};
+
+bool merge_cuts(const Cut& a, const Cut& b, Cut& out) {
+  unsigned ia = 0;
+  unsigned ib = 0;
+  out.size = 0;
+  while (ia < a.size || ib < b.size) {
+    int next;
+    if (ia < a.size && (ib >= b.size || a.leaves[ia] <= b.leaves[ib])) {
+      next = a.leaves[ia];
+      if (ib < b.size && b.leaves[ib] == next) ++ib;
+      ++ia;
+    } else {
+      next = b.leaves[ib];
+      ++ib;
+    }
+    if (out.size == kLutInputs) return false;
+    out.leaves[out.size++] = next;
+  }
+  return true;
+}
+
+bool is_logic(GateKind k) {
+  return k == GateKind::kAnd || k == GateKind::kOr || k == GateKind::kXor ||
+         k == GateKind::kNot || k == GateKind::kBuf;
+}
+
+class Mapper {
+ public:
+  Mapper(const GateNetlist& net, const TechmapOptions& options)
+      : net_(net), opts_(options) {}
+
+  common::Result<LutNetlist> run(TechmapStats* stats) {
+    const auto& gates = net_.gates();
+    const std::size_t n = gates.size();
+    cuts_.resize(n);
+    best_depth_.assign(n, 0);
+    fanout_.assign(n, 0.0);
+    for (const auto& g : gates) {
+      if (g.a >= 0) fanout_[static_cast<std::size_t>(g.a)] += 1.0;
+      if (g.b >= 0) fanout_[static_cast<std::size_t>(g.b)] += 1.0;
+    }
+
+    // Phase 1: cut enumeration + depth labeling (gates are in topo order).
+    for (std::size_t i = 0; i < n; ++i) {
+      const Gate& g = gates[i];
+      if (!is_logic(g.kind)) {
+        // Leaves: the trivial cut {self}, depth 0.
+        Cut self;
+        self.leaves[0] = static_cast<int>(i);
+        self.size = 1;
+        self.depth = 0;
+        cuts_[i].push_back(self);
+        best_depth_[i] = 0;
+        continue;
+      }
+      enumerate(static_cast<int>(i));
+    }
+
+    // Phase 2: cover from outputs backwards.
+    LutNetlist out;
+    std::unordered_map<int, NetRef> mapped;  // gate id -> net ref
+    // Primary inputs first (stable indexing).
+    for (int input_id : net_.inputs()) {
+      NetRef ref;
+      ref.kind = NetRef::Kind::kPrimaryInput;
+      ref.index = static_cast<int>(out.primary_inputs.size());
+      out.primary_inputs.push_back(net_.input_name(input_id));
+      mapped.emplace(input_id, ref);
+    }
+    mapped.emplace(net_.const0(), NetRef{NetRef::Kind::kConst0, -1});
+    mapped.emplace(net_.const1(), NetRef{NetRef::Kind::kConst1, -1});
+
+    for (const auto& output : net_.outputs()) {
+      const NetRef ref = cover(output.gate, mapped, out);
+      out.outputs.push_back({output.name, ref});
+    }
+
+    if (stats) {
+      stats->gates_in = net_.live_logic_gate_count();
+      stats->luts_out = out.luts.size();
+      stats->depth = out.depth();
+      stats->cut_count = cut_count_;
+    }
+    return out;
+  }
+
+ private:
+  void enumerate(int id) {
+    const Gate& g = net_.gate(id);
+    std::vector<Cut> result;
+
+    // Trivial cut.
+    Cut self;
+    self.leaves[0] = id;
+    self.size = 1;
+
+    const auto& cuts_a = cuts_[static_cast<std::size_t>(g.a)];
+    if (g.kind == GateKind::kNot || g.kind == GateKind::kBuf) {
+      for (const auto& ca : cuts_a) {
+        Cut merged = ca;  // same leaves, same depth contribution
+        merged.depth = cut_depth(merged, id);
+        merged.area_flow = cut_area_flow(merged);
+        push_cut(result, merged);
+      }
+    } else {
+      const auto& cuts_b = cuts_[static_cast<std::size_t>(g.b)];
+      for (const auto& ca : cuts_a) {
+        for (const auto& cb : cuts_b) {
+          Cut merged;
+          if (!merge_cuts(ca, cb, merged)) continue;
+          merged.depth = cut_depth(merged, id);
+          merged.area_flow = cut_area_flow(merged);
+          push_cut(result, merged);
+          ++cut_count_;
+        }
+      }
+    }
+
+    // Depth label from the best (min-depth) non-trivial cut.
+    unsigned best = ~0u;
+    for (const auto& cut : result) best = std::min(best, cut.depth);
+    best_depth_[static_cast<std::size_t>(id)] = (best == ~0u) ? 1 : best;
+
+    // Keep the trivial cut so parents can use this node as a leaf.
+    self.depth = best_depth_[static_cast<std::size_t>(id)];
+    self.area_flow = 1.0;
+    push_cut(result, self);
+
+    // Prune to the priority list, best depth first then area flow.
+    std::sort(result.begin(), result.end(), [](const Cut& x, const Cut& y) {
+      if (x.depth != y.depth) return x.depth < y.depth;
+      return x.area_flow < y.area_flow;
+    });
+    if (result.size() > opts_.cuts_per_node) result.resize(opts_.cuts_per_node);
+    cuts_[static_cast<std::size_t>(id)] = std::move(result);
+  }
+
+  unsigned cut_depth(const Cut& cut, int root) const {
+    unsigned depth = 0;
+    for (unsigned i = 0; i < cut.size; ++i) {
+      if (cut.leaves[i] == root) return best_depth_[static_cast<std::size_t>(root)];
+      depth = std::max(depth, best_depth_[static_cast<std::size_t>(cut.leaves[i])]);
+    }
+    return depth + 1;
+  }
+
+  double cut_area_flow(const Cut& cut) const {
+    double flow = 1.0;
+    for (unsigned i = 0; i < cut.size; ++i) {
+      const std::size_t leaf = static_cast<std::size_t>(cut.leaves[i]);
+      const double fo = std::max(1.0, fanout_[leaf]);
+      flow += 1.0 / fo;
+    }
+    return flow;
+  }
+
+  static void push_cut(std::vector<Cut>& cuts, const Cut& cut) {
+    for (const auto& existing : cuts) {
+      if (existing == cut) return;
+    }
+    cuts.push_back(cut);
+  }
+
+  // Choose the best cut of `id` as a LUT; recursively cover the leaves.
+  NetRef cover(int id, std::unordered_map<int, NetRef>& mapped, LutNetlist& out) {
+    const auto it = mapped.find(id);
+    if (it != mapped.end()) return it->second;
+
+    const Gate& g = net_.gate(id);
+    if (!is_logic(g.kind)) {
+      throw common::InternalError("techmap: unmapped non-logic gate");
+    }
+
+    // Best non-trivial cut (trivial cut of a logic gate would be circular).
+    const Cut* best = nullptr;
+    for (const auto& cut : cuts_[static_cast<std::size_t>(id)]) {
+      if (cut.size == 1 && cut.leaves[0] == id) continue;
+      if (!best || cut.depth < best->depth ||
+          (cut.depth == best->depth && cut.area_flow < best->area_flow)) {
+        best = &cut;
+      }
+    }
+    if (!best) throw common::InternalError("techmap: gate without a usable cut");
+
+    Lut lut;
+    lut.num_inputs = best->size;
+    for (unsigned i = 0; i < best->size; ++i) {
+      lut.inputs[i] = cover(best->leaves[i], mapped, out);
+    }
+    lut.truth = cone_truth(id, *best);
+
+    const int lut_id = static_cast<int>(out.luts.size());
+    out.luts.push_back(lut);
+    NetRef ref;
+    ref.kind = NetRef::Kind::kLut;
+    ref.index = lut_id;
+    mapped.emplace(id, ref);
+    return ref;
+  }
+
+  // Simulate the cone of `root` over all assignments of the cut leaves.
+  std::uint8_t cone_truth(int root, const Cut& cut) {
+    std::uint8_t truth = 0;
+    for (unsigned m = 0; m < (1u << cut.size); ++m) {
+      std::map<int, bool> values;
+      for (unsigned i = 0; i < cut.size; ++i) {
+        values[cut.leaves[i]] = (m >> i) & 1u;
+      }
+      if (eval_cone(root, values)) truth |= static_cast<std::uint8_t>(1u << m);
+    }
+    return truth;
+  }
+
+  bool eval_cone(int id, std::map<int, bool>& values) {
+    const auto it = values.find(id);
+    if (it != values.end()) return it->second;
+    const Gate& g = net_.gate(id);
+    bool v = false;
+    switch (g.kind) {
+      case GateKind::kConst0: v = false; break;
+      case GateKind::kConst1: v = true; break;
+      case GateKind::kInput:
+        throw common::InternalError("techmap: cone evaluation crossed a cut leaf");
+      case GateKind::kAnd: v = eval_cone(g.a, values) && eval_cone(g.b, values); break;
+      case GateKind::kOr: v = eval_cone(g.a, values) || eval_cone(g.b, values); break;
+      case GateKind::kXor: v = eval_cone(g.a, values) != eval_cone(g.b, values); break;
+      case GateKind::kNot: v = !eval_cone(g.a, values); break;
+      case GateKind::kBuf: v = eval_cone(g.a, values); break;
+    }
+    values.emplace(id, v);
+    return v;
+  }
+
+  const GateNetlist& net_;
+  TechmapOptions opts_;
+  std::vector<std::vector<Cut>> cuts_;
+  std::vector<unsigned> best_depth_;
+  std::vector<double> fanout_;
+  std::uint64_t cut_count_ = 0;
+};
+
+}  // namespace
+
+unsigned LutNetlist::depth() const {
+  std::vector<unsigned> level(luts.size(), 0);
+  unsigned max_level = 0;
+  for (std::size_t i = 0; i < luts.size(); ++i) {
+    unsigned in_level = 0;
+    for (unsigned k = 0; k < luts[i].num_inputs; ++k) {
+      const NetRef& ref = luts[i].inputs[k];
+      if (ref.kind == NetRef::Kind::kLut) {
+        in_level = std::max(in_level, level[static_cast<std::size_t>(ref.index)]);
+      }
+    }
+    level[i] = in_level + 1;
+    max_level = std::max(max_level, level[i]);
+  }
+  return max_level;
+}
+
+std::vector<bool> LutNetlist::evaluate(const std::vector<bool>& input_values) const {
+  std::vector<bool> value(luts.size(), false);
+  auto ref_value = [&](const NetRef& ref) -> bool {
+    switch (ref.kind) {
+      case NetRef::Kind::kConst0: return false;
+      case NetRef::Kind::kConst1: return true;
+      case NetRef::Kind::kPrimaryInput:
+        return input_values[static_cast<std::size_t>(ref.index)];
+      case NetRef::Kind::kLut: return value[static_cast<std::size_t>(ref.index)];
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < luts.size(); ++i) {
+    unsigned m = 0;
+    for (unsigned k = 0; k < luts[i].num_inputs; ++k) {
+      if (ref_value(luts[i].inputs[k])) m |= 1u << k;
+    }
+    value[i] = (luts[i].truth >> m) & 1u;
+  }
+  return value;
+}
+
+std::string LutNetlist::stats_string() const {
+  return common::format("luts=%zu depth=%u inputs=%zu outputs=%zu", luts.size(), depth(),
+                        primary_inputs.size(), outputs.size());
+}
+
+common::Result<LutNetlist> techmap(const synth::GateNetlist& net, const TechmapOptions& options,
+                                   TechmapStats* stats) {
+  Mapper mapper(net, options);
+  return mapper.run(stats);
+}
+
+}  // namespace warp::techmap

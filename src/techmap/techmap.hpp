@@ -1,0 +1,78 @@
+// Technology mapping onto the WCLA's 3-input LUTs.
+//
+// The WCLA's configurable logic fabric is built from CLBs containing
+// 3-input LUTs (the simple fabric of Lysecky & Vahid, DATE'04, chosen so
+// that the on-chip tools stay lean). We map the synthesized gate network
+// with the classic cut-based scheme:
+//   1. enumerate K-feasible cuts per gate (dynamic programming over fanins,
+//      keeping a small priority list per node);
+//   2. label each node with its optimal mapping depth (FlowMap-style);
+//   3. select cuts from the outputs backwards, choosing minimum depth and
+//      breaking ties on area flow;
+//   4. compute each chosen LUT's truth table by simulating its cone.
+//
+// The result is a LUT netlist ready for placement and routing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "synth/netlist.hpp"
+
+namespace warp::techmap {
+
+inline constexpr unsigned kLutInputs = 3;
+
+/// One mapped LUT. Inputs refer to other LUT ids, primary inputs, or
+/// constants via NetRef.
+struct NetRef {
+  enum class Kind : std::uint8_t { kLut, kPrimaryInput, kConst0, kConst1 };
+  Kind kind = Kind::kConst0;
+  int index = -1;  // LUT id or primary-input index
+
+  bool operator==(const NetRef&) const = default;
+};
+
+struct Lut {
+  std::array<NetRef, kLutInputs> inputs{};
+  unsigned num_inputs = 0;
+  std::uint8_t truth = 0;  // bit m = output for input assignment m (LSB = input 0)
+};
+
+struct MappedOutput {
+  std::string name;
+  NetRef source;
+};
+
+struct LutNetlist {
+  std::vector<std::string> primary_inputs;        // names, index = NetRef.index
+  std::vector<Lut> luts;
+  std::vector<MappedOutput> outputs;
+
+  /// Logic depth in LUT levels.
+  unsigned depth() const;
+  /// Evaluate: values[i] = value of primary input i.
+  std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+  std::string stats_string() const;
+};
+
+struct TechmapOptions {
+  unsigned cuts_per_node = 8;  // priority-cut list length
+};
+
+struct TechmapStats {
+  std::size_t gates_in = 0;
+  std::size_t luts_out = 0;
+  unsigned depth = 0;
+  std::uint64_t cut_count = 0;  // metered work for the DPM time model
+};
+
+/// Map a gate netlist to LUTs. Fails only on malformed networks.
+common::Result<LutNetlist> techmap(const synth::GateNetlist& net,
+                                   const TechmapOptions& options = {},
+                                   TechmapStats* stats = nullptr);
+
+}  // namespace warp::techmap

@@ -1,0 +1,94 @@
+// Dynamic partitioning module (DPM) — the on-chip CAD pipeline.
+//
+// The DPM is itself a small embedded processor (another MicroBlaze in the
+// paper) that runs the ROCPART tools: it scores the profiler's loop
+// candidates, decompiles the best one, synthesizes, maps, places and routes
+// it, generates the bitstream and the binary patch. Every stage meters its
+// work (instructions decoded, gates created, cuts enumerated, placement
+// moves, routing expansions, bitstream words) and the DPM time model
+// converts that work into execution time on the 85 MHz DPM processor —
+// giving the seconds-scale on-chip CAD times the warp-processing papers
+// report.
+//
+// Candidate scoring: the profiler counts loop-iteration *frequency*; the
+// DPM multiplies each candidate's count by the statically-estimated cycle
+// cost of its loop body, approximating the region's share of total runtime,
+// and attempts candidates best-first until one passes the whole flow. Any
+// rejection (non-affine addressing, too many streams, unroutable, ...)
+// falls back to the next candidate — or to pure software, exactly like the
+// real system.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decompile/extract.hpp"
+#include "fabric/wcla.hpp"
+#include "pnr/pnr.hpp"
+#include "profiler/profiler.hpp"
+#include "synth/hw_kernel.hpp"
+#include "techmap/techmap.hpp"
+#include "warp/stub_builder.hpp"
+
+namespace warp::warpsys {
+
+/// Cycle costs per unit of metered tool work, on the DPM's own processor.
+struct DpmCostModel {
+  double clock_mhz = 85.0;          // the DPM is another MicroBlaze
+  double per_binary_instr = 150.0;  // decode + CFG + liveness
+  double per_region_instr = 1200.0; // three-pass symbolic execution
+  double per_gate = 35.0;           // bit-blasting & hashing
+  double per_cut = 25.0;            // cut enumeration
+  double per_lut = 60.0;            // covering + truth tables
+  double per_rocm_step = 12.0;      // two-level minimization
+  double per_move = 55.0;           // annealing move
+  double per_expansion = 18.0;      // routing wavefront expansion
+  double per_bitstream_word = 10.0; // configuration write
+};
+
+struct DpmOptions {
+  decompile::ExtractOptions extract;
+  synth::SynthOptions synth;
+  techmap::TechmapOptions techmap;
+  pnr::PnrOptions pnr;
+  fabric::FabricGeometry fabric;
+  DpmCostModel cost;
+  unsigned max_candidates = 8;
+};
+
+struct PartitionOutcome {
+  bool success = false;
+  std::string detail;  // chosen loop or the last rejection reason
+
+  // Hardware artifacts (valid when success).
+  std::shared_ptr<const synth::HwKernel> kernel;
+  std::shared_ptr<const fabric::FabricConfig> config;
+  Stub stub;
+  std::uint32_t stub_addr = 0;
+  std::uint32_t header_pc = 0;
+
+  // Flow statistics.
+  std::size_t fabric_gates = 0;
+  std::size_t luts = 0;
+  unsigned lut_depth = 0;
+  unsigned rocm_literals_before = 0;
+  unsigned rocm_literals_after = 0;
+  double placement_hpwl = 0.0;
+  unsigned route_iterations = 0;
+  double critical_path_ns = 0.0;
+  double fabric_clock_mhz = 0.0;
+  std::size_t bitstream_words = 0;
+
+  // DPM execution-time model.
+  std::uint64_t dpm_cycles = 0;
+  double dpm_seconds = 0.0;
+  std::vector<std::string> attempts;  // one line per tried candidate
+};
+
+/// Run the full ROCPART flow over the profiled binary.
+PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
+                           const std::vector<profiler::LoopCandidate>& candidates,
+                           std::uint32_t wcla_base, const DpmOptions& options);
+
+}  // namespace warp::warpsys

@@ -1,0 +1,268 @@
+#include "warp/stub_builder.hpp"
+
+#include "common/bitutil.hpp"
+#include "common/strings.hpp"
+#include "hwsim/wcla_device.hpp"
+
+namespace warp::warpsys {
+namespace {
+
+using decompile::KernelIR;
+using decompile::TripCount;
+using isa::Instr;
+using isa::Opcode;
+
+class StubEmitter {
+ public:
+  explicit StubEmitter(const StubRequest& request) : req_(request) {}
+
+  common::Result<Stub> run() {
+    if (!pick_scratch()) {
+      return common::Result<Stub>::error("no scratch registers for the stub");
+    }
+    const auto& ir = req_.ir;
+
+    // 1. Trip count into rtrip_ (kept live until the IV-final fixups).
+    switch (ir.trip.kind) {
+      case TripCount::Kind::kConstant:
+        emit_li(rtrip_, static_cast<std::uint32_t>(ir.trip.constant));
+        break;
+      case TripCount::Kind::kDownToZero:
+        emit_mv(rtrip_, ir.trip.reg);
+        emit_srl_const(rtrip_, common::log2_ceil(static_cast<std::uint64_t>(ir.trip.step)));
+        break;
+      case TripCount::Kind::kBoundedUp: {
+        if (ir.trip.bound_is_const) {
+          emit_li(rt2_, static_cast<std::uint32_t>(ir.trip.bound_const));
+          emit3(Opcode::kSub, rtrip_, rt2_, ir.trip.reg);
+        } else {
+          emit3(Opcode::kSub, rtrip_, ir.trip.bound_reg, ir.trip.reg);
+        }
+        if (ir.trip.step > 1) {
+          emit_imm_op(Opcode::kAddi, rtrip_, rtrip_, ir.trip.step - 1);
+          emit_srl_const(rtrip_, common::log2_ceil(static_cast<std::uint64_t>(ir.trip.step)));
+        }
+        break;
+      }
+    }
+    emit_opb_write(rtrip_, hwsim::kWclaTrip);
+
+    // 2. Stream bases.
+    for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+      const auto& stream = ir.streams[s];
+      bool first = true;
+      for (const auto& term : stream.base_terms) {
+        const unsigned target = first ? rt_ : rt2_;
+        emit_mv(target, term.reg);
+        if (term.coeff > 1) {
+          const unsigned shift = common::log2_ceil(static_cast<std::uint64_t>(term.coeff));
+          for (unsigned i = 0; i < shift; ++i) emit3(Opcode::kAdd, target, target, target);
+        }
+        if (!first) emit3(Opcode::kAdd, rt_, rt_, rt2_);
+        first = false;
+      }
+      if (first) emit_li(rt_, 0);  // no register terms
+      if (stream.base_offset != 0) {
+        emit_imm_op(Opcode::kAddi, rt_, rt_, stream.base_offset);
+      }
+      emit_opb_write(rt_, hwsim::kWclaStreamBase + 4 * static_cast<std::uint32_t>(s));
+    }
+
+    // 3. Live-in constants (direct register stores, no scratch needed).
+    for (std::size_t k = 0; k < ir.live_in_regs.size(); ++k) {
+      emit_opb_write(ir.live_in_regs[k],
+                     hwsim::kWclaConstBase + 4 * static_cast<std::uint32_t>(k));
+    }
+
+    // 4. Accumulator initial values.
+    for (std::size_t k = 0; k < ir.accumulators.size(); ++k) {
+      emit_opb_write(ir.accumulators[k].reg,
+                     hwsim::kWclaAccBase + 4 * static_cast<std::uint32_t>(k));
+    }
+
+    // 5. Start + poll.
+    emit_li(rs_, 1);
+    emit_opb_write(rs_, hwsim::kWclaCtrl);
+    const std::uint32_t poll_pc = pc();
+    emit_opb_read(rs_, hwsim::kWclaStatus);
+    emit_branch(Opcode::kBeq, rs_, poll_pc);
+
+    // 6. Accumulator finals straight into their registers.
+    for (std::size_t k = 0; k < ir.accumulators.size(); ++k) {
+      emit_opb_read(ir.accumulators[k].reg,
+                    hwsim::kWclaAccBase + 4 * static_cast<std::uint32_t>(k));
+    }
+
+    // 7. Induction-variable finals: reg += step * trip.
+    for (const auto& ivf : ir.iv_finals) {
+      const std::int32_t step = ivf.step;
+      const std::uint32_t magnitude = static_cast<std::uint32_t>(step < 0 ? -step : step);
+      if (magnitude == 0) continue;
+      if ((magnitude & (magnitude - 1)) != 0) {
+        return common::Result<Stub>::error("iv final step is not a power of two");
+      }
+      emit_mv(rt2_, rtrip_);
+      const unsigned shift = common::log2_ceil(magnitude);
+      for (unsigned i = 0; i < shift; ++i) emit3(Opcode::kAdd, rt2_, rt2_, rt2_);
+      if (step > 0) {
+        emit3(Opcode::kAdd, ivf.reg, ivf.reg, rt2_);
+      } else {
+        emit3(Opcode::kSub, ivf.reg, ivf.reg, rt2_);
+      }
+    }
+
+    // 8. Exit.
+    emit_br(req_.ir.exit_pc);
+
+    Stub stub;
+    stub.words = std::move(words_);
+    // Patch: `br stub` placed at the loop header.
+    Instr br;
+    br.op = Opcode::kBr;
+    br.imm = static_cast<std::int32_t>(req_.stub_addr - req_.ir.header_pc);
+    if (!common::fits_signed(br.imm, 16)) {
+      return common::Result<Stub>::error("stub too far from the loop header");
+    }
+    stub.patch_word = isa::encode(br);
+    return stub;
+  }
+
+ private:
+  bool pick_scratch() {
+    // Forbidden: live anywhere around the region, stub inputs/outputs.
+    decompile::RegSet forbidden = req_.live_at_header | req_.live_at_exit | 1u;
+    const auto& ir = req_.ir;
+    forbidden |= 1u << ir.trip.reg;
+    if (ir.trip.kind == TripCount::Kind::kBoundedUp && !ir.trip.bound_is_const) {
+      forbidden |= 1u << ir.trip.bound_reg;
+    }
+    for (auto reg : ir.live_in_regs) forbidden |= 1u << reg;
+    for (const auto& acc : ir.accumulators) forbidden |= 1u << acc.reg;
+    for (const auto& ivf : ir.iv_finals) forbidden |= 1u << ivf.reg;
+    for (const auto& stream : ir.streams) {
+      for (const auto& term : stream.base_terms) forbidden |= 1u << term.reg;
+    }
+    unsigned found = 0;
+    unsigned scratch[4] = {0, 0, 0, 0};
+    for (unsigned r = isa::kNumRegisters; r-- > 1 && found < 4;) {
+      if (!((forbidden >> r) & 1u)) scratch[found++] = r;
+    }
+    if (found < 4) return false;
+    rtrip_ = scratch[0];
+    rt_ = scratch[1];
+    rt2_ = scratch[2];
+    rs_ = scratch[3];
+    return true;
+  }
+
+  std::uint32_t pc() const {
+    return req_.stub_addr + static_cast<std::uint32_t>(words_.size() * 4);
+  }
+
+  void emit(const Instr& instr) { words_.push_back(isa::encode(instr)); }
+
+  void emit3(Opcode op, unsigned rd, unsigned ra, unsigned rb) {
+    Instr i;
+    i.op = op;
+    i.rd = static_cast<std::uint8_t>(rd);
+    i.ra = static_cast<std::uint8_t>(ra);
+    i.rb = static_cast<std::uint8_t>(rb);
+    emit(i);
+  }
+
+  void emit_mv(unsigned rd, unsigned ra) { emit3(Opcode::kAdd, rd, ra, 0); }
+
+  void emit_imm_prefix(std::uint32_t hi16) {
+    Instr i;
+    i.op = Opcode::kImm;
+    i.imm = static_cast<std::int32_t>(common::sign_extend(hi16 & 0xFFFFu, 16));
+    emit(i);
+  }
+
+  void emit_imm_op(Opcode op, unsigned rd, unsigned ra, std::int64_t value) {
+    if (common::fits_signed(value, 16)) {
+      Instr i;
+      i.op = op;
+      i.rd = static_cast<std::uint8_t>(rd);
+      i.ra = static_cast<std::uint8_t>(ra);
+      i.imm = static_cast<std::int32_t>(value);
+      emit(i);
+    } else {
+      emit_imm_prefix(static_cast<std::uint32_t>(value) >> 16);
+      Instr i;
+      i.op = op;
+      i.rd = static_cast<std::uint8_t>(rd);
+      i.ra = static_cast<std::uint8_t>(ra);
+      i.imm = static_cast<std::int32_t>(
+          common::sign_extend(static_cast<std::uint32_t>(value) & 0xFFFFu, 16));
+      emit(i);
+    }
+  }
+
+  void emit_li(unsigned rd, std::uint32_t value) {
+    emit_imm_op(Opcode::kAddi, rd, 0, static_cast<std::int64_t>(static_cast<std::int32_t>(value)));
+  }
+
+  void emit_srl_const(unsigned rd, unsigned count) {
+    for (unsigned i = 0; i < count; ++i) {
+      Instr instr;
+      instr.op = Opcode::kSrl;
+      instr.rd = static_cast<std::uint8_t>(rd);
+      instr.ra = static_cast<std::uint8_t>(rd);
+      emit(instr);
+    }
+  }
+
+  void emit_opb_write(unsigned reg, std::uint32_t offset) {
+    const std::uint32_t addr = req_.wcla_base + offset;
+    emit_imm_prefix(addr >> 16);
+    Instr i;
+    i.op = Opcode::kSwi;
+    i.rd = static_cast<std::uint8_t>(reg);
+    i.ra = 0;
+    i.imm = static_cast<std::int32_t>(common::sign_extend(addr & 0xFFFFu, 16));
+    emit(i);
+  }
+
+  void emit_opb_read(unsigned rd, std::uint32_t offset) {
+    const std::uint32_t addr = req_.wcla_base + offset;
+    emit_imm_prefix(addr >> 16);
+    Instr i;
+    i.op = Opcode::kLwi;
+    i.rd = static_cast<std::uint8_t>(rd);
+    i.ra = 0;
+    i.imm = static_cast<std::int32_t>(common::sign_extend(addr & 0xFFFFu, 16));
+    emit(i);
+  }
+
+  void emit_branch(Opcode op, unsigned ra, std::uint32_t target) {
+    Instr i;
+    i.op = op;
+    i.ra = static_cast<std::uint8_t>(ra);
+    i.imm = static_cast<std::int32_t>(target - pc());
+    emit(i);
+  }
+
+  void emit_br(std::uint32_t target) {
+    Instr i;
+    i.op = Opcode::kBr;
+    i.imm = static_cast<std::int32_t>(target - pc());
+    emit(i);
+  }
+
+  const StubRequest& req_;
+  std::vector<std::uint32_t> words_;
+  unsigned rtrip_ = 0;
+  unsigned rt_ = 0;
+  unsigned rt2_ = 0;
+  unsigned rs_ = 0;
+};
+
+}  // namespace
+
+common::Result<Stub> build_stub(const StubRequest& request) {
+  StubEmitter emitter(request);
+  return emitter.run();
+}
+
+}  // namespace warp::warpsys

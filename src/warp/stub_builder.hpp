@@ -1,0 +1,49 @@
+// Software-stub generation for binary patching.
+//
+// After the DPM configures the WCLA, it "updates the executing
+// application's binary code to utilize the hardware" (paper, Section 3).
+// We do this the way the instruction BRAM's second port allows: the stub is
+// written into free instruction memory after the program, and the loop
+// header instruction is overwritten with a branch to it. The stub:
+//
+//   1. computes the trip count from live-in registers (LCH programming);
+//   2. computes each stream's base address (Σ 2^k * reg + offset);
+//   3. latches live-in register values into the WCLA constant registers;
+//   4. loads accumulator initial values;
+//   5. starts the kernel and polls STATUS (the core idles while polling —
+//      the WCLA owns the BRAM port);
+//   6. reads accumulator finals back into their registers;
+//   7. reconstructs induction-variable finals (init + step * trip);
+//   8. branches to the loop exit.
+//
+// Scratch registers are registers that whole-binary liveness proved dead at
+// both the loop header and the loop exit. Everything is emitted with plain
+// isa::encode — the stub must run on any processor configuration, so it
+// only uses base instructions (shifts become add/srl sequences).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "decompile/kernel_ir.hpp"
+#include "decompile/liveness.hpp"
+
+namespace warp::warpsys {
+
+struct StubRequest {
+  decompile::KernelIR ir;
+  decompile::RegSet live_at_header = 0;
+  decompile::RegSet live_at_exit = 0;
+  std::uint32_t stub_addr = 0;   // where the stub will live
+  std::uint32_t wcla_base = 0;   // OPB base address of the WCLA
+};
+
+struct Stub {
+  std::vector<std::uint32_t> words;
+  std::uint32_t patch_word = 0;  // `br stub` encoded for the header pc
+};
+
+common::Result<Stub> build_stub(const StubRequest& request);
+
+}  // namespace warp::warpsys

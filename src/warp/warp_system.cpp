@@ -1,0 +1,107 @@
+#include "warp/warp_system.hpp"
+
+namespace warp::warpsys {
+
+WarpSystem::WarpSystem(isa::Program program, DataInit init_data, WarpSystemConfig config)
+    : program_(std::move(program)),
+      init_data_(std::move(init_data)),
+      config_(config),
+      instr_mem_(config.instr_mem_bytes),
+      data_mem_(config.data_mem_bytes),
+      core_(instr_mem_, data_mem_, config.cpu),
+      profiler_(config.profiler),
+      wcla_(data_mem_, config.cpu.clock_mhz) {
+  core_.add_device(&wcla_);
+  core_.set_branch_hook([this](std::uint32_t pc, std::uint32_t target, bool taken) {
+    profiler_.on_branch(pc, target, taken);
+  });
+  core_.load_program(program_);
+}
+
+common::Result<RunStats> WarpSystem::run_internal(bool profile) {
+  if (init_data_) init_data_(data_mem_);
+  if (profile) profiler_.reset();
+  core_.reset();
+  core_.clear_stats();
+  wcla_.clear_stats();
+  const sim::StopReason reason = core_.run(config_.max_instructions);
+  if (reason == sim::StopReason::kError) {
+    return common::Result<RunStats>::error(core_.error());
+  }
+  if (reason == sim::StopReason::kMaxInstructions) {
+    return common::Result<RunStats>::error("instruction budget exhausted");
+  }
+  return finish_stats();
+}
+
+RunStats WarpSystem::finish_stats() const {
+  RunStats stats;
+  stats.core = core_.stats();
+  stats.wcla = wcla_.stats();
+  stats.seconds = stats.core.seconds(config_.cpu.clock_mhz);
+
+  const double f_hz = config_.cpu.clock_mhz * 1e6;
+  const double t_active = static_cast<double>(stats.core.active_cycles()) / f_hz;
+  const double t_idle = static_cast<double>(stats.core.idle_cycles) / f_hz;
+  const double t_hw = stats.wcla.busy_ns * 1e-9;
+  const unsigned used_luts =
+      outcome_ && outcome_->success ? static_cast<unsigned>(outcome_->luts) : 0;
+  const bool uses_mac =
+      outcome_ && outcome_->success && outcome_->kernel->mac_cycles_per_iter > 0;
+  stats.energy = energy::microblaze_energy(t_active, t_idle, t_hw, used_luts, uses_mac);
+  return stats;
+}
+
+common::Result<RunStats> WarpSystem::run_software() { return run_internal(true); }
+
+const PartitionOutcome& WarpSystem::warp() {
+  outcome_ = partition(program_.words, profiler_.candidates(),
+                       hwsim::kWclaBase, config_.dpm);
+  if (outcome_->success) {
+    // Write the stub into free instruction memory and patch the loop header
+    // (through the second port of the instruction BRAM, like the real DPM).
+    instr_mem_.load_words(outcome_->stub_addr, outcome_->stub.words);
+    instr_mem_.write32(outcome_->header_pc, outcome_->stub.patch_word);
+    wcla_.configure(outcome_->kernel, outcome_->config);
+    wcla_.set_verify(config_.verify_hw);
+  }
+  return *outcome_;
+}
+
+common::Result<RunStats> WarpSystem::run_warped() { return run_internal(false); }
+
+std::vector<MultiWarpEntry> run_multiprocessor(
+    std::vector<std::unique_ptr<WarpSystem>>& systems,
+    const std::vector<std::string>& names) {
+  std::vector<MultiWarpEntry> entries;
+  double dpm_clock_ns = 0.0;  // shared-DPM virtual time
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    MultiWarpEntry entry;
+    entry.name = (i < names.size()) ? names[i] : ("cpu" + std::to_string(i));
+    auto sw = systems[i]->run_software();
+    if (!sw) {
+      entries.push_back(entry);
+      continue;
+    }
+    entry.sw_seconds = sw.value().seconds;
+    entry.dpm_wait_seconds = dpm_clock_ns * 1e-9;
+    const PartitionOutcome& outcome = systems[i]->warp();
+    entry.dpm_seconds = outcome.dpm_seconds;
+    dpm_clock_ns += outcome.dpm_seconds * 1e9;
+    if (outcome.success) {
+      auto warped = systems[i]->run_warped();
+      if (warped) {
+        entry.warped = true;
+        entry.warped_seconds = warped.value().seconds;
+        entry.speedup = entry.sw_seconds / entry.warped_seconds;
+      }
+    } else {
+      entry.warped_seconds = entry.sw_seconds;
+      entry.speedup = 1.0;
+    }
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
+}  // namespace warp::warpsys

@@ -1,0 +1,105 @@
+// Single- and multi-processor warp processing systems (Figures 2 and 4).
+//
+// WarpSystem wires up the whole platform of Figure 2: a MicroBlaze core
+// with instruction/data BRAMs, the non-intrusive profiler on the
+// instruction-side bus, the WCLA on the OPB with the second data-BRAM port,
+// and the DPM. Its lifecycle mirrors the paper's experimental method:
+//
+//   run_software()  — execute the binary, profiling as it runs; gives the
+//                     software-only baseline (time, instruction mix);
+//   warp()          — DPM partitions the hottest suitable loop, configures
+//                     the WCLA and patches the binary;
+//   run_warped()    — re-run the (patched) application: the kernel now
+//                     executes on the WCLA while the core idles.
+//
+// MultiWarpSystem (Figure 4) shares one DPM across N processors round-robin:
+// each processor is profiled and warped in turn, so processor i waits for
+// i-1 partitioning jobs before its own hardware comes online.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "energy/power_model.hpp"
+#include "hwsim/wcla_device.hpp"
+#include "profiler/profiler.hpp"
+#include "sim/core.hpp"
+#include "warp/dpm.hpp"
+
+namespace warp::warpsys {
+
+struct WarpSystemConfig {
+  isa::CpuConfig cpu;
+  profiler::ProfilerConfig profiler;
+  DpmOptions dpm;
+  std::size_t instr_mem_bytes = 1 << 16;
+  std::size_t data_mem_bytes = 1 << 20;
+  bool verify_hw = false;  // cross-check fabric vs. DFG on every HW write
+  std::uint64_t max_instructions = 500'000'000;
+};
+
+struct RunStats {
+  sim::CoreStats core;
+  hwsim::WclaStats wcla;
+  double seconds = 0.0;
+  energy::EnergyBreakdown energy;
+};
+
+class WarpSystem {
+ public:
+  using DataInit = std::function<void(sim::Memory&)>;
+
+  WarpSystem(isa::Program program, DataInit init_data, WarpSystemConfig config);
+
+  /// Software-only run with profiling. Resets data memory first.
+  common::Result<RunStats> run_software();
+
+  /// Invoke the DPM on the collected profile; patch + configure on success.
+  const PartitionOutcome& warp();
+
+  /// Run the (possibly patched) binary. Resets data memory first.
+  common::Result<RunStats> run_warped();
+
+  const profiler::Profiler& loop_profiler() const { return profiler_; }
+  const PartitionOutcome* outcome() const {
+    return outcome_ ? &*outcome_ : nullptr;
+  }
+  sim::Memory& data_mem() { return data_mem_; }
+  sim::Core& core() { return core_; }
+  const isa::Program& program() const { return program_; }
+  const WarpSystemConfig& config() const { return config_; }
+
+ private:
+  common::Result<RunStats> run_internal(bool profile);
+  RunStats finish_stats() const;
+
+  isa::Program program_;
+  DataInit init_data_;
+  WarpSystemConfig config_;
+  sim::Memory instr_mem_;
+  sim::Memory data_mem_;
+  sim::Core core_;
+  profiler::Profiler profiler_;
+  hwsim::WclaDevice wcla_;
+  std::optional<PartitionOutcome> outcome_;
+};
+
+/// One row of a multi-processor experiment.
+struct MultiWarpEntry {
+  std::string name;
+  double sw_seconds = 0.0;
+  double warped_seconds = 0.0;
+  double speedup = 0.0;
+  double dpm_seconds = 0.0;        // this processor's partitioning job
+  double dpm_wait_seconds = 0.0;   // queueing until the shared DPM reached it
+  bool warped = false;
+};
+
+/// Run N workloads through one shared DPM, round-robin (Figure 4).
+std::vector<MultiWarpEntry> run_multiprocessor(
+    std::vector<std::unique_ptr<WarpSystem>>& systems,
+    const std::vector<std::string>& names);
+
+}  // namespace warp::warpsys

@@ -1,0 +1,98 @@
+// canrdr (Powerstone): CAN bus message reader.
+//
+// Processes frames of 16 CAN messages: extracts the 11-bit identifier and a
+// data byte from each word, maintains an XOR checksum (a logical reduction
+// kept in fabric flip-flops), counts messages whose id is below a threshold
+// (an if-converted compare feeding a MAC add-reduction), and emits the
+// decoded byte. Exercises the decompiler's diamond if-conversion and both
+// accumulator kinds.
+#include "workloads/workload.hpp"
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace warp::workloads {
+namespace {
+
+constexpr std::uint32_t kMsgs = 4096;
+constexpr std::uint32_t kOut = 24576;
+constexpr std::uint32_t kRes = 256;
+constexpr unsigned kFrames = 256;
+constexpr unsigned kPerFrame = 16;
+constexpr std::int32_t kThreshold = 600;
+constexpr std::uint64_t kSeed = 0xCA27D7ull;
+
+constexpr const char* kSource = R"(
+; canrdr: per frame of 16 messages, decode fields and accumulate.
+  li r2, 4096        ; MSGS
+  li r3, 24576       ; OUT
+  li r4, 256         ; NFRAMES
+  li r10, 600        ; id threshold
+  li r8, 0           ; xor checksum
+  li r11, 0          ; matched-id count
+outer:
+  li r5, 16
+inner:
+  lwi r6, r2, 0
+  andi r7, r6, 0x7FF
+  shr_i r9, r6, 16
+  andi r9, r9, 255
+  xor r8, r8, r9
+  sbi r9, r3, 0
+  cmp r12, r7, r10
+  blt r12, ismatch
+  li r13, 0
+  br merge
+ismatch:
+  li r13, 1
+merge:
+  add r11, r11, r13
+  addi r2, r2, 4
+  addi r3, r3, 1
+  addi r5, r5, -1
+  bne r5, inner
+  addi r4, r4, -1
+  bne r4, outer
+  li r2, 256
+  swi r8, r2, 0
+  swi r11, r2, 4
+  halt
+)";
+
+}  // namespace
+
+Workload make_canrdr() {
+  Workload w;
+  w.name = "canrdr";
+  w.description = "Powerstone CAN message reader";
+  w.source = kSource;
+  w.init = [](sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    for (unsigned i = 0; i < kFrames * kPerFrame; ++i) {
+      mem.write32(kMsgs + 4 * i, rng.next_u32());
+    }
+    mem.write32(kRes, 0);
+    mem.write32(kRes + 4, 0);
+  };
+  w.check = [](const sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    std::uint32_t chk = 0;
+    std::uint32_t count = 0;
+    for (unsigned i = 0; i < kFrames * kPerFrame; ++i) {
+      const std::uint32_t word = rng.next_u32();
+      const std::uint32_t id = word & 0x7FFu;
+      const std::uint32_t byte = (word >> 16) & 0xFFu;
+      chk ^= byte;
+      if (static_cast<std::int32_t>(id) < kThreshold) ++count;
+      if (mem.read8(kOut + i) != byte) {
+        return common::Status::error(common::format("canrdr: out[%u] wrong", i));
+      }
+    }
+    if (mem.read32(kRes) != chk) return common::Status::error("canrdr: checksum mismatch");
+    if (mem.read32(kRes + 4) != count) return common::Status::error("canrdr: count mismatch");
+    return common::Status::ok();
+  };
+  return w;
+}
+
+}  // namespace warp::workloads

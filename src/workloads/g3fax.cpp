@@ -1,0 +1,79 @@
+// g3fax (Powerstone): Group-3 fax run-length decode.
+//
+// The decoder walks an array of run lengths, toggling the pixel color
+// between runs; the hot loop is the run fill (a data-dependent-length
+// memset). The warped kernel is invoked once per run, so the result
+// directly exposes the stub + configuration overhead the warp processor
+// pays per hardware invocation.
+#include "workloads/workload.hpp"
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace warp::workloads {
+namespace {
+
+constexpr std::uint32_t kRuns = 4096;
+constexpr std::uint32_t kOut = 8192;
+constexpr unsigned kNumRuns = 256;
+constexpr std::uint64_t kSeed = 0x63FA7ull;
+
+constexpr const char* kSource = R"(
+; g3fax: run-length decode; inner loop fills one run with the current color.
+  li r2, 4096        ; RUNS
+  li r3, 8192        ; OUT
+  li r4, 256         ; NRUNS
+  li r6, 0           ; color (toggles 0x00 <-> 0xFF)
+outer:
+  lwi r5, r2, 0
+  addi r2, r2, 4
+  xori r6, r6, 255
+inner:
+  sbi r6, r3, 0
+  addi r3, r3, 1
+  addi r5, r5, -1
+  bne r5, inner
+  addi r4, r4, -1
+  bne r4, outer
+  halt
+)";
+
+unsigned run_length(common::Rng& rng) { return 8 + rng.below(65); }  // 8..72, mean ~40
+
+}  // namespace
+
+Workload make_g3fax() {
+  Workload w;
+  w.name = "g3fax";
+  w.description = "Powerstone G3 fax run-length decode";
+  w.source = kSource;
+  w.init = [](sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    std::uint32_t total = 0;
+    for (unsigned i = 0; i < kNumRuns; ++i) {
+      const unsigned len = run_length(rng);
+      mem.write32(kRuns + 4 * i, len);
+      total += len;
+    }
+    for (std::uint32_t i = 0; i < total; ++i) mem.write8(kOut + i, 0xEE);
+  };
+  w.check = [](const sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    std::uint32_t p = 0;
+    std::uint8_t color = 0;
+    for (unsigned i = 0; i < kNumRuns; ++i) {
+      const unsigned len = run_length(rng);
+      color ^= 0xFF;
+      for (unsigned j = 0; j < len; ++j, ++p) {
+        if (mem.read8(kOut + p) != color) {
+          return common::Status::error(common::format(
+              "g3fax: pixel %u = 0x%02x, expected 0x%02x", p, mem.read8(kOut + p), color));
+        }
+      }
+    }
+    return common::Status::ok();
+  };
+  return w;
+}
+
+}  // namespace warp::workloads

@@ -1,0 +1,213 @@
+// idct (EEMBC): fixed-point 8-point inverse-DCT-style transform on 8x8
+// blocks.
+//
+// Structure-faithful substitute for the EEMBC idct: a separable 2-D
+// transform computed as two identical 1-D passes over block rows with
+// transposed writes (the DADG's uniform tap spacing handles the transpose,
+// so no software transpose loop is needed). The shared `do_pass` routine is
+// called twice — the hot row loop is a single binary region even though two
+// logical passes run. Software dequantization before the transform keeps a
+// realistic non-kernel share.
+//
+// The butterfly uses Q8 fixed-point constants applied with muli_p, so on a
+// multiplier-less core every coefficient multiply becomes a __mulsi3 call.
+#include "workloads/workload.hpp"
+
+#include <array>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace warp::workloads {
+namespace {
+
+constexpr std::uint32_t kIn = 4096;
+constexpr std::uint32_t kTmp = 20480;
+constexpr std::uint32_t kOut = 36864;
+constexpr unsigned kBlocks = 48;
+constexpr std::uint64_t kSeed = 0x1DC7D7ull;
+constexpr int kC1 = 251, kC2 = 213, kC3 = 142, kC4 = 50, kC5 = 237, kC6 = 98;
+
+constexpr const char* kSource = R"(
+; idct: dequant, then two 1-D passes (rows with transposed writes).
+  li r2, 4096
+  li r4, 48
+dqout:
+  li r25, 32
+dqin:
+  lwi r26, r2, 0
+  sar_i r26, r26, 1
+  addi r26, r26, 4
+  swi r26, r2, 0
+  addi r2, r2, 8
+  addi r25, r25, -1
+  bne r25, dqin
+  addi r4, r4, -1
+  bne r4, dqout
+  li r30, 4096       ; src = IN
+  li r31, 20480      ; dst = TMP
+  call do_pass
+  li r30, 20480      ; src = TMP
+  li r31, 36864      ; dst = OUT
+  call do_pass
+  halt
+
+do_pass:
+  mv r29, r15        ; save the return address (__mulsi3 clobbers r15)
+  li r4, 48          ; blocks
+  mv r2, r30
+  mv r28, r31
+blkloop:
+  li r25, 8
+inner:
+  lwi r26, r2, 0
+  lwi r27, r2, 4
+  lwi r8, r2, 8
+  lwi r9, r2, 12
+  lwi r10, r2, 16
+  lwi r11, r2, 20
+  lwi r12, r2, 24
+  lwi r13, r2, 28
+  add r14, r26, r13
+  add r16, r27, r12
+  add r17, r8, r11
+  add r18, r9, r10
+  sub r19, r26, r13
+  sub r20, r27, r12
+  sub r21, r8, r11
+  sub r22, r9, r10
+  add r23, r14, r16
+  add r24, r17, r18
+  add r23, r23, r24
+  sar_i r26, r23, 2
+  sub r23, r14, r16
+  sub r23, r23, r17
+  add r23, r23, r18
+  sar_i r10, r23, 2
+  sub r23, r14, r18
+  muli_p r23, r23, 237
+  sub r24, r16, r17
+  muli_p r24, r24, 98
+  add r23, r23, r24
+  sar_i r8, r23, 8
+  sub r23, r14, r18
+  muli_p r23, r23, 98
+  sub r24, r16, r17
+  muli_p r24, r24, 237
+  sub r23, r23, r24
+  sar_i r12, r23, 8
+  muli_p r23, r19, 251
+  muli_p r24, r20, 213
+  add r23, r23, r24
+  muli_p r24, r21, 142
+  add r23, r23, r24
+  muli_p r24, r22, 50
+  add r23, r23, r24
+  sar_i r27, r23, 8
+  muli_p r23, r19, 213
+  muli_p r24, r20, 50
+  sub r23, r23, r24
+  muli_p r24, r21, 251
+  sub r23, r23, r24
+  muli_p r24, r22, 142
+  add r23, r23, r24
+  sar_i r9, r23, 8
+  muli_p r23, r19, 142
+  muli_p r24, r20, 251
+  sub r23, r23, r24
+  muli_p r24, r21, 50
+  add r23, r23, r24
+  muli_p r24, r22, 213
+  add r23, r23, r24
+  sar_i r11, r23, 8
+  muli_p r23, r19, 50
+  muli_p r24, r20, 142
+  sub r23, r23, r24
+  muli_p r24, r21, 213
+  add r23, r23, r24
+  muli_p r24, r22, 251
+  sub r23, r23, r24
+  sar_i r13, r23, 8
+  swi r26, r28, 0
+  swi r27, r28, 32
+  swi r8, r28, 64
+  swi r9, r28, 96
+  swi r10, r28, 128
+  swi r11, r28, 160
+  swi r12, r28, 192
+  swi r13, r28, 224
+  addi r2, r2, 32
+  addi r28, r28, 4
+  addi r25, r25, -1
+  bne r25, inner
+  addi r28, r28, 224
+  addi r4, r4, -1
+  bne r4, blkloop
+  mv r15, r29
+  ret
+)";
+
+using Block = std::array<std::int32_t, 64>;
+
+void transform_rows_transposed(const Block& in, Block& out) {
+  for (unsigned r = 0; r < 8; ++r) {
+    const std::int32_t* x = &in[r * 8];
+    std::int32_t t0 = x[0] + x[7], t1 = x[1] + x[6], t2 = x[2] + x[5], t3 = x[3] + x[4];
+    std::int32_t t4 = x[0] - x[7], t5 = x[1] - x[6], t6 = x[2] - x[5], t7 = x[3] - x[4];
+    std::int32_t y[8];
+    y[0] = (t0 + t1 + t2 + t3) >> 2;
+    y[4] = (t0 - t1 - t2 + t3) >> 2;
+    y[2] = ((t0 - t3) * kC5 + (t1 - t2) * kC6) >> 8;
+    y[6] = ((t0 - t3) * kC6 - (t1 - t2) * kC5) >> 8;
+    y[1] = (t4 * kC1 + t5 * kC2 + t6 * kC3 + t7 * kC4) >> 8;
+    y[3] = (t4 * kC2 - t5 * kC4 - t6 * kC1 + t7 * kC3) >> 8;
+    y[5] = (t4 * kC3 - t5 * kC1 + t6 * kC4 + t7 * kC2) >> 8;
+    y[7] = (t4 * kC4 - t5 * kC3 + t6 * kC2 - t7 * kC1) >> 8;
+    // Transposed store: out[k][r] = y[k].
+    for (unsigned k = 0; k < 8; ++k) out[k * 8 + r] = y[k];
+  }
+}
+
+std::int32_t input_sample(common::Rng& rng) { return rng.range(-128, 127); }
+
+}  // namespace
+
+Workload make_idct() {
+  Workload w;
+  w.name = "idct";
+  w.description = "fixed-point 8x8 inverse-DCT-style transform, two passes";
+  w.source = kSource;
+  w.init = [](sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    for (unsigned i = 0; i < kBlocks * 64; ++i) {
+      mem.write32(kIn + 4 * i, static_cast<std::uint32_t>(input_sample(rng)));
+    }
+    for (unsigned i = 0; i < kBlocks * 64; ++i) {
+      mem.write32(kTmp + 4 * i, 0);
+      mem.write32(kOut + 4 * i, 0);
+    }
+  };
+  w.check = [](const sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    for (unsigned b = 0; b < kBlocks; ++b) {
+      Block in, tmp, out;
+      for (unsigned i = 0; i < 64; ++i) in[i] = input_sample(rng);
+      // Dequant (every other element).
+      for (unsigned i = 0; i < 64; i += 2) in[i] = (in[i] >> 1) + 4;
+      transform_rows_transposed(in, tmp);
+      transform_rows_transposed(tmp, out);
+      for (unsigned i = 0; i < 64; ++i) {
+        const std::uint32_t got = mem.read32(kOut + 4 * (b * 64 + i));
+        if (got != static_cast<std::uint32_t>(out[i])) {
+          return common::Status::error(common::format(
+              "idct: block %u elem %u = 0x%08x, expected 0x%08x", b, i, got,
+              static_cast<std::uint32_t>(out[i])));
+        }
+      }
+    }
+    return common::Status::ok();
+  };
+  return w;
+}
+
+}  // namespace warp::workloads

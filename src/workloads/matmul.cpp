@@ -1,0 +1,95 @@
+// matmul (EEMBC/Powerstone): integer matrix multiply.
+//
+// The inner product loop is the canonical MAC-bound kernel: two read
+// streams (A row, stride 4; B column, stride 4N) feeding a multiply merged
+// directly into the MAC's native accumulate. Without a hardware multiplier
+// the inner loop calls the injected software multiply — which both slows
+// the software (Section 2's matmul ablation) and, because the loop then
+// contains a call, makes the region unsuitable for hardware.
+#include "workloads/workload.hpp"
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace warp::workloads {
+namespace {
+
+constexpr std::uint32_t kA = 4096;
+constexpr std::uint32_t kB = 8192;
+constexpr std::uint32_t kC = 12288;
+constexpr unsigned kN = 24;
+constexpr std::uint64_t kSeed = 0x3A73713ull;
+
+constexpr const char* kSource = R"(
+; matmul: C = A x B, N = 24 (row stride 96 bytes). Registers r16..r24 hold
+; the locals so the injected __mulsi3 (which clobbers r3, r5..r7) is safe.
+  li r10, 96         ; 4*N
+  li r13, 24         ; N
+  li r16, 0          ; i
+iloop:
+  li r17, 0          ; j
+jloop:
+  mul_p r18, r16, r10
+  addil r18, r18, 4096   ; pA = &A[i][0]
+  shl_i r19, r17, 2
+  addil r19, r19, 8192   ; pB = &B[0][j]
+  li r20, 0              ; acc
+  li r21, 24             ; k
+kloop:
+  lwi r22, r18, 0
+  lwi r23, r19, 0
+  mul_p r24, r22, r23
+  add r20, r20, r24
+  addi r18, r18, 4
+  addi r19, r19, 96
+  addi r21, r21, -1
+  bne r21, kloop
+  mul_p r22, r16, r10
+  shl_i r23, r17, 2
+  add r22, r22, r23
+  addil r22, r22, 12288  ; &C[i][j]
+  swi r20, r22, 0
+  addi r17, r17, 1
+  cmp r22, r17, r13
+  blt r22, jloop
+  addi r16, r16, 1
+  cmp r22, r16, r13
+  blt r22, iloop
+  halt
+)";
+
+std::uint32_t element(common::Rng& rng) { return rng.below(64); }
+
+}  // namespace
+
+Workload make_matmul() {
+  Workload w;
+  w.name = "matmul";
+  w.description = "integer matrix multiply (24x24)";
+  w.source = kSource;
+  w.init = [](sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    for (unsigned i = 0; i < kN * kN; ++i) mem.write32(kA + 4 * i, element(rng));
+    for (unsigned i = 0; i < kN * kN; ++i) mem.write32(kB + 4 * i, element(rng));
+    for (unsigned i = 0; i < kN * kN; ++i) mem.write32(kC + 4 * i, 0);
+  };
+  w.check = [](const sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    std::vector<std::uint32_t> a(kN * kN), b(kN * kN);
+    for (auto& v : a) v = element(rng);
+    for (auto& v : b) v = element(rng);
+    for (unsigned i = 0; i < kN; ++i) {
+      for (unsigned j = 0; j < kN; ++j) {
+        std::uint32_t acc = 0;
+        for (unsigned k = 0; k < kN; ++k) acc += a[i * kN + k] * b[k * kN + j];
+        if (mem.read32(kC + 4 * (i * kN + j)) != acc) {
+          return common::Status::error(common::format("matmul: C[%u][%u] wrong", i, j));
+        }
+      }
+    }
+    return common::Status::ok();
+  };
+  return w;
+}
+
+}  // namespace warp::workloads

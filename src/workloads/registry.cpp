@@ -1,0 +1,19 @@
+#include "workloads/workload.hpp"
+
+namespace warp::workloads {
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kAll = {
+      make_brev(), make_g3fax(), make_canrdr(), make_bitmnp(), make_idct(), make_matmul(),
+  };
+  return kAll;
+}
+
+const Workload& workload_by_name(const std::string& name) {
+  for (const auto& w : all_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw common::InternalError("unknown workload: " + name);
+}
+
+}  // namespace warp::workloads

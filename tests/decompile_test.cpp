@@ -1,0 +1,330 @@
+// Decompiler tests: CFG recovery, liveness, kernel extraction.
+#include <gtest/gtest.h>
+
+#include "decompile/cfg.hpp"
+#include "decompile/extract.hpp"
+#include "decompile/liveness.hpp"
+#include "isa/assembler.hpp"
+
+namespace warp::decompile {
+namespace {
+
+Cfg build(const std::string& source) {
+  auto prog = isa::assemble(source, isa::CpuConfig::full());
+  EXPECT_TRUE(prog.is_ok()) << prog.message();
+  return Cfg::build(decode_program(prog.value().words));
+}
+
+// Locate the backward branch that targets `loop_label` and extract that loop.
+common::Result<KernelIR> extract(const std::string& source, const std::string& loop_label) {
+  auto prog = isa::assemble(source, isa::CpuConfig::full());
+  EXPECT_TRUE(prog.is_ok()) << prog.message();
+  const std::uint32_t target_pc = prog.value().label(loop_label);
+  Cfg cfg = Cfg::build(decode_program(prog.value().words));
+  std::uint32_t branch_pc = 0;
+  for (const auto& fi : cfg.instrs()) {
+    if (fi.valid && isa::is_conditional_branch(fi.instr.op) &&
+        fi.pc + static_cast<std::uint32_t>(fi.imm) == target_pc && fi.pc > target_pc) {
+      branch_pc = fi.pc;
+    }
+  }
+  EXPECT_NE(branch_pc, 0u) << "no backward branch to " << loop_label;
+  Liveness live(cfg);
+  return extract_kernel(cfg, live, branch_pc, target_pc);
+}
+
+TEST(Decoder, FusesImmPrefix) {
+  auto prog = isa::assemble("li r2, 0x12345678\nhalt\n", isa::CpuConfig::full());
+  const auto instrs = decode_program(prog.value().words);
+  ASSERT_EQ(instrs.size(), 2u);
+  EXPECT_TRUE(instrs[0].fused);
+  EXPECT_EQ(instrs[0].imm, 0x12345678);
+  EXPECT_EQ(instrs[0].size_bytes(), 8u);
+}
+
+TEST(Cfg, BasicBlocksAndLoop) {
+  const Cfg cfg = build(R"(
+    li r2, 4
+  loop:
+    addi r2, r2, -1
+    bne r2, loop
+    halt
+  )");
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_EQ(cfg.loops()[0].header_pc, 0x4u);
+  EXPECT_EQ(cfg.loops()[0].back_branch_pc, 0x8u);
+}
+
+TEST(Cfg, NestedLoopsFound) {
+  const Cfg cfg = build(R"(
+    li r2, 4
+  outer:
+    li r3, 4
+  inner:
+    addi r3, r3, -1
+    bne r3, inner
+    addi r2, r2, -1
+    bne r2, outer
+    halt
+  )");
+  EXPECT_EQ(cfg.loops().size(), 2u);
+}
+
+TEST(Cfg, DominatorsOfDiamond) {
+  const Cfg cfg = build(R"(
+    blt r2, a
+    nop
+    br b
+  a:
+    nop
+  b:
+    halt
+  )");
+  // Entry dominates everything.
+  for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+    EXPECT_TRUE(cfg.dominates(0, static_cast<int>(b)));
+  }
+  // Neither arm dominates the join.
+  const int join = cfg.block_of_pc(0x10);
+  const int arm = cfg.block_of_pc(0x4);
+  ASSERT_GE(join, 0);
+  ASSERT_GE(arm, 0);
+  EXPECT_FALSE(cfg.dominates(arm, join));
+}
+
+TEST(Liveness, DeadAfterRedefinition) {
+  auto prog = isa::assemble(R"(
+    li r2, 1
+    li r3, 2
+    add r4, r2, r3
+    li r2, 5
+    halt
+  )", isa::CpuConfig::full());
+  Cfg cfg = Cfg::build(decode_program(prog.value().words));
+  Liveness live(cfg);
+  // Before `add`, r2 and r3 are live.
+  const RegSet at_add = live.live_before_pc(0x8);
+  EXPECT_TRUE(at_add & (1u << 2));
+  EXPECT_TRUE(at_add & (1u << 3));
+  // Before the final li r2, nothing is live (program halts).
+  EXPECT_EQ(live.live_before_pc(0xc) & (1u << 2), 0u);
+}
+
+TEST(Liveness, ReturnUsesAbiMask) {
+  auto prog = isa::assemble(R"(
+    call f
+    halt
+  f:
+    add r3, r5, r0
+    ret
+  )", isa::CpuConfig::full());
+  Cfg cfg = Cfg::build(decode_program(prog.value().words));
+  Liveness live(cfg);
+  // At `ret`, only r1/r3 are deemed live, so r5 is dead after its use.
+  const RegSet at_add = live.live_before_pc(prog.value().label("f"));
+  EXPECT_TRUE(at_add & (1u << 5));
+  EXPECT_FALSE(at_add & (1u << 7));
+}
+
+// --- extraction ------------------------------------------------------------
+
+constexpr const char* kMemsetLoop = R"(
+  li r2, 0x1000
+  li r3, 64
+  li r4, 0xAB
+loop:
+  sbi r4, r2, 0
+  addi r2, r2, 1
+  addi r3, r3, -1
+  bne r3, loop
+  halt
+)";
+
+TEST(Extract, MemsetKernel) {
+  auto ir = extract(kMemsetLoop, "loop");
+  ASSERT_TRUE(ir.is_ok()) << ir.message();
+  const KernelIR& k = ir.value();
+  ASSERT_EQ(k.streams.size(), 1u);
+  EXPECT_TRUE(k.streams[0].is_write);
+  EXPECT_EQ(k.streams[0].elem_bytes, 1u);
+  EXPECT_EQ(k.streams[0].stride_bytes, 1);
+  EXPECT_EQ(k.trip.kind, TripCount::Kind::kDownToZero);
+  EXPECT_EQ(k.trip.reg, 3u);
+  EXPECT_TRUE(k.accumulators.empty());
+}
+
+TEST(Extract, AccumulatorKernel) {
+  auto ir = extract(R"(
+    li r2, 0x1000
+    li r3, 100
+    li r5, 0
+  loop:
+    lwi r4, r2, 0
+    add r5, r5, r4
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, loop
+    li r6, 0x100
+    swi r5, r6, 0
+    halt
+  )", "loop");
+  ASSERT_TRUE(ir.is_ok()) << ir.message();
+  ASSERT_EQ(ir.value().accumulators.size(), 1u);
+  EXPECT_EQ(ir.value().accumulators[0].reg, 5u);
+  EXPECT_EQ(ir.value().accumulators[0].op, DfgOp::kAdd);
+}
+
+TEST(Extract, BoundedUpCounter) {
+  auto ir = extract(R"(
+    li r2, 0
+    li r3, 50
+  loop:
+    addi r2, r2, 1
+    cmp r4, r2, r3
+    blt r4, loop
+    halt
+  )", "loop");
+  ASSERT_TRUE(ir.is_ok()) << ir.message();
+  EXPECT_EQ(ir.value().trip.kind, TripCount::Kind::kBoundedUp);
+  EXPECT_EQ(ir.value().trip.reg, 2u);
+  EXPECT_FALSE(ir.value().trip.bound_is_const);
+  EXPECT_EQ(ir.value().trip.bound_reg, 3u);
+}
+
+TEST(Extract, IfConversionProducesMux) {
+  auto ir = extract(R"(
+    li r2, 0x1000
+    li r3, 32
+  loop:
+    lwi r4, r2, 0
+    blt r4, neg
+    li r5, 1
+    br join
+  neg:
+    li r5, 2
+  join:
+    swi r5, r2, 0
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, loop
+    halt
+  )", "loop");
+  ASSERT_TRUE(ir.is_ok()) << ir.message();
+  bool has_mux = false;
+  for (const auto& n : ir.value().dfg.nodes()) {
+    if (n.op == DfgOp::kMux) has_mux = true;
+  }
+  EXPECT_TRUE(has_mux);
+}
+
+TEST(Extract, RejectsCallInBody) {
+  auto ir = extract(R"(
+    li r3, 8
+  loop:
+    call f
+    addi r3, r3, -1
+    bne r3, loop
+    halt
+  f:
+    ret
+  )", "loop");
+  EXPECT_FALSE(ir.is_ok());
+}
+
+TEST(Extract, RejectsNonAffineAddress) {
+  auto ir = extract(R"(
+    li r2, 0x1000
+    li r3, 16
+  loop:
+    lwi r4, r2, 0
+    lw r5, r2, r4       ; address depends on loaded data
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, loop
+    halt
+  )", "loop");
+  ASSERT_FALSE(ir.is_ok());
+  EXPECT_NE(ir.message().find("affine"), std::string::npos);
+}
+
+TEST(Extract, RejectsInnerLoop) {
+  auto ir = extract(R"(
+    li r2, 8
+  outer:
+    li r3, 8
+  inner:
+    addi r3, r3, -1
+    bne r3, inner
+    addi r2, r2, -1
+    bne r2, outer
+    halt
+  )", "outer");
+  ASSERT_FALSE(ir.is_ok());
+  EXPECT_NE(ir.message().find("inner loop"), std::string::npos);
+}
+
+TEST(Extract, RejectsLiveScratch) {
+  // r4 is modified in the loop in a non-reducible way and read afterwards.
+  auto ir = extract(R"(
+    li r2, 0x1000
+    li r3, 16
+  loop:
+    lwi r4, r2, 0
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, loop
+    swi r4, r2, 0
+    halt
+  )", "loop");
+  EXPECT_FALSE(ir.is_ok());
+}
+
+TEST(Extract, BurstTapsGrouped) {
+  auto ir = extract(R"(
+    li r2, 0x1000
+    li r3, 16
+  loop:
+    lwi r4, r2, 0
+    lwi r5, r2, 4
+    add r4, r4, r5
+    swi r4, r2, 256
+    addi r2, r2, 8
+    addi r3, r3, -1
+    bne r3, loop
+    halt
+  )", "loop");
+  ASSERT_TRUE(ir.is_ok()) << ir.message();
+  const KernelIR& k = ir.value();
+  ASSERT_EQ(k.streams.size(), 2u);
+  const auto& read = k.streams[0].is_write ? k.streams[1] : k.streams[0];
+  EXPECT_EQ(read.burst, 2u);
+  EXPECT_EQ(read.tap_stride_bytes, 4);
+  EXPECT_EQ(read.stride_bytes, 8);
+}
+
+TEST(Extract, DfgEvalMatchesSoftwareSemantics) {
+  auto ir = extract(R"(
+    li r2, 0x1000
+    li r3, 16
+  loop:
+    lwi r4, r2, 0
+    bslli r5, r4, 3
+    xori r5, r5, 0x5A
+    swi r5, r2, 0
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne r3, loop
+    halt
+  )", "loop");
+  ASSERT_TRUE(ir.is_ok()) << ir.message();
+  const KernelIR& k = ir.value();
+  ASSERT_EQ(k.writes.size(), 1u);
+  Dfg::Inputs inputs;
+  inputs.stream_in[0] = 0x21;  // stream 0 tap 0
+  inputs.iv[2] = 0x1000;
+  const std::uint32_t got = k.dfg.eval(k.writes[0].node, inputs);
+  EXPECT_EQ(got, (0x21u << 3) ^ 0x5Au);
+}
+
+}  // namespace
+}  // namespace warp::decompile

@@ -1,0 +1,182 @@
+// ISA encode/decode and assembler tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+
+namespace warp::isa {
+namespace {
+
+TEST(IsaEncode, RoundTripAllOpcodes) {
+  for (unsigned op = 0; op < static_cast<unsigned>(Opcode::kOpcodeCount); ++op) {
+    Instr instr;
+    instr.op = static_cast<Opcode>(op);
+    instr.rd = 7;
+    instr.ra = 13;
+    if (!has_immediate(instr.op)) instr.rb = 21;
+    instr.imm = has_immediate(instr.op) ? -42 : 0;
+    const auto decoded = decode(encode(instr));
+    ASSERT_TRUE(decoded.has_value()) << mnemonic(instr.op);
+    EXPECT_EQ(*decoded, instr) << mnemonic(instr.op);
+  }
+}
+
+TEST(IsaEncode, RoundTripRandomInstructions) {
+  common::Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    Instr instr;
+    instr.op = static_cast<Opcode>(rng.below(static_cast<unsigned>(Opcode::kOpcodeCount)));
+    instr.rd = static_cast<std::uint8_t>(rng.below(32));
+    instr.ra = static_cast<std::uint8_t>(rng.below(32));
+    if (has_immediate(instr.op)) {
+      instr.imm = rng.range(-32768, 32767);
+    } else {
+      instr.rb = static_cast<std::uint8_t>(rng.below(32));
+    }
+    EXPECT_EQ(*decode(encode(instr)), instr);
+  }
+}
+
+TEST(IsaEncode, InvalidOpcodeRejected) {
+  // Opcode field beyond kOpcodeCount.
+  const std::uint32_t bad = 63u << 26;
+  EXPECT_FALSE(decode(bad).has_value());
+}
+
+TEST(IsaMnemonics, RoundTrip) {
+  for (unsigned op = 0; op < static_cast<unsigned>(Opcode::kOpcodeCount); ++op) {
+    const auto o = static_cast<Opcode>(op);
+    const auto back = opcode_from_mnemonic(mnemonic(o));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, o);
+  }
+  EXPECT_FALSE(opcode_from_mnemonic("bogus").has_value());
+}
+
+TEST(IsaLatency, MatchesPaperTimings) {
+  EXPECT_EQ(latency_cycles(Opcode::kAdd, false), 1u);
+  EXPECT_EQ(latency_cycles(Opcode::kMul, false), 3u);   // paper: multiply is 3 cycles
+  EXPECT_EQ(latency_cycles(Opcode::kLw, false), 2u);
+  EXPECT_EQ(latency_cycles(Opcode::kBne, true), 3u);    // taken branch flushes
+  EXPECT_EQ(latency_cycles(Opcode::kBne, false), 1u);
+}
+
+TEST(Assembler, BasicProgram) {
+  const auto prog = assemble(R"(
+    li r2, 5
+    addi r3, r2, 10
+    halt
+  )", CpuConfig::full());
+  ASSERT_TRUE(prog.is_ok()) << prog.message();
+  EXPECT_EQ(prog.value().words.size(), 3u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const auto prog = assemble(R"(
+    li r2, 3
+  loop:
+    addi r2, r2, -1
+    bne r2, loop
+    halt
+  )", CpuConfig::full());
+  ASSERT_TRUE(prog.is_ok()) << prog.message();
+  // Branch offset must point back one instruction.
+  const auto instr = decode(prog.value().words[2]);
+  ASSERT_TRUE(instr.has_value());
+  EXPECT_EQ(instr->op, Opcode::kBne);
+  EXPECT_EQ(instr->imm, -4);
+}
+
+TEST(Assembler, LargeImmediateUsesImmPrefix) {
+  const auto prog = assemble("li r2, 0x12345678\nhalt\n", CpuConfig::full());
+  ASSERT_TRUE(prog.is_ok());
+  ASSERT_EQ(prog.value().words.size(), 3u);
+  const auto first = decode(prog.value().words[0]);
+  EXPECT_EQ(first->op, Opcode::kImm);
+  EXPECT_EQ(static_cast<std::uint16_t>(first->imm), 0x1234);
+}
+
+TEST(Assembler, ShiftLoweringWithBarrelShifter) {
+  const auto prog = assemble("shl_i r2, r3, 5\nhalt\n", CpuConfig::full());
+  ASSERT_TRUE(prog.is_ok());
+  EXPECT_EQ(prog.value().words.size(), 2u);
+  EXPECT_EQ(decode(prog.value().words[0])->op, Opcode::kBslli);
+}
+
+TEST(Assembler, ShiftLoweringWithoutBarrelShifter) {
+  // Paper, Section 2: "an n-bit shift [becomes] n successive add operations".
+  const auto prog = assemble("shl_i r2, r3, 5\nhalt\n", CpuConfig::minimal());
+  ASSERT_TRUE(prog.is_ok());
+  EXPECT_EQ(prog.value().words.size(), 7u);  // mv + 5 adds + halt
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_EQ(decode(prog.value().words[static_cast<std::size_t>(i)])->op, Opcode::kAdd);
+  }
+}
+
+TEST(Assembler, MulLoweringWithoutMultiplierInjectsRoutine) {
+  const auto prog = assemble("mul_p r2, r3, r4\nhalt\n", CpuConfig::minimal());
+  ASSERT_TRUE(prog.is_ok());
+  EXPECT_TRUE(prog.value().symbols.count("__mulsi3"));
+  // No mul instruction may appear anywhere in the binary.
+  for (std::uint32_t word : prog.value().words) {
+    const auto instr = decode(word);
+    if (instr) EXPECT_FALSE(requires_multiplier(instr->op));
+  }
+}
+
+TEST(Assembler, MulUsesHardwareWhenPresent) {
+  const auto prog = assemble("mul_p r2, r3, r4\nhalt\n", CpuConfig::full());
+  ASSERT_TRUE(prog.is_ok());
+  EXPECT_EQ(prog.value().words.size(), 2u);
+  EXPECT_EQ(decode(prog.value().words[0])->op, Opcode::kMul);
+}
+
+TEST(Assembler, BarrelInstructionRejectedOnMinimalCore) {
+  const auto prog = assemble("bslli r2, r3, 4\nhalt\n", CpuConfig::minimal());
+  EXPECT_FALSE(prog.is_ok());
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  const auto prog = assemble("nop\nbogus r1, r2\n", CpuConfig::full());
+  ASSERT_FALSE(prog.is_ok());
+  EXPECT_NE(prog.message().find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, UndefinedSymbolFails) {
+  EXPECT_FALSE(assemble("br nowhere\n", CpuConfig::full()).is_ok());
+}
+
+TEST(Assembler, DuplicateLabelFails) {
+  EXPECT_FALSE(assemble("a:\nnop\na:\nhalt\n", CpuConfig::full()).is_ok());
+}
+
+TEST(Assembler, EquAndWordDirectives) {
+  const auto prog = assemble(R"(
+    .equ BASE, 0x400
+    li r2, BASE
+    halt
+    .word 0xDEADBEEF
+  )", CpuConfig::full());
+  ASSERT_TRUE(prog.is_ok()) << prog.message();
+  EXPECT_EQ(prog.value().words.back(), 0xDEADBEEFu);
+  EXPECT_EQ(prog.value().symbols.at("BASE"), 0x400u);
+}
+
+struct ShiftCase {
+  unsigned amount;
+};
+class ShiftLoweringTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShiftLoweringTest, ExpansionLengthMatchesAmount) {
+  const unsigned n = GetParam();
+  const std::string src = "shl_i r2, r3, " + std::to_string(n) + "\nhalt\n";
+  const auto prog = assemble(src, CpuConfig::minimal());
+  ASSERT_TRUE(prog.is_ok());
+  EXPECT_EQ(prog.value().words.size(), 2u + n);  // mv + n adds + halt
+}
+
+INSTANTIATE_TEST_SUITE_P(Amounts, ShiftLoweringTest, ::testing::Values(0u, 1u, 2u, 8u, 16u, 31u));
+
+}  // namespace
+}  // namespace warp::isa

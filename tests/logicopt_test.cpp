@@ -1,0 +1,103 @@
+// ROCM two-level minimizer tests (property-based over random functions).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "logicopt/rocm.hpp"
+
+namespace warp::logicopt {
+namespace {
+
+TEST(Cubes, IntersectionAndContainment) {
+  // a = x0 & !x1 ; b = x0 ; c = !x0
+  const Cube a{0b11, 0b01};
+  const Cube b{0b01, 0b01};
+  const Cube c{0b01, 0b00};
+  EXPECT_TRUE(cubes_intersect(a, b));
+  EXPECT_FALSE(cubes_intersect(a, c));
+  EXPECT_TRUE(cube_contains(b, a));   // x0 ⊇ x0&!x1
+  EXPECT_FALSE(cube_contains(a, b));
+}
+
+TEST(Tautology, UniversalCube) {
+  EXPECT_TRUE(cover_is_tautology({Cube{0, 0}}, 3));
+}
+
+TEST(Tautology, XplusNotX) {
+  EXPECT_TRUE(cover_is_tautology({Cube{1, 1}, Cube{1, 0}}, 1));
+}
+
+TEST(Tautology, SingleLiteralIsNot) {
+  EXPECT_FALSE(cover_is_tautology({Cube{1, 1}}, 1));
+}
+
+TEST(Tautology, EmptyCoverIsNot) {
+  EXPECT_FALSE(cover_is_tautology({}, 2));
+}
+
+TEST(Rocm, MinimizesClassicExample) {
+  // f = x0 x1 + x0 !x1  ->  x0
+  Cover on = {Cube{0b11, 0b11}, Cube{0b11, 0b01}};
+  Cover off = {Cube{0b01, 0b00}};
+  const Cover result = rocm_minimize(on, off, 2);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].care, 0b01);
+  EXPECT_EQ(result[0].polarity, 0b01);
+}
+
+TEST(Rocm, KeepsFunctionWithDontCares) {
+  // ON = {11}, OFF = {00}: minterms 01 and 10 are don't-cares; the minimal
+  // result is a single cube that must cover 11 and avoid 00.
+  Cover on, off;
+  on.push_back(Cube{0b11, 0b11});
+  off.push_back(Cube{0b11, 0b00});
+  const Cover result = rocm_minimize(on, off, 2);
+  EXPECT_TRUE(cover_eval(result, 2, 0b11));
+  EXPECT_FALSE(cover_eval(result, 2, 0b00));
+  EXPECT_LE(cover_literals(result), 1u);
+}
+
+class RocmPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RocmPropertyTest, PreservesOnAndOffSets) {
+  // Property: for random truth tables, the minimized cover covers every ON
+  // minterm, no OFF minterm, and never has more literals than the input.
+  const unsigned num_vars = GetParam();
+  common::Rng rng(num_vars * 1237 + 5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t truth =
+        rng.next_u64() & ((num_vars >= 6) ? ~0ull : ((1ull << (1u << num_vars)) - 1));
+    Cover on, off;
+    covers_from_truth(truth, num_vars, on, off);
+    RocmStats stats;
+    const Cover result = rocm_minimize(on, off, num_vars, &stats);
+    for (std::uint32_t m = 0; m < (1u << num_vars); ++m) {
+      const bool expect = (truth >> m) & 1u;
+      EXPECT_EQ(cover_eval(result, num_vars, m), expect)
+          << "vars=" << num_vars << " truth=" << truth << " m=" << m;
+    }
+    EXPECT_LE(cover_literals(result), stats.initial_literals);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VarCounts, RocmPropertyTest, ::testing::Values(2u, 3u, 4u, 5u));
+
+TEST(Rocm, TruthCoverRoundTrip) {
+  common::Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t truth = rng.next_u64() & 0xFFu;  // 3 vars
+    Cover on, off;
+    covers_from_truth(truth, 3, on, off);
+    EXPECT_EQ(truth_from_cover(on, 3), truth);
+  }
+}
+
+TEST(Rocm, MetersWork) {
+  Cover on, off;
+  covers_from_truth(0b01101001, 3, on, off);
+  RocmStats stats;
+  rocm_minimize(on, off, 3, &stats);
+  EXPECT_GT(stats.expand_steps, 0u);
+}
+
+}  // namespace
+}  // namespace warp::logicopt

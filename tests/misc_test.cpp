@@ -1,0 +1,127 @@
+// Tests for common utilities, memory, energy and ARM models, workloads.
+#include <gtest/gtest.h>
+
+#include "arm/arm_model.hpp"
+#include "common/bitutil.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "energy/power_model.hpp"
+#include "sim/memory.hpp"
+#include "workloads/workload.hpp"
+
+namespace warp {
+namespace {
+
+TEST(BitUtil, Basics) {
+  EXPECT_EQ(common::bits(0xABCD1234u, 8, 8), 0x12u);
+  EXPECT_EQ(common::set_bits(0, 4, 4, 0xF), 0xF0u);
+  EXPECT_EQ(common::sign_extend(0x8000, 16), -32768);
+  EXPECT_EQ(common::sign_extend(0x7FFF, 16), 32767);
+  EXPECT_TRUE(common::fits_signed(-32768, 16));
+  EXPECT_FALSE(common::fits_signed(32768, 16));
+  EXPECT_EQ(common::bit_reverse32(0x80000000u), 1u);
+  EXPECT_EQ(common::bit_reverse32(common::bit_reverse32(0xDEADBEEFu)), 0xDEADBEEFu);
+  EXPECT_EQ(common::log2_ceil(1), 0u);
+  EXPECT_EQ(common::log2_ceil(8), 3u);
+  EXPECT_EQ(common::log2_ceil(9), 4u);
+}
+
+TEST(Strings, ParseInt) {
+  long long v = 0;
+  EXPECT_TRUE(common::parse_int("123", v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(common::parse_int("-45", v));
+  EXPECT_EQ(v, -45);
+  EXPECT_TRUE(common::parse_int("0xFF", v));
+  EXPECT_EQ(v, 255);
+  EXPECT_FALSE(common::parse_int("12x", v));
+  EXPECT_FALSE(common::parse_int("", v));
+}
+
+TEST(Strings, SplitAndTrim) {
+  EXPECT_EQ(common::trim("  hi \t"), "hi");
+  const auto parts = common::split("a, b,, c", ", ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Table, RendersAligned) {
+  common::Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Memory, WordByteHalfAccess) {
+  sim::Memory mem(64);
+  mem.write32(0, 0xA1B2C3D4u);
+  EXPECT_EQ(mem.read8(0), 0xD4u);
+  EXPECT_EQ(mem.read16(2), 0xA1B2u);
+  mem.write16(4, 0x1234);
+  EXPECT_EQ(mem.read32(4), 0x1234u);
+  EXPECT_THROW(mem.read32(62), common::InternalError);
+}
+
+TEST(Energy, Figure5Composition) {
+  // E_total must equal the sum of the three Figure 5 terms, and idle time
+  // must cost less than active time.
+  const auto busy = energy::microblaze_energy(1e-3, 0.0, 0.0, 0, false);
+  const auto idle = energy::microblaze_energy(0.0, 1e-3, 0.0, 0, false);
+  EXPECT_GT(busy.total_mj(), idle.total_mj());
+  EXPECT_DOUBLE_EQ(busy.total_mj(), busy.e_mb_mj + busy.e_hw_mj + busy.e_static_mj);
+  // Hardware energy scales with fabric size.
+  const auto small = energy::microblaze_energy(0, 0, 1e-3, 10, false);
+  const auto large = energy::microblaze_energy(0, 0, 1e-3, 2000, true);
+  EXPECT_GT(large.e_hw_mj, small.e_hw_mj);
+}
+
+TEST(ArmModel, FasterCoresAreFaster) {
+  sim::CoreStats stats;
+  stats.per_class[static_cast<std::size_t>(isa::InstrClass::kAlu)] = 1'000'000;
+  stats.per_class[static_cast<std::size_t>(isa::InstrClass::kLoad)] = 200'000;
+  stats.per_class[static_cast<std::size_t>(isa::InstrClass::kBranch)] = 100'000;
+  const auto t7 = arm::estimate(arm::arm7(), stats).seconds;
+  const auto t9 = arm::estimate(arm::arm9(), stats).seconds;
+  const auto t10 = arm::estimate(arm::arm10(), stats).seconds;
+  const auto t11 = arm::estimate(arm::arm11(), stats).seconds;
+  EXPECT_GT(t7, t9);
+  EXPECT_GT(t9, t10);
+  EXPECT_GT(t10, t11);
+}
+
+TEST(ArmModel, EnergyOrderingMatchesPaper) {
+  // Figure 7: among the hard cores, faster cores burn more energy.
+  sim::CoreStats stats;
+  stats.per_class[static_cast<std::size_t>(isa::InstrClass::kAlu)] = 1'000'000;
+  const auto e7 = arm::estimate(arm::arm7(), stats).energy_mj;
+  const auto e9 = arm::estimate(arm::arm9(), stats).energy_mj;
+  const auto e10 = arm::estimate(arm::arm10(), stats).energy_mj;
+  const auto e11 = arm::estimate(arm::arm11(), stats).energy_mj;
+  EXPECT_LT(e7, e9);
+  EXPECT_LT(e9, e10);
+  EXPECT_LT(e10, e11);
+}
+
+TEST(Workloads, RegistryHasAllSixPaperBenchmarks) {
+  const auto& all = workloads::all_workloads();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "brev");
+  EXPECT_EQ(all[5].name, "matmul");
+  EXPECT_THROW(workloads::workload_by_name("nope"), common::InternalError);
+}
+
+TEST(Workloads, CheckRejectsUntouchedMemory) {
+  // The golden checkers must actually check something: fresh memory that
+  // never ran the benchmark must fail.
+  for (const auto& w : workloads::all_workloads()) {
+    sim::Memory mem(1 << 20);
+    w.init(mem);
+    EXPECT_FALSE(w.check(mem).is_ok()) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace warp

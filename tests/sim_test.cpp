@@ -1,0 +1,231 @@
+// Simulator semantics and timing tests.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sim/core.hpp"
+
+namespace warp::sim {
+namespace {
+
+using isa::CpuConfig;
+
+struct Fixture {
+  Memory instr{1 << 14};
+  Memory data{1 << 16};
+  Core core;
+  explicit Fixture(CpuConfig cfg = CpuConfig::full()) : core(instr, data, cfg) {}
+
+  StopReason run(const std::string& source) {
+    auto prog = isa::assemble(source, core.config());
+    EXPECT_TRUE(prog.is_ok()) << prog.message();
+    core.load_program(prog.value());
+    return core.run(1'000'000);
+  }
+};
+
+TEST(Sim, ArithmeticBasics) {
+  Fixture f;
+  EXPECT_EQ(f.run(R"(
+    li r2, 7
+    li r3, 5
+    add r4, r2, r3
+    sub r5, r2, r3
+    mul r6, r2, r3
+    halt
+  )"), StopReason::kHalted);
+  EXPECT_EQ(f.core.reg(4), 12u);
+  EXPECT_EQ(f.core.reg(5), 2u);
+  EXPECT_EQ(f.core.reg(6), 35u);
+}
+
+TEST(Sim, RegisterZeroIsHardwired) {
+  Fixture f;
+  f.run("addi r0, r0, 55\nadd r2, r0, r0\nhalt\n");
+  EXPECT_EQ(f.core.reg(0), 0u);
+  EXPECT_EQ(f.core.reg(2), 0u);
+}
+
+TEST(Sim, ShiftsAndLogic) {
+  Fixture f;
+  f.run(R"(
+    li r2, 0xF0
+    bslli r3, r2, 4
+    bsrli r4, r2, 4
+    li r5, -16
+    bsrai r6, r5, 2
+    andi r7, r2, 0x3C
+    ori r8, r2, 0x0F
+    xori r9, r2, 0xFF
+    sext8 r10, r2
+    halt
+  )");
+  EXPECT_EQ(f.core.reg(3), 0xF00u);
+  EXPECT_EQ(f.core.reg(4), 0xFu);
+  EXPECT_EQ(f.core.reg(6), static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(f.core.reg(7), 0x30u);
+  EXPECT_EQ(f.core.reg(8), 0xFFu);
+  EXPECT_EQ(f.core.reg(9), 0x0Fu);
+  EXPECT_EQ(f.core.reg(10), static_cast<std::uint32_t>(-16));
+}
+
+TEST(Sim, CompareSemantics) {
+  Fixture f;
+  f.run(R"(
+    li r2, -3
+    li r3, 4
+    cmp r4, r2, r3
+    cmp r5, r3, r2
+    cmp r6, r3, r3
+    cmpu r7, r2, r3
+    halt
+  )");
+  EXPECT_EQ(f.core.reg(4), static_cast<std::uint32_t>(-1));  // -3 < 4
+  EXPECT_EQ(f.core.reg(5), 1u);
+  EXPECT_EQ(f.core.reg(6), 0u);
+  EXPECT_EQ(f.core.reg(7), 1u);  // unsigned: 0xFFFFFFFD > 4
+}
+
+TEST(Sim, MemoryAccessSizes) {
+  Fixture f;
+  f.run(R"(
+    li r2, 0x100
+    li r3, 0x11223344
+    swi r3, r2, 0
+    lwi r4, r2, 0
+    lbui r5, r2, 0
+    lbui r6, r2, 3
+    lhui r7, r2, 0
+    li r8, 0xAB
+    sbi r8, r2, 1
+    lwi r9, r2, 0
+    halt
+  )");
+  EXPECT_EQ(f.core.reg(4), 0x11223344u);
+  EXPECT_EQ(f.core.reg(5), 0x44u);
+  EXPECT_EQ(f.core.reg(6), 0x11u);
+  EXPECT_EQ(f.core.reg(7), 0x3344u);
+  EXPECT_EQ(f.core.reg(9), 0x1122AB44u);
+}
+
+TEST(Sim, LoopExecutesExactTripCount) {
+  Fixture f;
+  f.run(R"(
+    li r2, 10
+    li r3, 0
+  loop:
+    addi r3, r3, 2
+    addi r2, r2, -1
+    bne r2, loop
+    halt
+  )");
+  EXPECT_EQ(f.core.reg(3), 20u);
+  EXPECT_EQ(f.core.stats().taken_branches, 9u);
+  EXPECT_EQ(f.core.stats().not_taken_branches, 1u);
+}
+
+TEST(Sim, CallAndReturn) {
+  Fixture f;
+  f.run(R"(
+    li r5, 21
+    call double_it
+    mv r6, r3
+    halt
+  double_it:
+    add r3, r5, r5
+    ret
+  )");
+  EXPECT_EQ(f.core.reg(6), 42u);
+}
+
+TEST(Sim, ImmPrefixFormsFullConstant) {
+  Fixture f;
+  f.run("li r2, 0xCAFEBABE\nhalt\n");
+  EXPECT_EQ(f.core.reg(2), 0xCAFEBABEu);
+}
+
+TEST(Sim, NegativeLargeConstant) {
+  Fixture f;
+  f.run("li r2, -100000\nhalt\n");
+  EXPECT_EQ(f.core.reg(2), static_cast<std::uint32_t>(-100000));
+}
+
+TEST(Sim, CycleAccountingPerClass) {
+  Fixture f;
+  f.run(R"(
+    add r2, r0, r0
+    mul r3, r2, r2
+    lwi r4, r0, 0
+    halt
+  )");
+  // add(1) + mul(3) + lwi(2) + halt(1) = 7
+  EXPECT_EQ(f.core.stats().cycles, 7u);
+  EXPECT_EQ(f.core.stats().instructions, 4u);
+}
+
+TEST(Sim, MissingMultiplierTraps) {
+  Fixture f(CpuConfig::minimal());
+  // Hand-encode a mul (the assembler would refuse).
+  isa::Instr mul;
+  mul.op = isa::Opcode::kMul;
+  mul.rd = 2;
+  f.instr.write32(0, isa::encode(mul));
+  f.core.reset();
+  EXPECT_EQ(f.core.run(10), StopReason::kError);
+}
+
+TEST(Sim, SoftwareMultiplyMatchesHardware) {
+  // The injected __mulsi3 must agree with the mul instruction, including
+  // negatives (product is correct modulo 2^32).
+  const std::string body = R"(
+    li r20, -1234
+    li r21, 5678
+    mul_p r22, r20, r21
+    halt
+  )";
+  Fixture hw(CpuConfig::full());
+  hw.run(body);
+  Fixture sw(CpuConfig::minimal());
+  sw.run(body);
+  EXPECT_EQ(hw.core.reg(22), sw.core.reg(22));
+  EXPECT_EQ(hw.core.reg(22), static_cast<std::uint32_t>(-1234 * 5678));
+}
+
+TEST(Sim, SoftwareDivideWorks) {
+  Fixture f(CpuConfig::minimal());
+  f.run(R"(
+    li r20, 1000
+    li r21, 7
+    div_p r22, r20, r21
+    li r20, -1000
+    div_p r23, r20, r21
+    halt
+  )");
+  EXPECT_EQ(f.core.reg(22), 142u);
+  EXPECT_EQ(f.core.reg(23), static_cast<std::uint32_t>(-142));
+}
+
+TEST(Sim, StopsAtInstructionBudget) {
+  Fixture f;
+  auto prog = isa::assemble("loop: br loop\n", CpuConfig::full());
+  f.core.load_program(prog.value());
+  EXPECT_EQ(f.core.run(100), StopReason::kMaxInstructions);
+}
+
+TEST(Sim, BranchHookSeesBackwardBranches) {
+  Fixture f;
+  unsigned backward = 0;
+  f.core.set_branch_hook([&](std::uint32_t pc, std::uint32_t target, bool taken) {
+    if (taken && target < pc) ++backward;
+  });
+  f.run(R"(
+    li r2, 5
+  loop:
+    addi r2, r2, -1
+    bne r2, loop
+    halt
+  )");
+  EXPECT_EQ(backward, 4u);
+}
+
+}  // namespace
+}  // namespace warp::sim

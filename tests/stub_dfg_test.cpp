@@ -1,0 +1,154 @@
+// Stub-builder and DFG-construction unit tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "decompile/kernel_ir.hpp"
+#include "warp/stub_builder.hpp"
+
+namespace warp {
+namespace {
+
+using decompile::Dfg;
+using decompile::DfgOp;
+
+TEST(Dfg, ConstantFolding) {
+  Dfg dfg;
+  const int a = dfg.add_const(6);
+  const int b = dfg.add_const(7);
+  const int product = dfg.add(DfgOp::kMul, a, b);
+  EXPECT_TRUE(dfg.is_const(product));
+  EXPECT_EQ(dfg.const_value(product), 42u);
+  const int shifted = dfg.add(DfgOp::kShl, product, -1, -1, 4);
+  EXPECT_EQ(dfg.const_value(shifted), 42u << 4);
+}
+
+TEST(Dfg, AlgebraicIdentities) {
+  Dfg dfg;
+  const int x = dfg.add_live_in(5);
+  EXPECT_EQ(dfg.add(DfgOp::kAdd, x, dfg.add_const(0)), x);
+  EXPECT_EQ(dfg.add(DfgOp::kMul, x, dfg.add_const(1)), x);
+  EXPECT_TRUE(dfg.is_const(dfg.add(DfgOp::kMul, x, dfg.add_const(0))));
+  EXPECT_TRUE(dfg.is_const(dfg.add(DfgOp::kXor, x, x)));
+  EXPECT_EQ(dfg.add(DfgOp::kAnd, x, dfg.add_const(~0u)), x);
+  EXPECT_EQ(dfg.add(DfgOp::kShl, x, -1, -1, 0), x);
+  // Mux with equal arms / constant condition.
+  const int y = dfg.add_live_in(6);
+  EXPECT_EQ(dfg.add(DfgOp::kMux, dfg.add_const(1), x, y), x);
+  EXPECT_EQ(dfg.add(DfgOp::kMux, dfg.add_const(0), x, y), y);
+  EXPECT_EQ(dfg.add(DfgOp::kMux, y, x, x), x);
+}
+
+TEST(Dfg, HashConsing) {
+  Dfg dfg;
+  const int x = dfg.add_live_in(2);
+  const int y = dfg.add_live_in(3);
+  EXPECT_EQ(dfg.add(DfgOp::kAdd, x, y), dfg.add(DfgOp::kAdd, y, x));  // commutative
+  EXPECT_NE(dfg.add(DfgOp::kSub, x, y), dfg.add(DfgOp::kSub, y, x));  // not commutative
+}
+
+TEST(Dfg, EvalRandomizedAgainstNative) {
+  common::Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    Dfg dfg;
+    const int x = dfg.add_live_in(2);
+    const int y = dfg.add_live_in(3);
+    const unsigned sh = rng.below(31) + 1;
+    const int t1 = dfg.add(DfgOp::kAdd, x, y);
+    const int t2 = dfg.add(DfgOp::kShrl, t1, -1, -1, sh);
+    const int t3 = dfg.add(DfgOp::kXor, t2, x);
+    const int t4 = dfg.add(DfgOp::kMux, dfg.add(DfgOp::kCmpLt, x, y), t3, y);
+    Dfg::Inputs in;
+    const std::uint32_t vx = rng.next_u32();
+    const std::uint32_t vy = rng.next_u32();
+    in.live_in[2] = vx;
+    in.live_in[3] = vy;
+    const std::uint32_t expect =
+        (static_cast<std::int32_t>(vx) < static_cast<std::int32_t>(vy))
+            ? (((vx + vy) >> sh) ^ vx)
+            : vy;
+    EXPECT_EQ(dfg.eval(t4, in), expect);
+  }
+}
+
+// --- stub builder -----------------------------------------------------------
+
+warpsys::StubRequest basic_request() {
+  warpsys::StubRequest request;
+  request.ir.trip.kind = decompile::TripCount::Kind::kDownToZero;
+  request.ir.trip.reg = 4;
+  request.ir.trip.step = 1;
+  decompile::Stream stream;
+  stream.base_terms.push_back({2, 1});
+  stream.base_offset = 16;
+  stream.is_write = true;
+  request.ir.streams.push_back(stream);
+  request.ir.live_in_regs = {2, 4, 6};
+  request.ir.iv_finals.push_back({2, 4});
+  request.ir.header_pc = 0x40;
+  request.ir.exit_pc = 0x60;
+  request.stub_addr = 0x200;
+  request.wcla_base = 0x80000000u;
+  request.live_at_header = (1u << 2) | (1u << 4) | (1u << 6);
+  return request;
+}
+
+TEST(StubBuilder, EmitsDecodableCode) {
+  auto stub = warpsys::build_stub(basic_request());
+  ASSERT_TRUE(stub.is_ok()) << stub.message();
+  EXPECT_GT(stub.value().words.size(), 10u);
+  for (std::uint32_t word : stub.value().words) {
+    EXPECT_TRUE(isa::decode(word).has_value());
+  }
+  // The patch word is a br from the header to the stub.
+  const auto patch = isa::decode(stub.value().patch_word);
+  ASSERT_TRUE(patch.has_value());
+  EXPECT_EQ(patch->op, isa::Opcode::kBr);
+  EXPECT_EQ(patch->imm, 0x200 - 0x40);
+}
+
+TEST(StubBuilder, NeverClobbersLiveRegisters) {
+  auto request = basic_request();
+  auto stub = warpsys::build_stub(request);
+  ASSERT_TRUE(stub.is_ok());
+  // Registers written by the stub must be scratch (dead) or declared
+  // outputs (iv finals / accumulators).
+  decompile::RegSet allowed_writes = 0;
+  for (const auto& ivf : request.ir.iv_finals) allowed_writes |= 1u << ivf.reg;
+  for (const auto& acc : request.ir.accumulators) allowed_writes |= 1u << acc.reg;
+  for (std::uint32_t word : stub.value().words) {
+    const auto instr = isa::decode(word);
+    ASSERT_TRUE(instr.has_value());
+    if (isa::writes_rd(instr->op)) {
+      const decompile::RegSet bit = 1u << instr->rd;
+      const bool is_live_input = (request.live_at_header & bit) && !(allowed_writes & bit);
+      EXPECT_FALSE(is_live_input) << "stub clobbers live r" << int(instr->rd);
+    }
+  }
+}
+
+TEST(StubBuilder, FailsWithoutScratchRegisters) {
+  auto request = basic_request();
+  request.live_at_header = ~0u;  // everything live
+  EXPECT_FALSE(warpsys::build_stub(request).is_ok());
+}
+
+TEST(StubBuilder, RejectsNonPowerOfTwoIvStep) {
+  auto request = basic_request();
+  request.ir.iv_finals[0].step = 3;
+  EXPECT_FALSE(warpsys::build_stub(request).is_ok());
+}
+
+TEST(StubBuilder, BoundedUpTripWithConstBound) {
+  auto request = basic_request();
+  request.ir.iv_finals.clear();
+  request.ir.trip.kind = decompile::TripCount::Kind::kBoundedUp;
+  request.ir.trip.reg = 4;
+  request.ir.trip.step = 2;
+  request.ir.trip.bound_is_const = true;
+  request.ir.trip.bound_const = 100;
+  auto stub = warpsys::build_stub(request);
+  ASSERT_TRUE(stub.is_ok()) << stub.message();
+}
+
+}  // namespace
+}  // namespace warp

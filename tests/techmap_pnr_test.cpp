@@ -1,0 +1,220 @@
+// Technology mapping, placement, routing and bitstream tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fabric/wcla.hpp"
+#include "pnr/pnr.hpp"
+#include "synth/netlist.hpp"
+#include "techmap/techmap.hpp"
+
+namespace warp {
+namespace {
+
+// Random DAG netlist generator for property tests.
+synth::GateNetlist random_netlist(common::Rng& rng, unsigned inputs, unsigned gates,
+                                  unsigned outputs) {
+  synth::GateNetlist net;
+  std::vector<int> pool;
+  for (unsigned i = 0; i < inputs; ++i) pool.push_back(net.add_input("i" + std::to_string(i)));
+  for (unsigned g = 0; g < gates; ++g) {
+    const int a = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    const int b = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    int id;
+    switch (rng.below(4)) {
+      case 0: id = net.gate_and(a, b); break;
+      case 1: id = net.gate_or(a, b); break;
+      case 2: id = net.gate_xor(a, b); break;
+      default: id = net.gate_not(a); break;
+    }
+    pool.push_back(id);
+  }
+  for (unsigned o = 0; o < outputs; ++o) {
+    net.add_output("o" + std::to_string(o),
+                   pool[pool.size() - 1 - (o % std::min<std::size_t>(pool.size(), 8))]);
+  }
+  return net;
+}
+
+std::vector<bool> netlist_inputs_to_lut_inputs(const synth::GateNetlist& net,
+                                               const techmap::LutNetlist& mapped,
+                                               const std::unordered_map<int, bool>& values) {
+  std::vector<bool> lut_in(mapped.primary_inputs.size(), false);
+  for (std::size_t i = 0; i < mapped.primary_inputs.size(); ++i) {
+    // Primary inputs preserve order with the gate netlist's inputs.
+    const int gate_id = net.inputs()[i];
+    const auto it = values.find(gate_id);
+    lut_in[i] = it != values.end() && it->second;
+  }
+  return lut_in;
+}
+
+TEST(Techmap, EquivalentOnRandomNetlists) {
+  common::Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto net = random_netlist(rng, 8, 60, 6);
+    auto mapped = techmap::techmap(net);
+    ASSERT_TRUE(mapped.is_ok()) << mapped.message();
+    for (int vec = 0; vec < 64; ++vec) {
+      std::unordered_map<int, bool> values;
+      for (int input : net.inputs()) values[input] = rng.chance(0.5);
+      const auto gate_values = net.evaluate(values);
+      const auto lut_values =
+          mapped.value().evaluate(netlist_inputs_to_lut_inputs(net, mapped.value(), values));
+      for (std::size_t o = 0; o < net.outputs().size(); ++o) {
+        const bool expect = gate_values[static_cast<std::size_t>(net.outputs()[o].gate)];
+        const auto& ref = mapped.value().outputs[o].source;
+        bool got = false;
+        switch (ref.kind) {
+          case techmap::NetRef::Kind::kConst0: got = false; break;
+          case techmap::NetRef::Kind::kConst1: got = true; break;
+          case techmap::NetRef::Kind::kLut:
+            got = lut_values[static_cast<std::size_t>(ref.index)];
+            break;
+          case techmap::NetRef::Kind::kPrimaryInput: {
+            const int gate_id = net.inputs()[static_cast<std::size_t>(ref.index)];
+            got = values.count(gate_id) && values.at(gate_id);
+            break;
+          }
+        }
+        ASSERT_EQ(got, expect) << "trial " << trial << " output " << o;
+      }
+    }
+  }
+}
+
+TEST(Techmap, RespectsLutInputLimit) {
+  common::Rng rng(7);
+  auto net = random_netlist(rng, 10, 120, 4);
+  auto mapped = techmap::techmap(net);
+  ASSERT_TRUE(mapped.is_ok());
+  for (const auto& lut : mapped.value().luts) {
+    EXPECT_LE(lut.num_inputs, techmap::kLutInputs);
+  }
+}
+
+TEST(Techmap, DepthNeverWorseThanGateDepth) {
+  common::Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto net = random_netlist(rng, 6, 80, 4);
+    techmap::TechmapStats stats;
+    auto mapped = techmap::techmap(net, {}, &stats);
+    ASSERT_TRUE(mapped.is_ok());
+    EXPECT_LE(mapped.value().depth(), net.depth());
+    EXPECT_GT(stats.cut_count, 0u);
+  }
+}
+
+TEST(Place, AllLutsGetDistinctSites) {
+  common::Rng rng(31);
+  auto net = random_netlist(rng, 12, 150, 8);
+  auto mapped = techmap::techmap(net);
+  ASSERT_TRUE(mapped.is_ok());
+  const auto geometry = fabric::FabricGeometry::small();
+  auto placed = pnr::place(mapped.value(), geometry);
+  ASSERT_TRUE(placed.is_ok()) << placed.message();
+  std::set<std::tuple<int, int, unsigned>> sites;
+  for (const auto& site : placed.value().placement) {
+    EXPECT_GE(site.x, 0);
+    EXPECT_LT(site.x, static_cast<int>(geometry.width));
+    EXPECT_GE(site.y, 0);
+    EXPECT_LT(site.y, static_cast<int>(geometry.height));
+    EXPECT_LT(site.slot, geometry.luts_per_clb);
+    EXPECT_TRUE(sites.insert({site.x, site.y, site.slot}).second) << "duplicate site";
+  }
+}
+
+TEST(Place, FailsWhenOverCapacity) {
+  common::Rng rng(33);
+  auto net = random_netlist(rng, 12, 2000, 8);
+  auto mapped = techmap::techmap(net);
+  ASSERT_TRUE(mapped.is_ok());
+  fabric::FabricGeometry tiny = fabric::FabricGeometry::small();
+  tiny.width = 4;
+  tiny.height = 4;
+  if (mapped.value().luts.size() > tiny.lut_capacity()) {
+    EXPECT_FALSE(pnr::place(mapped.value(), tiny).is_ok());
+  }
+}
+
+TEST(Route, ConnectsEverySink) {
+  common::Rng rng(17);
+  auto net = random_netlist(rng, 10, 100, 6);
+  auto mapped = techmap::techmap(net);
+  ASSERT_TRUE(mapped.is_ok());
+  const auto geometry = fabric::FabricGeometry::small();
+  auto result = pnr::place_and_route(mapped.value(), geometry);
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  EXPECT_TRUE(result.value().route.success);
+  for (const auto& routed : result.value().route.routes) {
+    for (const auto& sink : routed.sinks) {
+      ASSERT_FALSE(sink.path.empty());
+      // Path cells must be grid-adjacent.
+      for (std::size_t i = 1; i < sink.path.size(); ++i) {
+        const int dx = std::abs(sink.path[i].first - sink.path[i - 1].first);
+        const int dy = std::abs(sink.path[i].second - sink.path[i - 1].second);
+        EXPECT_EQ(dx + dy, 1);
+      }
+    }
+  }
+  EXPECT_GT(result.value().route.critical_path_ns, 0.0);
+}
+
+TEST(Route, TimingScalesWithDepth) {
+  common::Rng rng(21);
+  auto shallow = random_netlist(rng, 8, 20, 2);
+  auto deep = random_netlist(rng, 4, 400, 2);
+  auto ms = techmap::techmap(shallow);
+  auto md = techmap::techmap(deep);
+  ASSERT_TRUE(ms.is_ok());
+  ASSERT_TRUE(md.is_ok());
+  const auto geometry = fabric::FabricGeometry();
+  auto rs = pnr::place_and_route(ms.value(), geometry);
+  auto rd = pnr::place_and_route(md.value(), geometry);
+  ASSERT_TRUE(rs.is_ok());
+  ASSERT_TRUE(rd.is_ok());
+  if (md.value().depth() > 3 * ms.value().depth()) {
+    EXPECT_GT(rd.value().route.critical_path_ns, rs.value().route.critical_path_ns);
+  }
+}
+
+TEST(Bitstream, RoundTrip) {
+  common::Rng rng(55);
+  auto net = random_netlist(rng, 8, 60, 4);
+  auto mapped = techmap::techmap(net);
+  ASSERT_TRUE(mapped.is_ok());
+  auto result = pnr::place_and_route(mapped.value(), fabric::FabricGeometry::small());
+  ASSERT_TRUE(result.is_ok()) << result.message();
+
+  const auto words = fabric::encode_bitstream(result.value().config);
+  auto decoded = fabric::decode_bitstream(words);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.message();
+  const auto& a = result.value().config;
+  const auto& b = decoded.value();
+  EXPECT_EQ(a.geometry.width, b.geometry.width);
+  ASSERT_EQ(a.netlist.luts.size(), b.netlist.luts.size());
+  for (std::size_t i = 0; i < a.netlist.luts.size(); ++i) {
+    EXPECT_EQ(a.netlist.luts[i].truth, b.netlist.luts[i].truth);
+    EXPECT_EQ(a.netlist.luts[i].num_inputs, b.netlist.luts[i].num_inputs);
+    EXPECT_EQ(a.placement[i].x, b.placement[i].x);
+    EXPECT_EQ(a.placement[i].y, b.placement[i].y);
+  }
+  EXPECT_NEAR(a.critical_path_ns, b.critical_path_ns, 0.01);
+}
+
+TEST(Bitstream, RejectsCorruptHeader) {
+  std::vector<std::uint32_t> junk = {0x12345678, 0, 1, 2};
+  EXPECT_FALSE(fabric::decode_bitstream(junk).is_ok());
+}
+
+TEST(FabricConfig, PipelineStagesFromCriticalPath) {
+  fabric::FabricConfig config;
+  config.geometry = fabric::FabricGeometry();
+  config.critical_path_ns = 3.0;  // under one 250 MHz period
+  EXPECT_EQ(config.pipeline_stages(), 1u);
+  EXPECT_NEAR(config.fabric_clock_mhz(), 250.0, 1e-9);
+  config.critical_path_ns = 17.0;  // 4.25 periods -> 5 stages
+  EXPECT_EQ(config.pipeline_stages(), 5u);
+}
+
+}  // namespace
+}  // namespace warp
