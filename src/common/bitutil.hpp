@@ -52,4 +52,20 @@ constexpr unsigned log2_ceil(std::uint64_t v) {
 /// Population count convenience wrapper.
 constexpr unsigned popcount32(std::uint32_t v) { return static_cast<unsigned>(std::popcount(v)); }
 
+/// In-place transpose of a 64x64 bit matrix stored as 64 row words, with
+/// the plain indexing convention: after the call, m[j] bit i equals the
+/// original m[i] bit j. Used by the packed netlist evaluator to move
+/// between word-per-iteration and lane-per-bit layouts in O(64 log 64)
+/// word operations instead of one shift/mask pair per bit.
+inline void transpose64(std::uint64_t m[64]) {
+  std::uint64_t mask = 0x00000000FFFFFFFFull;
+  for (unsigned j = 32; j; j >>= 1, mask ^= mask << j) {
+    for (unsigned k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      const std::uint64_t t = ((m[k] >> j) ^ m[k | j]) & mask;
+      m[k] ^= t << j;
+      m[k | j] ^= t;
+    }
+  }
+}
+
 }  // namespace warp::common

@@ -1,109 +1,256 @@
 #include "hwsim/executor.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <cstdio>
 
+#include "common/bitutil.hpp"
 #include "common/strings.hpp"
 
 namespace warp::hwsim {
 
-using decompile::DfgOp;
 using synth::HwKernel;
+using techmap::PortSpec;
 
 KernelExecutor::KernelExecutor(const HwKernel& kernel, const fabric::FabricConfig& config)
     : kernel_(kernel), config_(config) {
   bind_ports();
+  if (packed_supported_) packed_.emplace(config_.netlist);
 }
 
 void KernelExecutor::bind_ports() {
   const auto& netlist = config_.netlist;
+  const auto& ir = kernel_.ir;
+
+  // Flattened (stream, tap) index space for batched tap scratch buffers.
+  tap_base_.resize(ir.streams.size());
+  unsigned total_taps = 0;
+  for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+    tap_base_[s] = total_taps;
+    total_taps += ir.streams[s].burst;
+  }
+  block_taps_.resize(total_taps);
+  tap_values_.resize(ir.streams.size());
+  for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+    tap_values_[s].assign(ir.streams[s].burst, 0);
+  }
+
+  // Structured port descriptors carried on the mapped netlist (computed by
+  // techmap); derive them locally for netlists built by hand.
+  std::vector<PortSpec> input_ports = netlist.input_ports;
+  std::vector<PortSpec> output_ports = netlist.output_ports;
+  if (input_ports.size() != netlist.primary_inputs.size()) {
+    input_ports.resize(netlist.primary_inputs.size());
+    for (std::size_t i = 0; i < netlist.primary_inputs.size(); ++i) {
+      input_ports[i] = techmap::parse_port_name(netlist.primary_inputs[i]);
+    }
+  }
+  if (output_ports.size() != netlist.outputs.size()) {
+    output_ports.resize(netlist.outputs.size());
+    for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
+      output_ports[i] = techmap::parse_port_name(netlist.outputs[i].name);
+    }
+  }
+
+  packed_supported_ = true;
   input_bindings_.resize(netlist.primary_inputs.size());
   for (std::size_t i = 0; i < netlist.primary_inputs.size(); ++i) {
-    const std::string& name = netlist.primary_inputs[i];
+    const PortSpec& spec = input_ports[i];
     InputBinding binding;
-    unsigned a = 0, b = 0, bit = 0;
-    if (std::sscanf(name.c_str(), "s%ut%u[%u]", &a, &b, &bit) == 3) {
-      binding.kind = InputBinding::Kind::kStream;
-    } else if (std::sscanf(name.c_str(), "li%u[%u]", &a, &bit) == 2) {
-      binding.kind = InputBinding::Kind::kLiveIn;
-    } else if (std::sscanf(name.c_str(), "iv%u[%u]", &a, &bit) == 2) {
-      binding.kind = InputBinding::Kind::kIv;
-    } else if (std::sscanf(name.c_str(), "mac%u[%u]", &a, &bit) == 2) {
-      binding.kind = InputBinding::Kind::kMacResult;
-    } else if (std::sscanf(name.c_str(), "acc%u[%u]", &a, &bit) == 2) {
-      binding.kind = InputBinding::Kind::kAccState;
-    } else {
-      throw common::InternalError("executor: unknown input port " + name);
+    binding.a = spec.a;
+    binding.b = spec.b;
+    binding.bit = spec.bit;
+    switch (spec.kind) {
+      case PortSpec::Kind::kStream:
+        binding.kind = InputBinding::Kind::kStream;
+        if (spec.a >= ir.streams.size() || spec.b >= ir.streams[spec.a].burst) {
+          throw common::InternalError("executor: stream input out of range: " +
+                                      netlist.primary_inputs[i]);
+        }
+        binding.tap_index = static_cast<int>(tap_base_[spec.a] + spec.b);
+        break;
+      case PortSpec::Kind::kLiveIn:
+        binding.kind = InputBinding::Kind::kLiveIn;
+        break;
+      case PortSpec::Kind::kIv:
+        binding.kind = InputBinding::Kind::kIv;
+        for (std::size_t p = 0; p < ir.iv_regs.size(); ++p) {
+          if (ir.iv_regs[p].first == spec.a) binding.iv_pos = static_cast<int>(p);
+        }
+        break;
+      case PortSpec::Kind::kMacResult:
+        binding.kind = InputBinding::Kind::kMacResult;
+        packed_supported_ = false;  // intra-iteration MAC -> fabric feedback
+        break;
+      case PortSpec::Kind::kAccState:
+        binding.kind = InputBinding::Kind::kAccState;
+        packed_supported_ = false;  // cross-iteration accumulator feedback
+        break;
+      default:
+        throw common::InternalError("executor: unknown input port " +
+                                    netlist.primary_inputs[i]);
     }
-    binding.a = a;
-    binding.b = b;
-    binding.bit = bit;
     input_bindings_[i] = binding;
   }
+  livein_cache_.assign(input_bindings_.size(), 0);
 
-  output_bindings_.resize(netlist.outputs.size());
+  // Output index tables: one bit-list per consumed word, so reading a word
+  // is a gather over its own bits instead of an O(outputs) scan.
+  write_groups_.assign(kernel_.write_outputs.size(), {});
+  mac_a_groups_.assign(kernel_.mac_ops.size(), {});
+  mac_b_groups_.assign(kernel_.mac_ops.size(), {});
+  acc_next_groups_.assign(ir.accumulators.size(), {});
   for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
-    const std::string& name = netlist.outputs[i].name;
-    OutputBinding binding;
-    unsigned a = 0, b = 0, bit = 0;
-    if (std::sscanf(name.c_str(), "w%ut%u[%u]", &a, &b, &bit) == 3) {
-      binding.kind = OutputBinding::Kind::kWrite;
-      // Write outputs are identified by (stream, tap): find the index.
-      for (std::size_t w = 0; w < kernel_.write_outputs.size(); ++w) {
-        if (kernel_.write_outputs[w].stream == a && kernel_.write_outputs[w].tap == b) {
-          binding.a = static_cast<unsigned>(w);
-          break;
+    const PortSpec& spec = output_ports[i];
+    OutputBit ob;
+    ob.bit = spec.bit;
+    ob.output_index = static_cast<std::uint32_t>(i);
+    ob.source = netlist.outputs[i].source;
+    switch (spec.kind) {
+      case PortSpec::Kind::kWrite: {
+        int w = -1;
+        for (std::size_t k = 0; k < kernel_.write_outputs.size(); ++k) {
+          if (kernel_.write_outputs[k].stream == spec.a &&
+              kernel_.write_outputs[k].tap == spec.b) {
+            w = static_cast<int>(k);
+          }
         }
+        if (w < 0) {
+          throw common::InternalError("executor: write output without a kernel slot: " +
+                                      netlist.outputs[i].name);
+        }
+        write_groups_[static_cast<std::size_t>(w)].push_back(ob);
+        break;
       }
-    } else if (std::sscanf(name.c_str(), "macA%u[%u]", &a, &bit) == 2) {
-      binding.kind = OutputBinding::Kind::kMacA;
-      binding.a = a;
-    } else if (std::sscanf(name.c_str(), "macB%u[%u]", &a, &bit) == 2) {
-      binding.kind = OutputBinding::Kind::kMacB;
-      binding.a = a;
-    } else if (std::sscanf(name.c_str(), "accnext%u[%u]", &a, &bit) == 2) {
-      binding.kind = OutputBinding::Kind::kAccNext;
-      binding.a = a;
-    } else {
-      throw common::InternalError("executor: unknown output port " + name);
+      case PortSpec::Kind::kMacA:
+        if (spec.a >= mac_a_groups_.size()) {
+          throw common::InternalError("executor: MAC A output out of range");
+        }
+        mac_a_groups_[spec.a].push_back(ob);
+        break;
+      case PortSpec::Kind::kMacB:
+        if (spec.a >= mac_b_groups_.size()) {
+          throw common::InternalError("executor: MAC B output out of range");
+        }
+        mac_b_groups_[spec.a].push_back(ob);
+        break;
+      case PortSpec::Kind::kAccNext:
+        if (spec.a >= acc_next_groups_.size()) {
+          throw common::InternalError("executor: accumulator output out of range");
+        }
+        acc_next_groups_[spec.a].push_back(ob);
+        break;
+      default:
+        throw common::InternalError("executor: unknown output port " +
+                                    netlist.outputs[i].name);
     }
-    binding.bit = bit;
-    output_bindings_[i] = binding;
   }
+
+  for (const auto& w : ir.writes) {
+    write_node_[(static_cast<std::uint32_t>(w.stream) << 16) | w.tap] = w.node;
+  }
+
+  iv_step_.resize(ir.iv_regs.size());
+  for (std::size_t p = 0; p < ir.iv_regs.size(); ++p) iv_step_[p] = ir.iv_regs[p].second;
+
+  inputs_.assign(netlist.primary_inputs.size(), false);
+  mac_results_.assign(kernel_.mac_ops.size(), 0);
+  iv_planes_.resize(ir.iv_regs.size());
+  write_words_.resize(kernel_.write_outputs.size());
 }
 
-std::uint32_t KernelExecutor::read_output_word(const std::vector<bool>& lut_values,
-                                               OutputBinding::Kind kind, unsigned a) const {
-  const auto& netlist = config_.netlist;
+std::uint32_t KernelExecutor::read_group_word(const OutputGroup& group,
+                                              const std::vector<bool>& lut_values) const {
   std::uint32_t word = 0;
-  for (std::size_t i = 0; i < output_bindings_.size(); ++i) {
-    const OutputBinding& binding = output_bindings_[i];
-    if (binding.kind != kind || binding.a != a) continue;
-    const techmap::NetRef& ref = netlist.outputs[i].source;
-    bool value = false;
-    switch (ref.kind) {
-      case techmap::NetRef::Kind::kConst0: value = false; break;
-      case techmap::NetRef::Kind::kConst1: value = true; break;
-      case techmap::NetRef::Kind::kLut:
-        value = lut_values[static_cast<std::size_t>(ref.index)];
-        break;
-      case techmap::NetRef::Kind::kPrimaryInput:
-        // Pass-through of an input bit: resolved by caller via rebind; the
-        // executor re-evaluates inputs, so look it up in the current frame.
-        value = current_inputs_ ? (*current_inputs_)[static_cast<std::size_t>(ref.index)]
-                                : false;
-        break;
-    }
-    if (value) word |= 1u << binding.bit;
+  for (const OutputBit& ob : group) {
+    if (techmap::resolve_ref(ob.source, lut_values, inputs_)) word |= 1u << ob.bit;
   }
   return word;
 }
 
 int KernelExecutor::find_write_node(unsigned stream, unsigned tap) const {
-  for (const auto& w : kernel_.ir.writes) {
-    if (w.stream == stream && w.tap == tap) return w.node;
+  const auto it = write_node_.find((stream << 16) | tap);
+  if (it == write_node_.end()) {
+    throw common::InternalError("executor: no DFG node for write output");
   }
-  throw common::InternalError("executor: no DFG node for write output");
+  return it->second;
+}
+
+std::uint32_t KernelExecutor::iv_value(int iv_pos, std::uint64_t iter) const {
+  if (iv_pos < 0) return 0;
+  return iv_init_[static_cast<std::size_t>(iv_pos)] +
+         static_cast<std::uint32_t>(
+             static_cast<std::int64_t>(iv_step_[static_cast<std::size_t>(iv_pos)]) *
+             static_cast<std::int64_t>(iter));
+}
+
+bool KernelExecutor::streams_hazard_free(const KernelInvocation& invocation) const {
+  const auto& ir = kernel_.ir;
+  if (invocation.trip == 0) return true;
+  const std::int64_t last_iter = static_cast<std::int64_t>(invocation.trip) - 1;
+
+  struct Range {
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+  };
+  std::vector<Range> ranges(ir.streams.size());
+  for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+    const auto& stream = ir.streams[s];
+    const std::int64_t base = invocation.stream_bases[s];
+    std::int64_t lo = base;
+    std::int64_t hi = base;
+    for (const std::int64_t it : {std::int64_t{0}, last_iter}) {
+      for (const std::int64_t t :
+           {std::int64_t{0}, static_cast<std::int64_t>(stream.burst) - 1}) {
+        const std::int64_t addr = base +
+                                  static_cast<std::int64_t>(stream.stride_bytes) * it +
+                                  t * static_cast<std::int64_t>(stream.tap_stride_bytes);
+        lo = std::min(lo, addr);
+        hi = std::max(hi, addr);
+      }
+    }
+    hi += stream.elem_bytes - 1;
+    // Addresses that wrap 32 bits defeat the interval analysis: fall back.
+    if (lo < 0 || hi >= (std::int64_t{1} << 32)) return false;
+    ranges[s] = {lo, hi};
+  }
+
+  for (std::size_t ws = 0; ws < ir.streams.size(); ++ws) {
+    if (!ir.streams[ws].is_write) continue;
+    for (std::size_t rs = 0; rs < ir.streams.size(); ++rs) {
+      if (ir.streams[rs].is_write) continue;
+      if (ranges[ws].hi < ranges[rs].lo || ranges[rs].hi < ranges[ws].lo) continue;
+
+      // Overlapping ranges are only safe for the exact in-place pattern,
+      // where a write from iteration i can alias a read from iteration
+      // j > i only at solutions of stride*(j-i) == tap_stride*(tw-tr); a
+      // solution within one block distance makes batching unsafe.
+      const auto& w = ir.streams[ws];
+      const auto& r = ir.streams[rs];
+      if (invocation.stream_bases[ws] != invocation.stream_bases[rs] ||
+          w.stride_bytes != r.stride_bytes || w.tap_stride_bytes != r.tap_stride_bytes ||
+          w.elem_bytes != r.elem_bytes) {
+        return false;
+      }
+      if (w.stride_bytes == 0) return false;
+      for (const auto& wo : kernel_.write_outputs) {
+        if (wo.stream != ws) continue;
+        for (unsigned tr = 0; tr < r.burst; ++tr) {
+          const std::int64_t diff =
+              (static_cast<std::int64_t>(wo.tap) - static_cast<std::int64_t>(tr)) *
+              static_cast<std::int64_t>(w.tap_stride_bytes);
+          // The write of iteration i and the read of iteration i+d sit
+          // diff - stride*d bytes apart; their elem-byte intervals overlap
+          // when that gap is smaller than an element. d == 0 (same
+          // iteration) is safe: both engines read before writing.
+          for (std::int64_t d = 1; d < static_cast<std::int64_t>(kPackedLanes); ++d) {
+            const std::int64_t gap = diff - static_cast<std::int64_t>(w.stride_bytes) * d;
+            if (gap > -w.elem_bytes && gap < w.elem_bytes) return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
 }
 
 common::Result<KernelRunResult> KernelExecutor::run(sim::Memory& memory,
@@ -121,163 +268,35 @@ common::Result<KernelRunResult> KernelExecutor::run(sim::Memory& memory,
   // Accumulator state (both MAC-held and fabric-held).
   std::vector<std::uint32_t> acc = invocation.acc_init;
 
-  const auto& netlist = config_.netlist;
-  std::vector<bool> inputs(netlist.primary_inputs.size(), false);
-  current_inputs_ = &inputs;
-
-  for (std::uint64_t iter = 0; iter < invocation.trip; ++iter) {
-    // Accumulator values at iteration start: what the fabric's AccState
-    // inputs and the golden model both observe.
-    acc_start_of_iter_ = acc;
-
-    // 1. DADG: fetch read-stream taps.
-    std::vector<std::vector<std::uint32_t>> tap_values(ir.streams.size());
-    for (std::size_t s = 0; s < ir.streams.size(); ++s) {
-      const auto& stream = ir.streams[s];
-      tap_values[s].assign(stream.burst, 0);
-      if (stream.is_write) continue;
-      const std::uint32_t base =
-          invocation.stream_bases[s] +
-          static_cast<std::uint32_t>(static_cast<std::int64_t>(stream.stride_bytes) *
-                                     static_cast<std::int64_t>(iter));
-      for (unsigned t = 0; t < stream.burst; ++t) {
-        const std::uint32_t addr =
-            base + t * static_cast<std::uint32_t>(stream.tap_stride_bytes);
-        switch (stream.elem_bytes) {
-          case 1: tap_values[s][t] = memory.read8(addr); break;
-          case 2: tap_values[s][t] = memory.read16(addr); break;
-          default: tap_values[s][t] = memory.read32(addr); break;
-        }
-      }
-    }
-
-    // Induction-variable values at iteration start.
-    auto iv_value = [&](unsigned reg) -> std::uint32_t {
-      for (const auto& [r, step] : ir.iv_regs) {
-        if (r == reg) {
-          const auto it = invocation.live_in.find(reg);
-          const std::uint32_t init = (it != invocation.live_in.end()) ? it->second : 0;
-          return init + static_cast<std::uint32_t>(
-                            static_cast<std::int64_t>(step) * static_cast<std::int64_t>(iter));
-        }
-      }
-      return 0;
-    };
-
-    // 2. Evaluate fabric + MAC (MAC ops in order, refreshing the fabric
-    //    between them because operands may depend on earlier results).
-    std::vector<std::uint32_t> mac_results(kernel_.mac_ops.size(), 0);
-    auto load_inputs = [&] {
-      for (std::size_t i = 0; i < input_bindings_.size(); ++i) {
-        const InputBinding& binding = input_bindings_[i];
-        std::uint32_t word = 0;
-        switch (binding.kind) {
-          case InputBinding::Kind::kStream:
-            word = tap_values[binding.a][binding.b];
-            break;
-          case InputBinding::Kind::kLiveIn: {
-            const auto it = invocation.live_in.find(binding.a);
-            word = (it != invocation.live_in.end()) ? it->second : 0;
-            break;
-          }
-          case InputBinding::Kind::kIv:
-            word = iv_value(binding.a);
-            break;
-          case InputBinding::Kind::kMacResult:
-            word = mac_results[binding.a];
-            break;
-          case InputBinding::Kind::kAccState:
-            word = acc_start_of_iter_[binding.a];
-            break;
-        }
-        inputs[i] = (word >> binding.bit) & 1u;
-      }
-    };
-
-    std::vector<bool> lut_values;
-    load_inputs();
-    lut_values = netlist.evaluate(inputs);
-    for (std::size_t m = 0; m < kernel_.mac_ops.size(); ++m) {
-      const std::uint32_t a = read_output_word(lut_values, OutputBinding::Kind::kMacA,
-                                               static_cast<unsigned>(m));
-      const std::uint32_t b = read_output_word(lut_values, OutputBinding::Kind::kMacB,
-                                               static_cast<unsigned>(m));
-      const std::uint32_t product = a * b;
-      if (kernel_.mac_ops[m].accumulate) {
-        acc[static_cast<std::size_t>(kernel_.mac_ops[m].acc_index)] += product;
-      } else {
-        mac_results[m] = product;  // indexed by global MAC-op number
-        // Refresh fabric with the new MAC result.
-        load_inputs();
-        lut_values = netlist.evaluate(inputs);
-      }
-    }
-
-    // 3. Stream writes.
-    for (std::size_t w = 0; w < kernel_.write_outputs.size(); ++w) {
-      const auto& out = kernel_.write_outputs[w];
-      const auto& stream = ir.streams[out.stream];
-      const std::uint32_t base =
-          invocation.stream_bases[out.stream] +
-          static_cast<std::uint32_t>(static_cast<std::int64_t>(stream.stride_bytes) *
-                                     static_cast<std::int64_t>(iter));
-      const std::uint32_t addr =
-          base + out.tap * static_cast<std::uint32_t>(stream.tap_stride_bytes);
-      const std::uint32_t value =
-          read_output_word(lut_values, OutputBinding::Kind::kWrite, static_cast<unsigned>(w));
-      switch (stream.elem_bytes) {
-        case 1: memory.write8(addr, static_cast<std::uint8_t>(value)); break;
-        case 2: memory.write16(addr, static_cast<std::uint16_t>(value)); break;
-        default: memory.write32(addr, value); break;
-      }
-      if (verify_against_dfg) {
-        decompile::Dfg::Inputs golden;
-        for (const auto& [reg, value_in] : invocation.live_in) golden.live_in[reg] = value_in;
-        for (const auto& [reg, step] : ir.iv_regs) {
-          (void)step;
-          golden.iv[reg] = iv_value(reg);
-        }
-        for (std::size_t s = 0; s < ir.streams.size(); ++s) {
-          for (unsigned t = 0; t < ir.streams[s].burst; ++t) {
-            golden.stream_in[(static_cast<std::uint32_t>(s) << 16) | t] = tap_values[s][t];
-          }
-        }
-        // Accumulator live-ins observe the value at iteration start.
-        for (std::size_t k = 0; k < ir.accumulators.size(); ++k) {
-          golden.live_in[ir.accumulators[k].reg] = acc_start_of_iter_[k];
-        }
-        for (const auto& [reg, step] : ir.iv_regs) {
-          (void)step;
-          golden.live_in.erase(reg);  // iv regs enter the DFG as kIv nodes
-          golden.iv[reg] = iv_value(reg);
-        }
-        const std::uint32_t expect = ir.dfg.eval(
-            find_write_node(static_cast<unsigned>(out.stream), out.tap), golden);
-        std::uint32_t masked = expect;
-        if (stream.elem_bytes == 1) masked &= 0xFFu;
-        if (stream.elem_bytes == 2) masked &= 0xFFFFu;
-        std::uint32_t got = value;
-        if (stream.elem_bytes == 1) got &= 0xFFu;
-        if (stream.elem_bytes == 2) got &= 0xFFFFu;
-        if (got != masked) {
-          throw common::InternalError(common::format(
-              "fabric/DFG mismatch at iter %llu stream %u tap %u: fabric=0x%x dfg=0x%x",
-              static_cast<unsigned long long>(iter), out.stream, out.tap, got, masked));
-        }
-      }
-    }
-
-    // 4. Fabric-held accumulator updates.
-    for (const auto& out : kernel_.acc_outputs) {
-      if (out.via_mac) continue;
-      acc[out.acc_index] =
-          read_output_word(lut_values, OutputBinding::Kind::kAccNext, out.acc_index);
-    }
+  // Per-run tables: induction-variable initial values and cached live-ins,
+  // so the per-iteration paths never touch the live_in hash map.
+  iv_init_.assign(ir.iv_regs.size(), 0);
+  for (std::size_t p = 0; p < ir.iv_regs.size(); ++p) {
+    const auto it = invocation.live_in.find(ir.iv_regs[p].first);
+    iv_init_[p] = (it != invocation.live_in.end()) ? it->second : 0;
+  }
+  for (std::size_t i = 0; i < input_bindings_.size(); ++i) {
+    if (input_bindings_[i].kind != InputBinding::Kind::kLiveIn) continue;
+    const auto it = invocation.live_in.find(input_bindings_[i].a);
+    livein_cache_[i] = (it != invocation.live_in.end()) ? it->second : 0;
   }
 
-  current_inputs_ = nullptr;
-
   KernelRunResult result;
+  const bool use_packed = packed_supported_ && !verify_against_dfg &&
+                          engine_ != EvalEngine::kScalar &&
+                          streams_hazard_free(invocation);
+  std::uint64_t iter = 0;
+  if (use_packed) {
+    for (; iter + kPackedLanes <= invocation.trip; iter += kPackedLanes) {
+      run_packed_block(memory, invocation, iter, acc);
+    }
+    result.packed_iterations = iter;
+  }
+  for (; iter < invocation.trip; ++iter) {
+    run_scalar_iter(memory, invocation, iter, acc, verify_against_dfg);
+    ++result.scalar_iterations;
+  }
+
   const unsigned ii = kernel_.initiation_interval();
   result.wcla_cycles = static_cast<std::uint64_t>(ii) * invocation.trip +
                        config_.pipeline_stages() + kStartupCycles;
@@ -285,6 +304,258 @@ common::Result<KernelRunResult> KernelExecutor::run(sim::Memory& memory,
   result.time_ns = static_cast<double>(result.wcla_cycles) * 1000.0 / result.clock_mhz;
   result.acc_final = acc;
   return result;
+}
+
+void KernelExecutor::run_scalar_iter(sim::Memory& memory, const KernelInvocation& invocation,
+                                     std::uint64_t iter, std::vector<std::uint32_t>& acc,
+                                     bool verify_against_dfg) {
+  const auto& ir = kernel_.ir;
+  const auto& netlist = config_.netlist;
+
+  // Accumulator values at iteration start: what the fabric's AccState
+  // inputs and the golden model both observe.
+  acc_start_of_iter_ = acc;
+
+  // 1. DADG: fetch read-stream taps.
+  for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+    const auto& stream = ir.streams[s];
+    if (stream.is_write) continue;
+    const std::uint32_t base =
+        invocation.stream_bases[s] +
+        static_cast<std::uint32_t>(static_cast<std::int64_t>(stream.stride_bytes) *
+                                   static_cast<std::int64_t>(iter));
+    for (unsigned t = 0; t < stream.burst; ++t) {
+      const std::uint32_t addr =
+          base + t * static_cast<std::uint32_t>(stream.tap_stride_bytes);
+      switch (stream.elem_bytes) {
+        case 1: tap_values_[s][t] = memory.read8(addr); break;
+        case 2: tap_values_[s][t] = memory.read16(addr); break;
+        default: tap_values_[s][t] = memory.read32(addr); break;
+      }
+    }
+  }
+
+  // 2. Evaluate fabric + MAC (MAC ops in order, refreshing the fabric
+  //    between them because operands may depend on earlier results).
+  auto load_inputs = [&] {
+    for (std::size_t i = 0; i < input_bindings_.size(); ++i) {
+      const InputBinding& binding = input_bindings_[i];
+      std::uint32_t word = 0;
+      switch (binding.kind) {
+        case InputBinding::Kind::kStream:
+          word = tap_values_[binding.a][binding.b];
+          break;
+        case InputBinding::Kind::kLiveIn:
+          word = livein_cache_[i];
+          break;
+        case InputBinding::Kind::kIv:
+          word = iv_value(binding.iv_pos, iter);
+          break;
+        case InputBinding::Kind::kMacResult:
+          word = mac_results_[binding.a];
+          break;
+        case InputBinding::Kind::kAccState:
+          word = acc_start_of_iter_[binding.a];
+          break;
+      }
+      inputs_[i] = (word >> binding.bit) & 1u;
+    }
+  };
+
+  std::fill(mac_results_.begin(), mac_results_.end(), 0);
+  load_inputs();
+  std::vector<bool> lut_values = netlist.evaluate(inputs_);
+  for (std::size_t m = 0; m < kernel_.mac_ops.size(); ++m) {
+    const std::uint32_t a = read_group_word(mac_a_groups_[m], lut_values);
+    const std::uint32_t b = read_group_word(mac_b_groups_[m], lut_values);
+    const std::uint32_t product = a * b;
+    if (kernel_.mac_ops[m].accumulate) {
+      acc[static_cast<std::size_t>(kernel_.mac_ops[m].acc_index)] += product;
+    } else {
+      mac_results_[m] = product;  // indexed by global MAC-op number
+      // Refresh fabric with the new MAC result.
+      load_inputs();
+      lut_values = netlist.evaluate(inputs_);
+    }
+  }
+
+  // 3. Stream writes.
+  for (std::size_t w = 0; w < kernel_.write_outputs.size(); ++w) {
+    const auto& out = kernel_.write_outputs[w];
+    const auto& stream = ir.streams[out.stream];
+    const std::uint32_t base =
+        invocation.stream_bases[out.stream] +
+        static_cast<std::uint32_t>(static_cast<std::int64_t>(stream.stride_bytes) *
+                                   static_cast<std::int64_t>(iter));
+    const std::uint32_t addr =
+        base + out.tap * static_cast<std::uint32_t>(stream.tap_stride_bytes);
+    const std::uint32_t value = read_group_word(write_groups_[w], lut_values);
+    switch (stream.elem_bytes) {
+      case 1: memory.write8(addr, static_cast<std::uint8_t>(value)); break;
+      case 2: memory.write16(addr, static_cast<std::uint16_t>(value)); break;
+      default: memory.write32(addr, value); break;
+    }
+    if (verify_against_dfg) {
+      decompile::Dfg::Inputs golden;
+      for (const auto& [reg, value_in] : invocation.live_in) golden.live_in[reg] = value_in;
+      for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+        for (unsigned t = 0; t < ir.streams[s].burst; ++t) {
+          golden.stream_in[(static_cast<std::uint32_t>(s) << 16) | t] = tap_values_[s][t];
+        }
+      }
+      // Accumulator live-ins observe the value at iteration start.
+      for (std::size_t k = 0; k < ir.accumulators.size(); ++k) {
+        golden.live_in[ir.accumulators[k].reg] = acc_start_of_iter_[k];
+      }
+      for (std::size_t p = 0; p < ir.iv_regs.size(); ++p) {
+        golden.live_in.erase(ir.iv_regs[p].first);  // iv regs enter the DFG as kIv nodes
+        golden.iv[ir.iv_regs[p].first] = iv_value(static_cast<int>(p), iter);
+      }
+      const std::uint32_t expect = ir.dfg.eval(
+          find_write_node(static_cast<unsigned>(out.stream), out.tap), golden);
+      std::uint32_t masked = expect;
+      if (stream.elem_bytes == 1) masked &= 0xFFu;
+      if (stream.elem_bytes == 2) masked &= 0xFFFFu;
+      std::uint32_t got = value;
+      if (stream.elem_bytes == 1) got &= 0xFFu;
+      if (stream.elem_bytes == 2) got &= 0xFFFFu;
+      if (got != masked) {
+        throw common::InternalError(common::format(
+            "fabric/DFG mismatch at iter %llu stream %u tap %u: fabric=0x%x dfg=0x%x",
+            static_cast<unsigned long long>(iter), out.stream, out.tap, got, masked));
+      }
+    }
+  }
+
+  // 4. Fabric-held accumulator updates.
+  for (const auto& out : kernel_.acc_outputs) {
+    if (out.via_mac) continue;
+    acc[out.acc_index] = read_group_word(acc_next_groups_[out.acc_index], lut_values);
+  }
+}
+
+void KernelExecutor::unpack_group(const OutputGroup& group,
+                                  std::array<std::uint64_t, kPackedLanes>& words) const {
+  words.fill(0);
+  for (const OutputBit& ob : group) {
+    words[ob.bit] = packed_->output(ob.output_index);
+  }
+  common::transpose64(words.data());
+}
+
+void KernelExecutor::run_packed_block(sim::Memory& memory, const KernelInvocation& invocation,
+                                      std::uint64_t iter0, std::vector<std::uint32_t>& acc) {
+  const auto& ir = kernel_.ir;
+
+  // 1. Batched DADG reads: 64 iterations of every read tap, loaded one
+  //    word per iteration and bit-transposed in place into lane planes
+  //    (row b = the 64-iteration lane of tap bit b).
+  for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+    const auto& stream = ir.streams[s];
+    if (stream.is_write) continue;
+    for (unsigned t = 0; t < stream.burst; ++t) {
+      auto& words = block_taps_[tap_base_[s] + t];
+      const std::uint32_t tap_offset =
+          invocation.stream_bases[s] + t * static_cast<std::uint32_t>(stream.tap_stride_bytes);
+      for (unsigned j = 0; j < kPackedLanes; ++j) {
+        const std::uint32_t addr =
+            tap_offset +
+            static_cast<std::uint32_t>(static_cast<std::int64_t>(stream.stride_bytes) *
+                                       static_cast<std::int64_t>(iter0 + j));
+        switch (stream.elem_bytes) {
+          case 1: words[j] = memory.read8(addr); break;
+          case 2: words[j] = memory.read16(addr); break;
+          default: words[j] = memory.read32(addr); break;
+        }
+      }
+      common::transpose64(words.data());
+    }
+  }
+
+  // Induction-variable lane planes for the block, one row set per iv reg.
+  for (std::size_t p = 0; p < ir.iv_regs.size(); ++p) {
+    for (unsigned j = 0; j < kPackedLanes; ++j) {
+      iv_planes_[p][j] = iv_value(static_cast<int>(p), iter0 + j);
+    }
+    common::transpose64(iv_planes_[p].data());
+  }
+
+  // 2. Wire the lane planes to the fabric inputs and evaluate all 64
+  //    iterations in one pass.
+  for (std::size_t i = 0; i < input_bindings_.size(); ++i) {
+    const InputBinding& binding = input_bindings_[i];
+    std::uint64_t lane = 0;
+    switch (binding.kind) {
+      case InputBinding::Kind::kStream:
+        lane = block_taps_[static_cast<std::size_t>(binding.tap_index)][binding.bit];
+        break;
+      case InputBinding::Kind::kLiveIn:
+        lane = ((livein_cache_[i] >> binding.bit) & 1u) ? ~0ull : 0ull;
+        break;
+      case InputBinding::Kind::kIv:
+        if (binding.iv_pos >= 0) {
+          lane = iv_planes_[static_cast<std::size_t>(binding.iv_pos)][binding.bit];
+        }
+        break;
+      case InputBinding::Kind::kMacResult:
+      case InputBinding::Kind::kAccState:
+        throw common::InternalError("executor: feedback input on the packed path");
+    }
+    packed_->set_input(i, lane);
+  }
+  packed_->run();
+
+  // 3. MAC accumulations: operands come out of the packed pass; the 64
+  //    products are summed in iteration order.
+  std::array<std::uint64_t, kPackedLanes> words_a;
+  std::array<std::uint64_t, kPackedLanes> words_b;
+  for (std::size_t m = 0; m < kernel_.mac_ops.size(); ++m) {
+    if (!kernel_.mac_ops[m].accumulate) continue;  // feedback MACs never get here
+    unpack_group(mac_a_groups_[m], words_a);
+    unpack_group(mac_b_groups_[m], words_b);
+    std::uint32_t sum = 0;
+    for (unsigned j = 0; j < kPackedLanes; ++j) {
+      sum += static_cast<std::uint32_t>(words_a[j]) * static_cast<std::uint32_t>(words_b[j]);
+    }
+    acc[static_cast<std::size_t>(kernel_.mac_ops[m].acc_index)] += sum;
+  }
+
+  // 4. Stream writes, in iteration-major order (the scalar engine's order,
+  //    in case two write taps alias).
+  if (!kernel_.write_outputs.empty()) {
+    for (std::size_t w = 0; w < kernel_.write_outputs.size(); ++w) {
+      unpack_group(write_groups_[w], write_words_[w]);
+    }
+    for (unsigned j = 0; j < kPackedLanes; ++j) {
+      for (std::size_t w = 0; w < kernel_.write_outputs.size(); ++w) {
+        const auto& out = kernel_.write_outputs[w];
+        const auto& stream = ir.streams[out.stream];
+        const std::uint32_t addr =
+            invocation.stream_bases[out.stream] +
+            static_cast<std::uint32_t>(static_cast<std::int64_t>(stream.stride_bytes) *
+                                       static_cast<std::int64_t>(iter0 + j)) +
+            out.tap * static_cast<std::uint32_t>(stream.tap_stride_bytes);
+        const std::uint32_t value = static_cast<std::uint32_t>(write_words_[w][j]);
+        switch (stream.elem_bytes) {
+          case 1: memory.write8(addr, static_cast<std::uint8_t>(value)); break;
+          case 2: memory.write16(addr, static_cast<std::uint16_t>(value)); break;
+          default: memory.write32(addr, value); break;
+        }
+      }
+    }
+  }
+
+  // 5. Fabric-held accumulator outputs without state feedback recompute the
+  //    same function every iteration; the final value is the last lane's.
+  for (const auto& out : kernel_.acc_outputs) {
+    if (out.via_mac) continue;
+    std::uint32_t word = 0;
+    for (const OutputBit& ob : acc_next_groups_[out.acc_index]) {
+      const std::uint64_t lane = packed_->output(ob.output_index);
+      word |= static_cast<std::uint32_t>((lane >> (kPackedLanes - 1)) & 1u) << ob.bit;
+    }
+    acc[out.acc_index] = word;
+  }
 }
 
 }  // namespace warp::hwsim

@@ -10,16 +10,30 @@
 //     II   = max(1, BRAM accesses/iter, MAC ops/iter)    (port conflicts)
 //   clock  = fabric clock after critical-path derating
 //
+// Two evaluation engines back the same cycle model:
+//   - a packed engine (PackedEvaluator) that evaluates 64 loop iterations
+//     per pass, one uint64 lane per net, with batched stream tap reads and
+//     writes per block — used whenever the kernel has no per-iteration
+//     feedback into the fabric (MAC results or accumulator state feeding
+//     back) and the invocation's read/write streams cannot alias within a
+//     block;
+//   - the scalar reference engine (one iteration at a time over the shared
+//     techmap::resolve_ref reference semantics), used for the loop tail,
+//     for feedback kernels, and for the golden DFG cross-check mode.
+//
 // The executor also provides a golden cross-check mode that evaluates the
 // original dataflow graph and verifies the fabric against it per iteration.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
 #include "fabric/wcla.hpp"
+#include "hwsim/packed_eval.hpp"
 #include "sim/memory.hpp"
 #include "synth/hw_kernel.hpp"
 
@@ -40,19 +54,39 @@ struct KernelRunResult {
   double clock_mhz = 0.0;
   double time_ns = 0.0;
   std::vector<std::uint32_t> acc_final;  // per accumulator
+  // Engine split, for tests and the microbenchmark: how many iterations ran
+  // through the packed 64-lane engine vs. the scalar reference engine.
+  std::uint64_t packed_iterations = 0;
+  std::uint64_t scalar_iterations = 0;
 };
 
 class KernelExecutor {
  public:
+  /// Which evaluation engine run() uses. kAuto picks the packed engine
+  /// whenever it is safe (no feedback, no intra-block stream aliasing) and
+  /// falls back to the scalar reference otherwise; kScalar forces the
+  /// reference engine (the microbenchmark's baseline).
+  enum class EvalEngine : std::uint8_t { kAuto, kScalar };
+
   /// `kernel` and `config` must outlive the executor.
   KernelExecutor(const synth::HwKernel& kernel, const fabric::FabricConfig& config);
 
   /// Execute one invocation against `memory`.
   /// When `verify_against_dfg` is set, every iteration is cross-checked
   /// against the dataflow-graph golden model (throws InternalError on
-  /// mismatch — a CAD-flow bug, not a data error).
+  /// mismatch — a CAD-flow bug, not a data error); verification always runs
+  /// on the scalar engine.
   common::Result<KernelRunResult> run(sim::Memory& memory, const KernelInvocation& invocation,
                                       bool verify_against_dfg = false);
+
+  void set_engine(EvalEngine engine) { engine_ = engine; }
+  /// True when the kernel itself permits packed evaluation (no MAC-result
+  /// or accumulator-state feedback into the fabric). Individual invocations
+  /// may still fall back when their streams alias.
+  bool packed_supported() const { return packed_supported_; }
+  /// LUT nodes surviving the packed plan's constant/wire folding (0 when
+  /// the kernel cannot use the packed engine).
+  std::size_t packed_node_count() const { return packed_ ? packed_->node_count() : 0; }
 
   const synth::HwKernel& kernel() const { return kernel_; }
   const fabric::FabricConfig& config() const { return config_; }
@@ -61,28 +95,71 @@ class KernelExecutor {
   struct InputBinding {
     enum class Kind : std::uint8_t { kStream, kLiveIn, kIv, kMacResult, kAccState };
     Kind kind = Kind::kLiveIn;
-    unsigned a = 0;  // stream | reg | mac index | acc index
-    unsigned b = 0;  // tap (streams)
+    unsigned a = 0;    // stream | reg | mac index | acc index
+    unsigned b = 0;    // tap (streams)
     unsigned bit = 0;
+    int iv_pos = -1;   // kIv: index into ir.iv_regs (-1: unknown reg, reads 0)
+    int tap_index = -1;  // kStream: flattened (stream, tap) scratch index
   };
-  struct OutputBinding {
-    enum class Kind : std::uint8_t { kWrite, kMacA, kMacB, kAccNext };
-    Kind kind = Kind::kWrite;
-    unsigned a = 0;  // write index | mac index | acc index
+  /// One netlist output bit contributing to a word read (write value, MAC
+  /// operand, or next accumulator state).
+  struct OutputBit {
     unsigned bit = 0;
+    std::uint32_t output_index = 0;  // netlist output (for the packed engine)
+    techmap::NetRef source;          // resolved source (for the scalar engine)
   };
+  using OutputGroup = std::vector<OutputBit>;
 
   void bind_ports();
-  std::uint32_t read_output_word(const std::vector<bool>& values, OutputBinding::Kind kind,
-                                 unsigned a) const;
+  std::uint32_t read_group_word(const OutputGroup& group,
+                                const std::vector<bool>& lut_values) const;
   int find_write_node(unsigned stream, unsigned tap) const;
+
+  /// True when the invocation's write streams cannot feed a read stream
+  /// within one 64-iteration block (packed batching preserves the scalar
+  /// read-then-write order only across iterations in different positions).
+  bool streams_hazard_free(const KernelInvocation& invocation) const;
+
+  void run_scalar_iter(sim::Memory& memory, const KernelInvocation& invocation,
+                       std::uint64_t iter, std::vector<std::uint32_t>& acc,
+                       bool verify_against_dfg);
+  void run_packed_block(sim::Memory& memory, const KernelInvocation& invocation,
+                        std::uint64_t iter0, std::vector<std::uint32_t>& acc);
+
+  std::uint32_t iv_value(int iv_pos, std::uint64_t iter) const;
+  /// Gather a word group out of the packed pass: bit-planes in, one word
+  /// per iteration out (in the low 32 bits of each row).
+  void unpack_group(const OutputGroup& group,
+                    std::array<std::uint64_t, kPackedLanes>& words) const;
 
   const synth::HwKernel& kernel_;
   const fabric::FabricConfig& config_;
-  std::vector<InputBinding> input_bindings_;    // per primary input
-  std::vector<OutputBinding> output_bindings_;  // per netlist output
-  const std::vector<bool>* current_inputs_ = nullptr;    // valid during run()
+  EvalEngine engine_ = EvalEngine::kAuto;
+  bool packed_supported_ = false;
+
+  std::vector<InputBinding> input_bindings_;  // per primary input
+  std::vector<OutputGroup> write_groups_;     // per kernel write output
+  std::vector<OutputGroup> mac_a_groups_;     // per MAC op
+  std::vector<OutputGroup> mac_b_groups_;     // per MAC op
+  std::vector<OutputGroup> acc_next_groups_;  // per accumulator
+  std::unordered_map<std::uint32_t, int> write_node_;  // (stream<<16|tap) -> DFG node
+  std::vector<unsigned> tap_base_;            // per stream: flattened tap index base
+
+  std::optional<PackedEvaluator> packed_;  // compiled only when supported
+
+  // Per-run state (valid during run()).
+  std::vector<std::uint32_t> iv_init_;        // per ir.iv_regs entry
+  std::vector<std::int32_t> iv_step_;
+  std::vector<std::uint32_t> livein_cache_;   // per input binding (kLiveIn)
+  std::vector<std::vector<std::uint32_t>> tap_values_;  // scalar scratch
+  std::vector<bool> inputs_;                  // scalar scratch
+  std::vector<std::uint32_t> mac_results_;    // scalar scratch
   std::vector<std::uint32_t> acc_start_of_iter_;
+  // Per flat (stream, tap) index: loaded as one word per iteration, then
+  // bit-transposed in place so row b is the lane word of tap bit b.
+  std::vector<std::array<std::uint64_t, kPackedLanes>> block_taps_;
+  std::vector<std::array<std::uint64_t, kPackedLanes>> iv_planes_;   // per iv reg
+  std::vector<std::array<std::uint64_t, kPackedLanes>> write_words_;  // per write output
 };
 
 }  // namespace warp::hwsim

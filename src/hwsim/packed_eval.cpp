@@ -1,0 +1,117 @@
+#include "hwsim/packed_eval.hpp"
+
+#include "common/error.hpp"
+
+namespace warp::hwsim {
+namespace {
+
+using techmap::NetRef;
+
+/// Cofactor `truth` over `n` inputs with input `k` fixed to `v`.
+std::uint8_t cofactor(std::uint8_t truth, unsigned n, unsigned k, bool v) {
+  std::uint8_t out = 0;
+  for (unsigned m = 0; m < (1u << (n - 1)); ++m) {
+    const unsigned low = m & ((1u << k) - 1u);
+    const unsigned high = (m >> k) << (k + 1);
+    const unsigned full = high | (static_cast<unsigned>(v) << k) | low;
+    if ((truth >> full) & 1u) out |= static_cast<std::uint8_t>(1u << m);
+  }
+  return out;
+}
+
+}  // namespace
+
+PackedEvaluator::PackedEvaluator(const techmap::LutNetlist& netlist) {
+  num_inputs_ = netlist.primary_inputs.size();
+
+  // Slot 0/1 hold the constant lanes; inputs follow; surviving LUTs after.
+  std::vector<std::uint32_t> lut_slot(netlist.luts.size(), 0);
+  std::uint32_t next_slot = static_cast<std::uint32_t>(2 + num_inputs_);
+
+  auto slot_of = [&](const NetRef& ref) -> std::uint32_t {
+    switch (ref.kind) {
+      case NetRef::Kind::kConst0: return 0;
+      case NetRef::Kind::kConst1: return 1;
+      case NetRef::Kind::kPrimaryInput:
+        return 2 + static_cast<std::uint32_t>(ref.index);
+      case NetRef::Kind::kLut:
+        return lut_slot[static_cast<std::size_t>(ref.index)];
+    }
+    throw common::InternalError("packed_eval: bad NetRef kind");
+  };
+
+  nodes_.reserve(netlist.luts.size());
+  for (std::size_t i = 0; i < netlist.luts.size(); ++i) {
+    const techmap::Lut& lut = netlist.luts[i];
+    std::array<std::uint32_t, techmap::kLutInputs> slots{};
+    unsigned n = lut.num_inputs;
+    std::uint8_t truth = lut.truth;
+    for (unsigned k = 0; k < n; ++k) slots[k] = slot_of(lut.inputs[k]);
+
+    // Fold constant fanins into the truth table.
+    for (unsigned k = 0; k < n;) {
+      if (slots[k] <= 1) {
+        truth = cofactor(truth, n, k, slots[k] == 1);
+        for (unsigned j = k + 1; j < n; ++j) slots[j - 1] = slots[j];
+        --n;
+      } else {
+        ++k;
+      }
+    }
+
+    const std::uint8_t full = static_cast<std::uint8_t>((1u << (1u << n)) - 1u);
+    if ((truth & full) == 0 || (truth & full) == full) {  // constant: alias the lane
+      lut_slot[i] = (truth & 1u) ? 1u : 0u;
+      continue;
+    }
+    if (n == 1 && (truth & 0x3u) == 0x2u) {  // wire: alias the fanin
+      lut_slot[i] = slots[0];
+      continue;
+    }
+
+    // Canonicalize to kLutInputs fanins: unused pins read the constant-0
+    // lane and the truth table repeats over the missing dimensions.
+    PackedNode node;
+    node.out = next_slot++;
+    for (unsigned k = 0; k < techmap::kLutInputs; ++k) {
+      node.in[k] = (k < n) ? slots[k] : 0u;
+    }
+    const unsigned wrap = (1u << n) - 1u;
+    for (unsigned m = 0; m < (1u << techmap::kLutInputs); ++m) {
+      node.mask[m] = ((truth >> (m & wrap)) & 1u) ? ~0ull : 0ull;
+    }
+    nodes_.push_back(node);
+    lut_slot[i] = node.out;
+  }
+
+  lanes_.assign(next_slot, 0);
+  lanes_[1] = ~0ull;
+
+  output_slot_.resize(netlist.outputs.size());
+  for (std::size_t i = 0; i < netlist.outputs.size(); ++i) {
+    output_slot_[i] = slot_of(netlist.outputs[i].source);
+  }
+}
+
+void PackedEvaluator::run() {
+  // The mux tree below is written out for 3-input LUTs; a wider fabric LUT
+  // needs another select level here (and 2^K masks above).
+  static_assert(techmap::kLutInputs == 3, "packed mux tree assumes 3-input LUTs");
+  std::uint64_t* lanes = lanes_.data();
+  for (const PackedNode& n : nodes_) {
+    const std::uint64_t a = lanes[n.in[0]];
+    const std::uint64_t b = lanes[n.in[1]];
+    const std::uint64_t c = lanes[n.in[2]];
+    const std::uint64_t na = ~a, nb = ~b, nc = ~c;
+    // Three-level mux tree: select truth rows by input 0, then 1, then 2.
+    const std::uint64_t s0 = (na & n.mask[0]) | (a & n.mask[1]);
+    const std::uint64_t s1 = (na & n.mask[2]) | (a & n.mask[3]);
+    const std::uint64_t s2 = (na & n.mask[4]) | (a & n.mask[5]);
+    const std::uint64_t s3 = (na & n.mask[6]) | (a & n.mask[7]);
+    const std::uint64_t u0 = (nb & s0) | (b & s1);
+    const std::uint64_t u1 = (nb & s2) | (b & s3);
+    lanes[n.out] = (nc & u0) | (c & u1);
+  }
+}
+
+}  // namespace warp::hwsim

@@ -1,0 +1,75 @@
+// Bit-packed, levelized evaluation of a mapped LUT netlist.
+//
+// The scalar engine (techmap::LutNetlist::evaluate) walks the LUT array
+// once per loop iteration over std::vector<bool> — fine for cross-checking,
+// but it makes the simulator, not the modeled hardware, the bottleneck when
+// a kernel runs millions of iterations. This engine compiles the netlist
+// once into a flat evaluation plan and then evaluates 64 loop iterations
+// per pass, SIMD-within-a-register style: every net owns one std::uint64_t
+// lane word whose bit j is the net's value in iteration j.
+//
+// Compilation (PackedEvaluator's constructor):
+//   - every net gets an integer lane slot: slot 0 is constant 0, slot 1 is
+//     constant 1, slots [2, 2+inputs) are the primary inputs, and each
+//     surviving LUT gets a fresh slot — no NetRef dispatch or string
+//     lookups remain in the evaluation loop;
+//   - constant fanins are folded into the truth table (cofactoring), LUTs
+//     that reduce to a constant or a wire are folded away entirely (their
+//     slot aliases the source), and the rest are canonicalized to exactly
+//     kLutInputs fanins (unused pins point at the constant-0 lane);
+//   - each node's truth table is expanded to eight per-row lane masks, so
+//     evaluation is a branchless three-level mux tree over packed words.
+//
+// The LUT array is emitted by the mapper in topological (levelized) order,
+// which the plan preserves: one forward pass evaluates everything.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "techmap/techmap.hpp"
+
+namespace warp::hwsim {
+
+/// Iterations evaluated per packed pass: one bit lane per iteration.
+inline constexpr unsigned kPackedLanes = 64;
+
+/// One compiled LUT: fanin lane slots and the truth table as lane masks
+/// (mask[m] is all-ones iff truth bit m is set).
+struct PackedNode {
+  std::uint32_t out = 0;
+  std::array<std::uint32_t, techmap::kLutInputs> in{};
+  std::array<std::uint64_t, 1u << techmap::kLutInputs> mask{};
+};
+
+class PackedEvaluator {
+ public:
+  explicit PackedEvaluator(const techmap::LutNetlist& netlist);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_outputs() const { return output_slot_.size(); }
+  /// LUTs surviving constant/wire folding (the per-pass work).
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Set primary input `input`'s lane word (bit j = value in iteration j).
+  void set_input(std::size_t input, std::uint64_t lanes) {
+    lanes_[2 + input] = lanes;
+  }
+
+  /// Evaluate all nodes for the 64 packed iterations.
+  void run();
+
+  /// Lane word of netlist output `index` after run().
+  std::uint64_t output(std::size_t index) const {
+    return lanes_[output_slot_[index]];
+  }
+
+ private:
+  std::vector<PackedNode> nodes_;
+  std::vector<std::uint64_t> lanes_;
+  std::vector<std::uint32_t> output_slot_;  // per netlist output, resolved
+  std::size_t num_inputs_ = 0;
+};
+
+}  // namespace warp::hwsim

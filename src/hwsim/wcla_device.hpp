@@ -60,6 +60,11 @@ class WclaDevice : public sim::OpbDevice {
   const WclaStats& stats() const { return stats_; }
   void clear_stats() { stats_ = WclaStats{}; }
 
+  /// Direct access for tests and the packed-eval microbenchmark: the
+  /// executor and the last invocation the stub programmed.
+  KernelExecutor* executor() { return executor_.get(); }
+  const KernelInvocation& invocation() const { return invocation_; }
+
   // OpbDevice:
   bool contains(std::uint32_t addr) const override {
     return addr >= base_ && addr < base_ + kWclaSpan;

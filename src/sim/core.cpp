@@ -26,8 +26,12 @@ void Core::reset() {
 }
 
 OpbDevice* Core::find_device(std::uint32_t addr) {
+  if (last_device_ && last_device_->contains(addr)) return last_device_;
   for (auto* device : devices_) {
-    if (device->contains(addr)) return device;
+    if (device->contains(addr)) {
+      last_device_ = device;
+      return device;
+    }
   }
   return nullptr;
 }

@@ -113,6 +113,7 @@ class Core {
   TraceHook trace_hook_;
   BranchHook branch_hook_;
   std::vector<OpbDevice*> devices_;
+  OpbDevice* last_device_ = nullptr;  // hot loops hit the same device repeatedly
   std::string error_;
 };
 

@@ -190,6 +190,18 @@ std::vector<bool> GateNetlist::evaluate(
   return value;
 }
 
+std::vector<bool> GateNetlist::evaluate(const std::vector<bool>& input_values) const {
+  if (input_values.size() != input_ids_.size()) {
+    throw common::InternalError("netlist evaluate: frame size does not match input count");
+  }
+  std::unordered_map<int, bool> by_id;
+  by_id.reserve(input_ids_.size());
+  for (std::size_t i = 0; i < input_ids_.size(); ++i) {
+    by_id.emplace(input_ids_[i], input_values[i]);
+  }
+  return evaluate(by_id);
+}
+
 std::string GateNetlist::stats_string() const {
   return common::format("gates=%zu live=%zu inputs=%zu outputs=%zu depth=%u",
                         logic_gate_count(), live_logic_gate_count(), input_ids_.size(),

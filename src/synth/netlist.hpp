@@ -72,6 +72,10 @@ class GateNetlist {
 
   /// Evaluate all gates given input values; returns value per gate id.
   std::vector<bool> evaluate(const std::unordered_map<int, bool>& input_values) const;
+  /// Same reference evaluation with input_values[i] = value of inputs()[i] —
+  /// the frame layout shared with techmap::LutNetlist::evaluate, so mapped
+  /// and packed engines can be validated bit-exactly against the gate level.
+  std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
 
   std::string stats_string() const;
 

@@ -1,6 +1,7 @@
 #include "techmap/techmap.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <unordered_map>
 
@@ -104,6 +105,7 @@ class Mapper {
       const NetRef ref = cover(output.gate, mapped, out);
       out.outputs.push_back({output.name, ref});
     }
+    out.annotate_ports();
 
     if (stats) {
       stats->gates_in = net_.live_logic_gate_count();
@@ -290,24 +292,65 @@ unsigned LutNetlist::depth() const {
 
 std::vector<bool> LutNetlist::evaluate(const std::vector<bool>& input_values) const {
   std::vector<bool> value(luts.size(), false);
-  auto ref_value = [&](const NetRef& ref) -> bool {
-    switch (ref.kind) {
-      case NetRef::Kind::kConst0: return false;
-      case NetRef::Kind::kConst1: return true;
-      case NetRef::Kind::kPrimaryInput:
-        return input_values[static_cast<std::size_t>(ref.index)];
-      case NetRef::Kind::kLut: return value[static_cast<std::size_t>(ref.index)];
-    }
-    return false;
-  };
   for (std::size_t i = 0; i < luts.size(); ++i) {
     unsigned m = 0;
     for (unsigned k = 0; k < luts[i].num_inputs; ++k) {
-      if (ref_value(luts[i].inputs[k])) m |= 1u << k;
+      if (resolve_ref(luts[i].inputs[k], value, input_values)) m |= 1u << k;
     }
     value[i] = (luts[i].truth >> m) & 1u;
   }
   return value;
+}
+
+std::vector<bool> LutNetlist::evaluate_outputs(const std::vector<bool>& input_values) const {
+  const std::vector<bool> value = evaluate(input_values);
+  std::vector<bool> out(outputs.size(), false);
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    out[i] = resolve_ref(outputs[i].source, value, input_values);
+  }
+  return out;
+}
+
+PortSpec parse_port_name(const std::string& name) {
+  PortSpec spec;
+  unsigned a = 0, b = 0, bit = 0;
+  const char* s = name.c_str();
+  if (std::sscanf(s, "s%ut%u[%u]", &a, &b, &bit) == 3) {
+    spec.kind = PortSpec::Kind::kStream;
+  } else if (std::sscanf(s, "li%u[%u]", &a, &bit) == 2) {
+    spec.kind = PortSpec::Kind::kLiveIn;
+  } else if (std::sscanf(s, "iv%u[%u]", &a, &bit) == 2) {
+    spec.kind = PortSpec::Kind::kIv;
+  } else if (std::sscanf(s, "macA%u[%u]", &a, &bit) == 2) {
+    spec.kind = PortSpec::Kind::kMacA;
+  } else if (std::sscanf(s, "macB%u[%u]", &a, &bit) == 2) {
+    spec.kind = PortSpec::Kind::kMacB;
+  } else if (std::sscanf(s, "mac%u[%u]", &a, &bit) == 2) {
+    spec.kind = PortSpec::Kind::kMacResult;
+  } else if (std::sscanf(s, "accnext%u[%u]", &a, &bit) == 2) {
+    spec.kind = PortSpec::Kind::kAccNext;
+  } else if (std::sscanf(s, "acc%u[%u]", &a, &bit) == 2) {
+    spec.kind = PortSpec::Kind::kAccState;
+  } else if (std::sscanf(s, "w%ut%u[%u]", &a, &b, &bit) == 3) {
+    spec.kind = PortSpec::Kind::kWrite;
+  } else {
+    return spec;  // kOther
+  }
+  spec.a = a;
+  spec.b = b;
+  spec.bit = bit;
+  return spec;
+}
+
+void LutNetlist::annotate_ports() {
+  input_ports.resize(primary_inputs.size());
+  for (std::size_t i = 0; i < primary_inputs.size(); ++i) {
+    input_ports[i] = parse_port_name(primary_inputs[i]);
+  }
+  output_ports.resize(outputs.size());
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    output_ports[i] = parse_port_name(outputs[i].name);
+  }
 }
 
 std::string LutNetlist::stats_string() const {

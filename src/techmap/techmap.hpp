@@ -47,15 +47,57 @@ struct MappedOutput {
   NetRef source;
 };
 
+/// Structured decoding of the synthesis port-naming convention. The
+/// bit-blaster names fabric ports "s<stream>t<tap>[<bit>]", "li<reg>[<bit>]",
+/// "iv<reg>[<bit>]", "mac<n>[<bit>]", "acc<n>[<bit>]" on the input side and
+/// "w<stream>t<tap>[<bit>]", "macA<n>[<bit>]", "macB<n>[<bit>]",
+/// "accnext<n>[<bit>]" on the output side. Names are parsed once at map
+/// time so hot paths (the hardware executor) never touch strings.
+struct PortSpec {
+  enum class Kind : std::uint8_t {
+    kStream, kLiveIn, kIv, kMacResult, kAccState,  // inputs
+    kWrite, kMacA, kMacB, kAccNext,                // outputs
+    kOther,                                        // unrecognized name
+  };
+  Kind kind = Kind::kOther;
+  unsigned a = 0;    // stream | register | MAC index | accumulator index
+  unsigned b = 0;    // tap (stream ports only)
+  unsigned bit = 0;  // bit within the 32-bit word
+};
+
+PortSpec parse_port_name(const std::string& name);
+
+/// Value of a NetRef given the per-LUT values and the primary-input frame.
+/// This is the one scalar reference used by LutNetlist::evaluate_outputs,
+/// the executor's scalar engine, and the packed engine's validation.
+inline bool resolve_ref(const NetRef& ref, const std::vector<bool>& lut_values,
+                        const std::vector<bool>& input_values) {
+  switch (ref.kind) {
+    case NetRef::Kind::kConst0: return false;
+    case NetRef::Kind::kConst1: return true;
+    case NetRef::Kind::kPrimaryInput:
+      return input_values[static_cast<std::size_t>(ref.index)];
+    case NetRef::Kind::kLut: return lut_values[static_cast<std::size_t>(ref.index)];
+  }
+  return false;
+}
+
 struct LutNetlist {
   std::vector<std::string> primary_inputs;        // names, index = NetRef.index
   std::vector<Lut> luts;
   std::vector<MappedOutput> outputs;
+  std::vector<PortSpec> input_ports;              // parallel to primary_inputs
+  std::vector<PortSpec> output_ports;             // parallel to outputs
 
   /// Logic depth in LUT levels.
   unsigned depth() const;
   /// Evaluate: values[i] = value of primary input i.
   std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+  /// Evaluate and resolve each named output to its bit value.
+  std::vector<bool> evaluate_outputs(const std::vector<bool>& input_values) const;
+  /// (Re)derive input_ports/output_ports from the port names. Called by
+  /// techmap(); callers that build a LutNetlist by hand use it directly.
+  void annotate_ports();
   std::string stats_string() const;
 };
 

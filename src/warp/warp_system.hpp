@@ -68,6 +68,7 @@ class WarpSystem {
   }
   sim::Memory& data_mem() { return data_mem_; }
   sim::Core& core() { return core_; }
+  hwsim::WclaDevice& wcla() { return wcla_; }
   const isa::Program& program() const { return program_; }
   const WarpSystemConfig& config() const { return config_; }
 

@@ -1,0 +1,404 @@
+// Packed-evaluation engine tests: the 64-lane SWAR engine must agree
+// bit-exactly with the scalar reference on random mapped netlists, on
+// hand-built netlists exercising constant/wire folding, and on full kernel
+// executions; and the experiment harness must stay golden-output-exact now
+// that the packed engine backs the default executor path.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "decompile/cfg.hpp"
+#include "decompile/extract.hpp"
+#include "decompile/liveness.hpp"
+#include "experiments/harness.hpp"
+#include "hwsim/executor.hpp"
+#include "hwsim/packed_eval.hpp"
+#include "isa/assembler.hpp"
+#include "pnr/pnr.hpp"
+#include "techmap/techmap.hpp"
+
+namespace warp::hwsim {
+namespace {
+
+synth::GateNetlist random_gate_netlist(common::Rng& rng, unsigned inputs, unsigned gates,
+                                       unsigned outputs) {
+  synth::GateNetlist net;
+  std::vector<int> pool = {net.const0(), net.const1()};
+  for (unsigned i = 0; i < inputs; ++i) pool.push_back(net.add_input("x" + std::to_string(i)));
+  for (unsigned g = 0; g < gates; ++g) {
+    const int a = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    const int b = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    int id;
+    switch (rng.below(4)) {
+      case 0: id = net.gate_and(a, b); break;
+      case 1: id = net.gate_or(a, b); break;
+      case 2: id = net.gate_xor(a, b); break;
+      default: id = net.gate_not(a); break;
+    }
+    pool.push_back(id);
+  }
+  for (unsigned o = 0; o < outputs; ++o) {
+    net.add_output("o" + std::to_string(o),
+                   pool[pool.size() - 1 - (o % std::min<std::size_t>(pool.size(), 8))]);
+  }
+  return net;
+}
+
+/// Drive `frames` through both engines and require bit-exact agreement,
+/// 64 frames per packed pass.
+void expect_engines_agree(const techmap::LutNetlist& netlist,
+                          const std::vector<std::vector<bool>>& frames) {
+  PackedEvaluator packed(netlist);
+  ASSERT_EQ(packed.num_inputs(), netlist.primary_inputs.size());
+  ASSERT_EQ(packed.num_outputs(), netlist.outputs.size());
+
+  std::vector<std::vector<bool>> scalar_out(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    scalar_out[f] = netlist.evaluate_outputs(frames[f]);
+  }
+
+  for (std::size_t block = 0; block < frames.size(); block += kPackedLanes) {
+    const std::size_t n = std::min<std::size_t>(kPackedLanes, frames.size() - block);
+    for (std::size_t i = 0; i < netlist.primary_inputs.size(); ++i) {
+      std::uint64_t lane = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (frames[block + j][i]) lane |= 1ull << j;
+      }
+      packed.set_input(i, lane);
+    }
+    packed.run();
+    for (std::size_t o = 0; o < netlist.outputs.size(); ++o) {
+      const std::uint64_t lane = packed.output(o);
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(((lane >> j) & 1u) != 0, scalar_out[block + j][o])
+            << "output " << o << " frame " << block + j;
+      }
+    }
+  }
+}
+
+TEST(PackedEval, MatchesScalarOnRandomMappedNetlists) {
+  common::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto net = random_gate_netlist(rng, 10, 80, 8);
+    auto mapped = techmap::techmap(net);
+    ASSERT_TRUE(mapped.is_ok()) << mapped.message();
+
+    std::vector<std::vector<bool>> frames(1000);
+    for (auto& frame : frames) {
+      frame.resize(mapped.value().primary_inputs.size());
+      for (std::size_t i = 0; i < frame.size(); ++i) frame[i] = rng.chance(0.5);
+    }
+    expect_engines_agree(mapped.value(), frames);
+
+    // The mapped scalar reference itself must agree with the gate level, so
+    // packed == mapped == gates transitively.
+    for (int f = 0; f < 16; ++f) {
+      const auto& frame = frames[static_cast<std::size_t>(f)];
+      const auto gate_values = net.evaluate(frame);
+      const auto lut_out = mapped.value().evaluate_outputs(frame);
+      for (std::size_t o = 0; o < net.outputs().size(); ++o) {
+        ASSERT_EQ(lut_out[o],
+                  gate_values[static_cast<std::size_t>(net.outputs()[o].gate)]);
+      }
+    }
+  }
+}
+
+TEST(PackedEval, FoldsConstantsAndWires) {
+  // Hand-built netlist exercising every folding case: constant fanins,
+  // constant LUTs, wire LUTs, inverters, and outputs that reference
+  // constants and primary inputs directly.
+  using techmap::NetRef;
+  techmap::LutNetlist netlist;
+  netlist.primary_inputs = {"a", "b"};
+  const NetRef in_a{NetRef::Kind::kPrimaryInput, 0};
+  const NetRef in_b{NetRef::Kind::kPrimaryInput, 1};
+  const NetRef c0{NetRef::Kind::kConst0, -1};
+  const NetRef c1{NetRef::Kind::kConst1, -1};
+
+  techmap::Lut and_c1;  // a AND 1 -> wire to a after folding
+  and_c1.inputs = {in_a, c1, NetRef{}};
+  and_c1.num_inputs = 2;
+  and_c1.truth = 0x8;  // AND
+  netlist.luts.push_back(and_c1);
+
+  techmap::Lut or_c1;  // b OR 1 -> constant 1
+  or_c1.inputs = {in_b, c1, NetRef{}};
+  or_c1.num_inputs = 2;
+  or_c1.truth = 0xE;  // OR
+  netlist.luts.push_back(or_c1);
+
+  techmap::Lut inv;  // NOT of the folded wire
+  inv.inputs = {NetRef{NetRef::Kind::kLut, 0}, NetRef{}, NetRef{}};
+  inv.num_inputs = 1;
+  inv.truth = 0x1;
+  netlist.luts.push_back(inv);
+
+  techmap::Lut xo;  // (wire a) XOR (const 1 lut) XOR b
+  xo.inputs = {NetRef{NetRef::Kind::kLut, 0}, NetRef{NetRef::Kind::kLut, 1}, in_b};
+  xo.num_inputs = 3;
+  xo.truth = 0x96;  // 3-input XOR
+  netlist.luts.push_back(xo);
+
+  netlist.outputs.push_back({"wire", NetRef{NetRef::Kind::kLut, 0}});
+  netlist.outputs.push_back({"konst", NetRef{NetRef::Kind::kLut, 1}});
+  netlist.outputs.push_back({"inv", NetRef{NetRef::Kind::kLut, 2}});
+  netlist.outputs.push_back({"xor3", NetRef{NetRef::Kind::kLut, 3}});
+  netlist.outputs.push_back({"pass", in_b});
+  netlist.outputs.push_back({"zero", c0});
+
+  PackedEvaluator packed(netlist);
+  // Folding leaves only the inverter and the xor as real nodes.
+  EXPECT_EQ(packed.node_count(), 2u);
+
+  common::Rng rng(11);
+  std::vector<std::vector<bool>> frames(256);
+  for (auto& frame : frames) frame = {rng.chance(0.5), rng.chance(0.5)};
+  expect_engines_agree(netlist, frames);
+}
+
+TEST(PackedEval, PropertyRandomLutNetlists) {
+  // Random LutNetlists built directly (not through techmap), with constant
+  // and primary-input fanins sprinkled in so folding paths stay covered.
+  using techmap::NetRef;
+  common::Rng rng(2026);
+  for (int trial = 0; trial < 10; ++trial) {
+    techmap::LutNetlist netlist;
+    const unsigned num_inputs = 2 + rng.below(8);
+    for (unsigned i = 0; i < num_inputs; ++i) {
+      netlist.primary_inputs.push_back("x" + std::to_string(i));
+    }
+    const unsigned num_luts = 1 + rng.below(40);
+    for (unsigned l = 0; l < num_luts; ++l) {
+      techmap::Lut lut;
+      lut.num_inputs = 1 + rng.below(techmap::kLutInputs);
+      for (unsigned k = 0; k < lut.num_inputs; ++k) {
+        switch (rng.below(8)) {
+          case 0: lut.inputs[k] = NetRef{NetRef::Kind::kConst0, -1}; break;
+          case 1: lut.inputs[k] = NetRef{NetRef::Kind::kConst1, -1}; break;
+          case 2: case 3:
+            lut.inputs[k] =
+                NetRef{NetRef::Kind::kPrimaryInput, static_cast<int>(rng.below(num_inputs))};
+            break;
+          default:
+            lut.inputs[k] = (l == 0)
+                ? NetRef{NetRef::Kind::kPrimaryInput, static_cast<int>(rng.below(num_inputs))}
+                : NetRef{NetRef::Kind::kLut, static_cast<int>(rng.below(l))};
+            break;
+        }
+      }
+      lut.truth = static_cast<std::uint8_t>(rng.below(1u << (1u << lut.num_inputs)));
+      netlist.luts.push_back(lut);
+    }
+    for (unsigned o = 0; o < 6; ++o) {
+      netlist.outputs.push_back(
+          {"o" + std::to_string(o),
+           NetRef{NetRef::Kind::kLut, static_cast<int>(rng.below(num_luts))}});
+    }
+
+    std::vector<std::vector<bool>> frames(1000);
+    for (auto& frame : frames) {
+      frame.resize(num_inputs);
+      for (std::size_t i = 0; i < frame.size(); ++i) frame[i] = rng.chance(0.5);
+    }
+    expect_engines_agree(netlist, frames);
+  }
+}
+
+// ---- Full-kernel equivalence through the executor -------------------------
+
+struct Built {
+  std::shared_ptr<synth::HwKernel> kernel;
+  std::shared_ptr<fabric::FabricConfig> config;
+  decompile::KernelIR ir;
+};
+
+Built build_kernel(const std::string& source, const std::string& label) {
+  auto prog = isa::assemble(source, isa::CpuConfig::full());
+  EXPECT_TRUE(prog.is_ok()) << prog.message();
+  const std::uint32_t target = prog.value().label(label);
+  auto cfg = decompile::Cfg::build(decompile::decode_program(prog.value().words));
+  std::uint32_t branch = 0;
+  for (const auto& fi : cfg.instrs()) {
+    if (fi.valid && isa::is_conditional_branch(fi.instr.op) &&
+        fi.pc + static_cast<std::uint32_t>(fi.imm) == target && fi.pc > target) {
+      branch = fi.pc;
+    }
+  }
+  decompile::Liveness live(cfg);
+  auto ir = decompile::extract_kernel(cfg, live, branch, target);
+  EXPECT_TRUE(ir.is_ok()) << ir.message();
+  synth::SynthOptions so;
+  so.csd_max_terms = 2;
+  auto kernel = synth::synthesize(ir.value(), so);
+  EXPECT_TRUE(kernel.is_ok()) << kernel.message();
+  auto mapped = techmap::techmap(kernel.value().fabric);
+  EXPECT_TRUE(mapped.is_ok()) << mapped.message();
+  auto pnr = pnr::place_and_route(mapped.value(), fabric::FabricGeometry());
+  EXPECT_TRUE(pnr.is_ok()) << pnr.message();
+  Built built;
+  built.ir = ir.value();
+  built.kernel = std::make_shared<synth::HwKernel>(std::move(kernel).value());
+  built.config = std::make_shared<fabric::FabricConfig>(std::move(pnr).value().config);
+  return built;
+}
+
+constexpr const char* kTransform = R"(
+  li r2, 0x1000
+  li r3, 0x4000
+  li r4, 200
+loop:
+  lwi r5, r2, 0
+  bslli r6, r5, 3
+  xori r6, r6, 0x5A5A
+  addi r6, r6, 13
+  swi r6, r3, 0
+  addi r2, r2, 4
+  addi r3, r3, 4
+  addi r4, r4, -1
+  bne r4, loop
+  halt
+)";
+
+TEST(PackedExecutor, MatchesScalarEngineOnKernelRun) {
+  auto built = build_kernel(kTransform, "loop");
+  KernelInvocation invocation;
+  invocation.trip = 200;  // three packed blocks + an 8-iteration scalar tail
+  for (const auto& stream : built.ir.streams) {
+    invocation.stream_bases.push_back(stream.is_write ? 0x4000 : 0x1000);
+  }
+  invocation.acc_init.assign(built.ir.accumulators.size(), 0);
+  for (auto reg : built.ir.live_in_regs) invocation.live_in[reg] = 0;
+  invocation.live_in[2] = 0x1000;
+  invocation.live_in[3] = 0x4000;
+  invocation.live_in[4] = 200;
+
+  common::Rng rng(3);
+  sim::Memory mem_packed(1 << 16);
+  sim::Memory mem_scalar(1 << 16);
+  for (unsigned i = 0; i < 200; ++i) {
+    const std::uint32_t v = rng.next_u32();
+    mem_packed.write32(0x1000 + 4 * i, v);
+    mem_scalar.write32(0x1000 + 4 * i, v);
+  }
+
+  KernelExecutor packed_exec(*built.kernel, *built.config);
+  ASSERT_TRUE(packed_exec.packed_supported());
+  auto packed_result = packed_exec.run(mem_packed, invocation);
+  ASSERT_TRUE(packed_result.is_ok()) << packed_result.message();
+  EXPECT_EQ(packed_result.value().packed_iterations, 192u);
+  EXPECT_EQ(packed_result.value().scalar_iterations, 8u);
+
+  KernelExecutor scalar_exec(*built.kernel, *built.config);
+  scalar_exec.set_engine(KernelExecutor::EvalEngine::kScalar);
+  auto scalar_result = scalar_exec.run(mem_scalar, invocation);
+  ASSERT_TRUE(scalar_result.is_ok()) << scalar_result.message();
+  EXPECT_EQ(scalar_result.value().packed_iterations, 0u);
+
+  for (unsigned i = 0; i < 200; ++i) {
+    ASSERT_EQ(mem_packed.read32(0x4000 + 4 * i), mem_scalar.read32(0x4000 + 4 * i)) << i;
+  }
+  EXPECT_EQ(packed_result.value().acc_final, scalar_result.value().acc_final);
+  EXPECT_EQ(packed_result.value().wcla_cycles, scalar_result.value().wcla_cycles);
+}
+
+TEST(PackedExecutor, InPlaceTransformStaysPacked) {
+  // Read and write the same array in place: the hazard analysis must prove
+  // the block-batched engine safe (same address read-then-written within
+  // each iteration only).
+  constexpr const char* kInPlace = R"(
+    li r2, 0x1000
+    li r4, 150
+  loop:
+    lwi r5, r2, 0
+    xori r5, r5, 0x3C3C
+    swi r5, r2, 0
+    addi r2, r2, 4
+    addi r4, r4, -1
+    bne r4, loop
+    halt
+  )";
+  auto built = build_kernel(kInPlace, "loop");
+  KernelInvocation invocation;
+  invocation.trip = 150;
+  invocation.stream_bases.assign(built.ir.streams.size(), 0x1000);
+  invocation.acc_init.assign(built.ir.accumulators.size(), 0);
+  for (auto reg : built.ir.live_in_regs) invocation.live_in[reg] = 0;
+  invocation.live_in[2] = 0x1000;
+  invocation.live_in[4] = 150;
+
+  sim::Memory mem(1 << 16);
+  for (unsigned i = 0; i < 150; ++i) mem.write32(0x1000 + 4 * i, i * 2654435761u);
+
+  KernelExecutor executor(*built.kernel, *built.config);
+  auto result = executor.run(mem, invocation);
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  EXPECT_EQ(result.value().packed_iterations, 128u);
+  for (unsigned i = 0; i < 150; ++i) {
+    EXPECT_EQ(mem.read32(0x1000 + 4 * i), (i * 2654435761u) ^ 0x3C3Cu) << i;
+  }
+}
+
+TEST(PackedExecutor, SubElementStrideFallsBackToScalar) {
+  // In-place word loop advancing 2 bytes per iteration: the write of
+  // iteration i partially overlaps the read of iteration i+1 (no exact
+  // address collision, just byte-range overlap), so the packed engine must
+  // refuse the block batching and match the scalar engine exactly.
+  constexpr const char* kOverlapping = R"(
+    li r2, 0x1000
+    li r4, 150
+  loop:
+    lwi r5, r2, 0
+    xori r5, r5, 0x7711
+    swi r5, r2, 0
+    addi r2, r2, 2
+    addi r4, r4, -1
+    bne r4, loop
+    halt
+  )";
+  auto built = build_kernel(kOverlapping, "loop");
+  KernelInvocation invocation;
+  invocation.trip = 150;
+  invocation.stream_bases.assign(built.ir.streams.size(), 0x1000);
+  invocation.acc_init.assign(built.ir.accumulators.size(), 0);
+  for (auto reg : built.ir.live_in_regs) invocation.live_in[reg] = 0;
+  invocation.live_in[2] = 0x1000;
+  invocation.live_in[4] = 150;
+
+  sim::Memory mem_auto(1 << 16);
+  sim::Memory mem_scalar(1 << 16);
+  common::Rng rng(9);
+  for (unsigned i = 0; i < 200; ++i) {
+    const std::uint32_t v = rng.next_u32();
+    mem_auto.write32(0x1000 + 4 * i, v);
+    mem_scalar.write32(0x1000 + 4 * i, v);
+  }
+
+  KernelExecutor auto_exec(*built.kernel, *built.config);
+  auto auto_result = auto_exec.run(mem_auto, invocation);
+  ASSERT_TRUE(auto_result.is_ok()) << auto_result.message();
+  EXPECT_EQ(auto_result.value().packed_iterations, 0u);  // hazard: stays scalar
+
+  KernelExecutor scalar_exec(*built.kernel, *built.config);
+  scalar_exec.set_engine(KernelExecutor::EvalEngine::kScalar);
+  auto scalar_result = scalar_exec.run(mem_scalar, invocation);
+  ASSERT_TRUE(scalar_result.is_ok()) << scalar_result.message();
+  for (unsigned i = 0; i < 200; ++i) {
+    ASSERT_EQ(mem_auto.read32(0x1000 + 4 * i), mem_scalar.read32(0x1000 + 4 * i)) << i;
+  }
+}
+
+TEST(PackedExecutor, HarnessBenchmarksStayGolden) {
+  // Regression for the whole methodology: all six paper workloads must
+  // still report ok (golden outputs bit-exact on both runs) with the packed
+  // engine backing the default executor path.
+  const auto results = experiments::run_all_benchmarks(experiments::default_options());
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok) << result.name << ": " << result.error;
+    EXPECT_TRUE(result.warped) << result.name << ": " << result.warp_detail;
+  }
+}
+
+}  // namespace
+}  // namespace warp::hwsim
