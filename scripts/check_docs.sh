@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Documentation checks, run by the CI docs job and locally:
+#   1. every src/* subsystem with more than two files must have its own
+#      README.md or an entry in the top-level README's subsystem map;
+#   2. every relative markdown link in tracked *.md files must resolve.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. subsystem documentation -------------------------------------------
+for dir in src/*/; do
+  name=$(basename "$dir")
+  count=$(find "$dir" -maxdepth 1 -type f | wc -l)
+  if [ "$count" -gt 2 ]; then
+    if [ ! -f "${dir}README.md" ] && ! grep -q "src/${name}/" README.md; then
+      echo "FAIL: src/${name} has ${count} files but neither src/${name}/README.md" \
+           "nor an entry in README.md's subsystem map"
+      fail=1
+    fi
+  fi
+done
+
+# --- 2. relative markdown links -------------------------------------------
+# Matches [text](target) links; external schemes and pure anchors are skipped.
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "FAIL: $md links to missing file: $link"
+      fail=1
+    fi
+  done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$md" | sed -E 's/^\[[^]]*\]\(//; s/\)$//')
+done < <(git ls-files -c -o --exclude-standard '*.md')
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check failed"
+  exit 1
+fi
+echo "docs check passed"

@@ -97,6 +97,25 @@ std::vector<BenchmarkResult> run_all_benchmarks(const HarnessOptions& options) {
   return results;
 }
 
+common::Result<techmap::LutNetlist> partition_netlist(const workloads::Workload& workload,
+                                                      const HarnessOptions& options) {
+  using R = common::Result<techmap::LutNetlist>;
+  auto program = isa::assemble(workload.source, options.cpu);
+  if (!program) return R::error("assemble: " + program.message());
+
+  warpsys::WarpSystemConfig system_config = options.system;
+  system_config.cpu = options.cpu;
+  warpsys::WarpSystem system(program.value(), workload.init, system_config);
+  if (auto sw = system.run_software(); !sw) {
+    return R::error("software run: " + sw.message());
+  }
+  const warpsys::PartitionOutcome& outcome = system.warp();
+  if (!outcome.success || !outcome.config) {
+    return R::error("partition: " + outcome.detail);
+  }
+  return outcome.config->netlist;
+}
+
 common::Result<double> run_software_only(const workloads::Workload& workload,
                                          const isa::CpuConfig& cpu) {
   auto program = isa::assemble(workload.source, cpu);

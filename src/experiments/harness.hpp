@@ -77,4 +77,10 @@ std::vector<BenchmarkResult> run_all_benchmarks(const HarnessOptions& options);
 common::Result<double> run_software_only(const workloads::Workload& workload,
                                          const isa::CpuConfig& cpu);
 
+/// Run the flow up to partitioning and return the mapped LUT netlist of the
+/// selected kernel — the exact PnR input the DPM saw. Lets tools
+/// (bench/pnr_bench.cpp) re-run placement and routing in isolation.
+common::Result<techmap::LutNetlist> partition_netlist(const workloads::Workload& workload,
+                                                      const HarnessOptions& options);
+
 }  // namespace warp::experiments

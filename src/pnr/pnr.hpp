@@ -3,17 +3,25 @@
 // These are the lean on-chip algorithms of the warp-processing tool flow:
 //   - placement: greedy constructive seed refined by a short simulated-
 //     annealing schedule over half-perimeter wirelength (the "lean placement"
-//     of Lysecky & Vahid, DATE'04);
+//     of Lysecky & Vahid, DATE'04). A move's cost delta is computed from
+//     maintained per-net bounding boxes (min/max coordinates plus occupancy
+//     counts at each extreme, the classic VPR scheme), so it is O(1) per
+//     affected net instead of O(endpoints); an exact-rescan mode is kept
+//     both as the pre-incremental baseline and as a per-move drift check;
 //   - routing: ROCR-style negotiated congestion (Lysecky, Vahid, Tan,
 //     DAC'04 "Dynamic FPGA Routing for Just-in-Time FPGA Compilation"):
 //     every net is routed by A* over the routing-resource grid; overused
-//     cells get present- and history-cost penalties and everything is
-//     ripped up and rerouted until the solution is legal;
+//     cells get present- and history-cost penalties. Rip-up is selective:
+//     routed trees and the history-cost grid persist across iterations, and
+//     only sinks whose paths cross an overused cell are ripped up — their
+//     re-expansion is seeded from the net's surviving tree. The full
+//     rip-up-everything baseline is kept behind an option;
 //   - timing: arrival-time propagation over the placed-and-routed netlist
 //     giving the fabric critical path (which derates the WCLA clock).
 //
 // Both algorithms meter their work (moves, wavefront expansions) so the
-// warp runtime can charge realistic DPM execution time for them.
+// warp runtime can charge realistic DPM execution time for them. See
+// src/pnr/README.md for the full story.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +39,14 @@ struct PlaceOptions {
   unsigned moves_per_lut = 24;     // annealing budget (lean!)
   double initial_temperature = 8.0;
   double cooling = 0.92;
+  // Incremental bounding-box cost updates (default). false selects the
+  // exact-rescan baseline that recomputes each affected net's HPWL from its
+  // endpoints on every move; both modes produce bit-identical placements for
+  // the same seed (deltas are integer-exact).
+  bool incremental = true;
+  // Debug: in incremental mode, cross-check every move's delta against an
+  // exact rescan of the affected nets and fail on any drift.
+  bool verify_incremental = false;
 };
 
 struct PlaceResult {
@@ -40,12 +56,23 @@ struct PlaceResult {
   double hpwl = 0.0;
   std::uint64_t moves = 0;           // metered work
   std::uint64_t accepted_moves = 0;
+  // Distinct nets whose delta was evaluated incrementally, summed over all
+  // moves (small nets via a two-scan delta, big nets via an O(1) bbox
+  // update). bbox_rescans counts the big-net updates that degraded to a
+  // full endpoint rescan (shrink off a unique extreme).
+  std::uint64_t delta_evaluations = 0;
+  std::uint64_t bbox_rescans = 0;
 };
 
 struct RouteOptions {
   unsigned max_iterations = 16;
   double present_factor = 0.6;   // growth of present-congestion penalty
   double history_factor = 0.25;  // accumulation of history cost
+  // Selective rip-up (default): per-net routed trees persist across
+  // congestion iterations and only sinks whose paths cross overused cells
+  // are ripped up and rerouted. false selects the baseline that rips up and
+  // reroutes every net each iteration.
+  bool selective_ripup = true;
 };
 
 struct RouteResult {
@@ -55,6 +82,8 @@ struct RouteResult {
   std::uint64_t expansions = 0;  // metered work
   double critical_path_ns = 0.0;
   unsigned max_hops = 0;
+  std::uint64_t nets_rerouted = 0;  // rip-up victims summed over iterations 2+
+  std::vector<unsigned> nets_rerouted_per_iter;  // [i] = nets (re)routed in iteration i+1
 };
 
 struct PnrOptions {

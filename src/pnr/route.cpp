@@ -45,13 +45,9 @@ struct NetToRoute {
   std::vector<SinkSpec> sinks;
 };
 
-}  // namespace
-
-common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometry& geometry,
-                                  const PlaceResult& placement, const RouteOptions& options) {
-  Grid grid(geometry);
-
-  // Build the net list with physical positions.
+// Nets with physical positions, sinks sorted near-to-far from the driver
+// (better Steiner-ish trees, and a deterministic routing order).
+std::vector<NetToRoute> build_nets(const LutNetlist& netlist, const PlaceResult& placement) {
   std::vector<NetToRoute> nets;
   std::map<std::pair<int, int>, int> net_of_driver;  // (kind, index) -> net
   auto net_for = [&](const NetRef& ref) -> int {
@@ -98,10 +94,72 @@ common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometr
     nets[static_cast<std::size_t>(n)].sinks.push_back(sink);
   }
 
-  RouteResult result;
+  for (auto& net : nets) {
+    std::sort(net.sinks.begin(), net.sinks.end(),
+              [&](const NetToRoute::SinkSpec& a, const NetToRoute::SinkSpec& b) {
+                const int da = std::abs(a.cell.first - net.source.first) +
+                               std::abs(a.cell.second - net.source.second);
+                const int db = std::abs(b.cell.first - net.source.first) +
+                               std::abs(b.cell.second - net.source.second);
+                return da < db;
+              });
+  }
+  return nets;
+}
+
+// Arrival-time propagation over the routed netlist. Net delay to a sink =
+// io + hops*wire; LUT ids are in topological order (techmap covers leaves
+// first).
+double compute_timing(const LutNetlist& netlist, const FabricGeometry& geometry,
+                      const std::vector<RoutedNet>& routes) {
+  std::vector<double> arrival(netlist.luts.size(), 0.0);
+  std::vector<double> net_delay_to_lut_pin(netlist.luts.size() * techmap::kLutInputs, 0.0);
+  std::vector<double> output_arrival(netlist.outputs.size(), 0.0);
+  for (const auto& routed : routes) {
+    for (const auto& sink : routed.sinks) {
+      const double hops = sink.path.empty() ? 0.0 : static_cast<double>(sink.path.size() - 1);
+      const double delay = geometry.io_delay_ns * (routed.driver_input >= 0 ? 1.0 : 0.0) +
+                           hops * geometry.wire_hop_delay_ns;
+      if (sink.lut >= 0) {
+        net_delay_to_lut_pin[static_cast<std::size_t>(sink.lut) * techmap::kLutInputs +
+                             sink.input_pin] = delay;
+      } else if (sink.output_index >= 0) {
+        output_arrival[static_cast<std::size_t>(sink.output_index)] = delay;
+      }
+    }
+  }
+  double critical = 0.0;
+  for (std::size_t i = 0; i < netlist.luts.size(); ++i) {
+    double in_arrival = 0.0;
+    for (unsigned k = 0; k < netlist.luts[i].num_inputs; ++k) {
+      const NetRef& ref = netlist.luts[i].inputs[k];
+      double src = 0.0;
+      if (ref.kind == NetRef::Kind::kLut) src = arrival[static_cast<std::size_t>(ref.index)];
+      in_arrival = std::max(in_arrival,
+                            src + net_delay_to_lut_pin[i * techmap::kLutInputs + k]);
+    }
+    arrival[i] = in_arrival + geometry.lut_delay_ns;
+    critical = std::max(critical, arrival[i]);
+  }
+  for (std::size_t o = 0; o < netlist.outputs.size(); ++o) {
+    const NetRef& ref = netlist.outputs[o].source;
+    double src = 0.0;
+    if (ref.kind == NetRef::Kind::kLut) src = arrival[static_cast<std::size_t>(ref.index)];
+    critical = std::max(critical, src + output_arrival[o] + geometry.io_delay_ns);
+  }
+  return critical;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline router: rip up and reroute *every* net each congestion iteration
+// (the pre-incremental algorithm, kept as the bench/regression reference).
+// ---------------------------------------------------------------------------
+void route_full_ripup(const Grid& grid, const FabricGeometry& geometry,
+                      const RouteOptions& options, std::vector<NetToRoute>& nets,
+                      std::vector<std::vector<std::vector<std::pair<int, int>>>>& paths,
+                      RouteResult& result) {
   std::vector<double> history(static_cast<std::size_t>(grid.size()), 0.0);
   std::vector<int> usage(static_cast<std::size_t>(grid.size()), 0);
-  std::vector<std::vector<std::pair<int, int>>> sink_paths;  // flat, per (net, sink)
 
   const int dx[4] = {1, -1, 0, 0};
   const int dy[4] = {0, 0, 1, -1};
@@ -109,26 +167,21 @@ common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometr
   for (unsigned iter = 1; iter <= options.max_iterations; ++iter) {
     result.iterations = iter;
     std::fill(usage.begin(), usage.end(), 0);
-    sink_paths.clear();
     const double present_weight = options.present_factor * static_cast<double>(iter);
+    result.nets_rerouted_per_iter.push_back(static_cast<unsigned>(nets.size()));
+    if (iter > 1) result.nets_rerouted += nets.size();
 
-    for (auto& net : nets) {
+    for (std::size_t ni_net = 0; ni_net < nets.size(); ++ni_net) {
+      auto& net = nets[ni_net];
+      auto& net_paths = paths[ni_net];
+      net_paths.assign(net.sinks.size(), {});
       // Route to each sink with A*, reusing the growing tree (cells of the
-      // net cost nothing to re-enter). Sort sinks near-to-far for better
-      // trees.
-      std::sort(net.sinks.begin(), net.sinks.end(),
-                [&](const NetToRoute::SinkSpec& a, const NetToRoute::SinkSpec& b) {
-                  const int da = std::abs(a.cell.first - net.source.first) +
-                                 std::abs(a.cell.second - net.source.second);
-                  const int db = std::abs(b.cell.first - net.source.first) +
-                                 std::abs(b.cell.second - net.source.second);
-                  return da < db;
-                });
-
+      // net cost nothing to re-enter).
       std::map<int, unsigned> tree_hops;  // cell id -> hops from driver
       tree_hops[grid.id(net.source.first, net.source.second)] = 0;
 
-      for (auto& sink : net.sinks) {
+      for (std::size_t si = 0; si < net.sinks.size(); ++si) {
+        auto& sink = net.sinks[si];
         const int goal = grid.id(sink.cell.first, sink.cell.second);
         // A* from the whole tree.
         std::vector<double> best_cost(static_cast<std::size_t>(grid.size()), 1e30);
@@ -180,12 +233,7 @@ common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometr
             }
           }
         }
-        std::vector<std::pair<int, int>> path;
-        if (found < 0) {
-          // Unreachable (should not happen on a connected grid).
-          sink_paths.push_back(path);
-          continue;
-        }
+        if (found < 0) continue;  // unreachable; path stays empty
         // Trace back to the tree.
         std::vector<int> cells;
         int cur = found;
@@ -196,6 +244,7 @@ common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometr
         cells.push_back(cur);  // tree entry
         std::reverse(cells.begin(), cells.end());
         const unsigned entry_hops = tree_hops[cells.front()];
+        auto& path = net_paths[si];
         for (std::size_t i = 0; i < cells.size(); ++i) {
           const int cell = cells[i];
           if (!tree_hops.count(cell)) {
@@ -204,8 +253,6 @@ common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometr
           }
           path.emplace_back(cell / grid.rows() - 1, cell % grid.rows());
         }
-        
-        sink_paths.push_back(path);
       }
     }
 
@@ -225,20 +272,311 @@ common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometr
       break;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Selective rip-up router. Routed trees, cell usage and the history-cost
+// grid persist across congestion iterations; only sinks whose paths cross an
+// overused cell (or whose tree entry was ripped out from under them) are
+// rerouted, with A* seeded from the net's surviving tree.
+// ---------------------------------------------------------------------------
+class SelectiveRouter {
+ public:
+  SelectiveRouter(const Grid& grid, const FabricGeometry& geometry,
+                  const RouteOptions& options, std::vector<NetToRoute>& nets,
+                  std::vector<std::vector<std::vector<std::pair<int, int>>>>& paths,
+                  RouteResult& result)
+      : grid_(grid), geometry_(geometry), options_(options), nets_(nets), paths_(paths),
+        result_(result) {
+    const std::size_t cells = static_cast<std::size_t>(grid.size());
+    usage_.assign(cells, 0);
+    history_.assign(cells, 0.0);
+    overused_cell_.assign(cells, 0);
+    best_cost_.assign(cells, 0.0);
+    parent_.assign(cells, -2);
+    visit_epoch_.assign(cells, 0);
+    tree_mark_.assign(cells, 0);
+    tree_hop_at_.assign(cells, 0);
+    tree_cells_.resize(nets.size());
+    tree_hops_.resize(nets.size());
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+      paths_[n].assign(nets[n].sinks.size(), {});
+    }
+  }
+
+  void run() {
+    std::vector<std::size_t> ripped_sinks;
+    for (unsigned iter = 1; iter <= options_.max_iterations; ++iter) {
+      result_.iterations = iter;
+      const double present_weight = options_.present_factor * static_cast<double>(iter);
+      unsigned nets_routed = 0;
+
+      for (std::size_t n = 0; n < nets_.size(); ++n) {
+        ripped_sinks.clear();
+        if (iter == 1) {
+          // Fresh tree: just the driver cell (sources carry no switch usage).
+          tree_cells_[n] = {grid_.id(nets_[n].source.first, nets_[n].source.second)};
+          tree_hops_[n] = {0};
+          for (std::size_t s = 0; s < nets_[n].sinks.size(); ++s) ripped_sinks.push_back(s);
+        } else {
+          rip_up(n, ripped_sinks);
+        }
+        if (ripped_sinks.empty()) continue;
+        ++nets_routed;
+        if (iter > 1) ++result_.nets_rerouted;
+        route_sinks(n, ripped_sinks, present_weight);
+      }
+      result_.nets_rerouted_per_iter.push_back(nets_routed);
+
+      // Legality check (IO register-bank columns are uncapacitated); flag
+      // the overused cells for the next iteration's rip-up and accumulate
+      // their history cost.
+      bool overused = false;
+      for (std::size_t i = 0; i < usage_.size(); ++i) {
+        const int x = static_cast<int>(i) / grid_.rows() - 1;
+        overused_cell_[i] = 0;
+        if (x < 0 || x >= static_cast<int>(geometry_.width)) continue;
+        const int over = usage_[i] - static_cast<int>(geometry_.channel_capacity);
+        if (over > 0) {
+          overused = true;
+          overused_cell_[i] = 1;
+          history_[i] += options_.history_factor * over;
+        }
+      }
+      if (!overused) {
+        result_.success = true;
+        return;
+      }
+    }
+  }
+
+ private:
+  // Rebuild net n's tree from the sinks whose paths avoid every overused
+  // cell (cascading: a surviving path whose entry cell was ripped is ripped
+  // too), release usage for the removed cells, and report the sinks that
+  // must be rerouted.
+  void rip_up(std::size_t n, std::vector<std::size_t>& ripped_sinks) {
+    const auto& old_cells = tree_cells_[n];
+    const int source = old_cells.empty()
+                           ? grid_.id(nets_[n].source.first, nets_[n].source.second)
+                           : old_cells.front();
+
+    bool any_bad = false;
+    for (std::size_t s = 0; s < paths_[n].size() && !any_bad; ++s) {
+      if (paths_[n][s].empty()) any_bad = true;
+      for (const auto& [x, y] : paths_[n][s]) {
+        if (overused_cell_[static_cast<std::size_t>(grid_.id(x, y))]) {
+          any_bad = true;
+          break;
+        }
+      }
+    }
+    if (!any_bad) return;  // whole tree survives
+
+    ++tree_epoch_;
+    new_cells_.clear();
+    new_hops_.clear();
+    auto mark = [&](int cell, unsigned hops) {
+      tree_mark_[static_cast<std::size_t>(cell)] = tree_epoch_;
+      tree_hop_at_[static_cast<std::size_t>(cell)] = hops;
+      new_cells_.push_back(cell);
+      new_hops_.push_back(hops);
+    };
+    mark(source, 0);
+
+    for (std::size_t s = 0; s < paths_[n].size(); ++s) {
+      auto& path = paths_[n][s];
+      bool bad = path.empty();
+      for (const auto& [x, y] : path) {
+        if (bad) break;
+        if (overused_cell_[static_cast<std::size_t>(grid_.id(x, y))]) bad = true;
+      }
+      if (!bad) {
+        const int entry = grid_.id(path.front().first, path.front().second);
+        if (tree_mark_[static_cast<std::size_t>(entry)] != tree_epoch_) {
+          bad = true;  // entry was on a ripped branch
+        } else {
+          const unsigned entry_hops = tree_hop_at_[static_cast<std::size_t>(entry)];
+          for (std::size_t i = 0; i < path.size(); ++i) {
+            const int cell = grid_.id(path[i].first, path[i].second);
+            if (tree_mark_[static_cast<std::size_t>(cell)] != tree_epoch_) {
+              mark(cell, entry_hops + static_cast<unsigned>(i));
+            }
+          }
+        }
+      }
+      if (bad) {
+        path.clear();
+        ripped_sinks.push_back(s);
+      }
+    }
+
+    // Release usage for cells that fell out of the tree (the source is in
+    // both trees and never carried usage).
+    for (const int cell : old_cells) {
+      if (tree_mark_[static_cast<std::size_t>(cell)] != tree_epoch_) {
+        --usage_[static_cast<std::size_t>(cell)];
+      }
+    }
+    tree_cells_[n] = new_cells_;
+    tree_hops_[n] = new_hops_;
+  }
+
+  // A*-route the given sinks of net n from its current tree, growing the
+  // tree (and cell usage) with each new path.
+  void route_sinks(std::size_t n, const std::vector<std::size_t>& sink_indices,
+                   double present_weight) {
+    auto& net = nets_[n];
+    // Load the tree into the stamped scratch map.
+    ++tree_epoch_;
+    for (std::size_t i = 0; i < tree_cells_[n].size(); ++i) {
+      tree_mark_[static_cast<std::size_t>(tree_cells_[n][i])] = tree_epoch_;
+      tree_hop_at_[static_cast<std::size_t>(tree_cells_[n][i])] = tree_hops_[n][i];
+    }
+
+    const int dx[4] = {1, -1, 0, 0};
+    const int dy[4] = {0, 0, 1, -1};
+
+    for (const std::size_t si : sink_indices) {
+      const auto& sink = net.sinks[si];
+      const int goal = grid_.id(sink.cell.first, sink.cell.second);
+      auto heuristic = [&](int cell) {
+        const int x = cell / grid_.rows() - 1;
+        const int y = cell % grid_.rows();
+        return static_cast<double>(std::abs(x - sink.cell.first) +
+                                   std::abs(y - sink.cell.second));
+      };
+      ++astar_epoch_;
+      using QE = std::pair<double, int>;  // (cost + heuristic, cell)
+      std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
+      auto relax = [&](int cell, double cost, int par) {
+        const std::size_t ci = static_cast<std::size_t>(cell);
+        if (visit_epoch_[ci] == astar_epoch_ && cost + 1e-9 >= best_cost_[ci]) return false;
+        visit_epoch_[ci] = astar_epoch_;
+        best_cost_[ci] = cost;
+        parent_[ci] = par;
+        return true;
+      };
+      for (const int cell : tree_cells_[n]) {
+        relax(cell, 0.0, -1);
+        queue.emplace(heuristic(cell), cell);
+      }
+      int found = -1;
+      while (!queue.empty()) {
+        const auto [prio, cell] = queue.top();
+        queue.pop();
+        const double cost = prio - heuristic(cell);
+        if (cost > best_cost_[static_cast<std::size_t>(cell)] + 1e-9) continue;
+        ++result_.expansions;
+        if (cell == goal) {
+          found = cell;
+          break;
+        }
+        const int x = cell / grid_.rows() - 1;
+        const int y = cell % grid_.rows();
+        for (int d = 0; d < 4; ++d) {
+          const int nx = x + dx[d];
+          const int ny = y + dy[d];
+          if (!grid_.valid(nx, ny)) continue;
+          const int next = grid_.id(nx, ny);
+          const std::size_t ni = static_cast<std::size_t>(next);
+          // IO register-bank columns are dedicated buses: no congestion.
+          const bool io_column = (nx < 0 || nx >= static_cast<int>(geometry_.width));
+          const double over =
+              io_column ? 0.0
+                        : std::max(0, usage_[ni] + 1 -
+                                          static_cast<int>(geometry_.channel_capacity));
+          const double step = 1.0 + present_weight * over + history_[ni];
+          if (relax(next, cost + step, cell)) {
+            queue.emplace(cost + step + heuristic(next), next);
+          }
+        }
+      }
+      auto& path = paths_[n][si];
+      path.clear();
+      if (found < 0) continue;  // unreachable; path stays empty
+      std::vector<int> cells;
+      int cur = found;
+      while (parent_[static_cast<std::size_t>(cur)] != -1) {
+        cells.push_back(cur);
+        cur = parent_[static_cast<std::size_t>(cur)];
+      }
+      cells.push_back(cur);  // tree entry
+      std::reverse(cells.begin(), cells.end());
+      const unsigned entry_hops = tree_hop_at_[static_cast<std::size_t>(cells.front())];
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        const int cell = cells[i];
+        if (tree_mark_[static_cast<std::size_t>(cell)] != tree_epoch_) {
+          tree_mark_[static_cast<std::size_t>(cell)] = tree_epoch_;
+          tree_hop_at_[static_cast<std::size_t>(cell)] =
+              entry_hops + static_cast<unsigned>(i);
+          tree_cells_[n].push_back(cell);
+          tree_hops_[n].push_back(entry_hops + static_cast<unsigned>(i));
+          ++usage_[static_cast<std::size_t>(cell)];
+        }
+        path.emplace_back(cell / grid_.rows() - 1, cell % grid_.rows());
+      }
+    }
+  }
+
+  const Grid& grid_;
+  const FabricGeometry& geometry_;
+  const RouteOptions& options_;
+  std::vector<NetToRoute>& nets_;
+  std::vector<std::vector<std::vector<std::pair<int, int>>>>& paths_;
+  RouteResult& result_;
+
+  // Persistent congestion state.
+  std::vector<int> usage_;
+  std::vector<double> history_;
+  std::vector<char> overused_cell_;
+  // Persistent per-net routed trees (parallel cell/hop arrays).
+  std::vector<std::vector<int>> tree_cells_;
+  std::vector<std::vector<unsigned>> tree_hops_;
+  // Epoch-stamped scratch (no per-sink reallocation/refill).
+  std::vector<double> best_cost_;
+  std::vector<int> parent_;
+  std::vector<int> visit_epoch_;
+  int astar_epoch_ = 0;
+  std::vector<int> tree_mark_;
+  std::vector<unsigned> tree_hop_at_;
+  int tree_epoch_ = 0;
+  std::vector<int> new_cells_;
+  std::vector<unsigned> new_hops_;
+};
+
+}  // namespace
+
+common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometry& geometry,
+                                  const PlaceResult& placement, const RouteOptions& options) {
+  Grid grid(geometry);
+  std::vector<NetToRoute> nets = build_nets(netlist, placement);
+
+  RouteResult result;
+  // paths[net][sink] = routed cells from tree entry to sink, inclusive.
+  std::vector<std::vector<std::vector<std::pair<int, int>>>> paths(nets.size());
+  for (std::size_t n = 0; n < nets.size(); ++n) paths[n].resize(nets[n].sinks.size());
+
+  if (options.selective_ripup) {
+    SelectiveRouter router(grid, geometry, options, nets, paths, result);
+    router.run();
+  } else {
+    route_full_ripup(grid, geometry, options, nets, paths, result);
+  }
 
   // Convert to RoutedNet records (even on failure, for diagnostics).
-  std::size_t flat = 0;
-  for (const auto& net : nets) {
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    const auto& net = nets[n];
     RoutedNet routed;
     routed.driver_lut = net.driver_lut;
     routed.driver_input = net.driver_input;
-    for (const auto& sink : net.sinks) {
+    for (std::size_t si = 0; si < net.sinks.size(); ++si) {
+      const auto& sink = net.sinks[si];
       RoutedNet::Sink s;
       s.lut = sink.lut;
       s.output_index = sink.output_index;
       s.input_pin = sink.input_pin;
-      if (flat < sink_paths.size()) s.path = sink_paths[flat];
-      ++flat;
+      s.path = paths[n][si];
       result.max_hops = std::max(result.max_hops,
                                  static_cast<unsigned>(s.path.empty() ? 0 : s.path.size() - 1));
       routed.sinks.push_back(std::move(s));
@@ -251,45 +589,7 @@ common::Result<RouteResult> route(const LutNetlist& netlist, const FabricGeometr
         "routing did not converge after %u iterations", result.iterations));
   }
 
-  // Timing: arrival-time propagation. Net delay to a sink = io + hops*wire.
-  std::vector<double> arrival(netlist.luts.size(), 0.0);
-  std::vector<double> net_delay_to_lut_pin(netlist.luts.size() * techmap::kLutInputs, 0.0);
-  std::vector<double> output_arrival(netlist.outputs.size(), 0.0);
-  // Collect per-sink delays.
-  for (const auto& routed : result.routes) {
-    for (const auto& sink : routed.sinks) {
-      const double hops = sink.path.empty() ? 0.0 : static_cast<double>(sink.path.size() - 1);
-      const double delay = geometry.io_delay_ns * (routed.driver_input >= 0 ? 1.0 : 0.0) +
-                           hops * geometry.wire_hop_delay_ns;
-      if (sink.lut >= 0) {
-        net_delay_to_lut_pin[static_cast<std::size_t>(sink.lut) * techmap::kLutInputs +
-                             sink.input_pin] = delay;
-      } else if (sink.output_index >= 0) {
-        output_arrival[static_cast<std::size_t>(sink.output_index)] = delay;
-      }
-    }
-  }
-  // LUT ids are in topological order (techmap covers leaves first).
-  double critical = 0.0;
-  for (std::size_t i = 0; i < netlist.luts.size(); ++i) {
-    double in_arrival = 0.0;
-    for (unsigned k = 0; k < netlist.luts[i].num_inputs; ++k) {
-      const NetRef& ref = netlist.luts[i].inputs[k];
-      double src = 0.0;
-      if (ref.kind == NetRef::Kind::kLut) src = arrival[static_cast<std::size_t>(ref.index)];
-      in_arrival = std::max(in_arrival,
-                            src + net_delay_to_lut_pin[i * techmap::kLutInputs + k]);
-    }
-    arrival[i] = in_arrival + geometry.lut_delay_ns;
-    critical = std::max(critical, arrival[i]);
-  }
-  for (std::size_t o = 0; o < netlist.outputs.size(); ++o) {
-    const NetRef& ref = netlist.outputs[o].source;
-    double src = 0.0;
-    if (ref.kind == NetRef::Kind::kLut) src = arrival[static_cast<std::size_t>(ref.index)];
-    critical = std::max(critical, src + output_arrival[o] + geometry.io_delay_ns);
-  }
-  result.critical_path_ns = critical;
+  result.critical_path_ns = compute_timing(netlist, geometry, result.routes);
   return result;
 }
 

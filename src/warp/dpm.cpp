@@ -145,7 +145,9 @@ PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
     // Success: fill the outcome.
     outcome.success = true;
     outcome.placement_hpwl = pnr_result.value().place.hpwl;
+    outcome.place_delta_evaluations = pnr_result.value().place.delta_evaluations;
     outcome.route_iterations = pnr_result.value().route.iterations;
+    outcome.route_nets_rerouted = pnr_result.value().route.nets_rerouted;
     outcome.kernel = std::make_shared<synth::HwKernel>(std::move(kernel).value());
     outcome.config =
         std::make_shared<fabric::FabricConfig>(std::move(pnr_result).value().config);

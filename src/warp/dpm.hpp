@@ -75,7 +75,9 @@ struct PartitionOutcome {
   unsigned rocm_literals_before = 0;
   unsigned rocm_literals_after = 0;
   double placement_hpwl = 0.0;
+  std::uint64_t place_delta_evaluations = 0;  // per-net incremental HPWL evaluations
   unsigned route_iterations = 0;
+  std::uint64_t route_nets_rerouted = 0;      // selective rip-up victims (iterations 2+)
   double critical_path_ns = 0.0;
   double fabric_clock_mhz = 0.0;
   std::size_t bitstream_words = 0;

@@ -1,0 +1,38 @@
+// Shared test helper: random gate-netlist generation for property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "synth/netlist.hpp"
+
+namespace warp::testutil {
+
+// Random DAG netlist: `inputs` primary inputs, `gates` random 1-2 input
+// gates over the growing pool, `outputs` outputs tapped near the end.
+inline synth::GateNetlist random_netlist(common::Rng& rng, unsigned inputs, unsigned gates,
+                                         unsigned outputs) {
+  synth::GateNetlist net;
+  std::vector<int> pool;
+  for (unsigned i = 0; i < inputs; ++i) pool.push_back(net.add_input("i" + std::to_string(i)));
+  for (unsigned g = 0; g < gates; ++g) {
+    const int a = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    const int b = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    int id;
+    switch (rng.below(4)) {
+      case 0: id = net.gate_and(a, b); break;
+      case 1: id = net.gate_or(a, b); break;
+      case 2: id = net.gate_xor(a, b); break;
+      default: id = net.gate_not(a); break;
+    }
+    pool.push_back(id);
+  }
+  for (unsigned o = 0; o < outputs; ++o) {
+    net.add_output("o" + std::to_string(o),
+                   pool[pool.size() - 1 - (o % std::min<std::size_t>(pool.size(), 8))]);
+  }
+  return net;
+}
+
+}  // namespace warp::testutil

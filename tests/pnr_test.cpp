@@ -1,0 +1,213 @@
+// Incremental place & route tests: placement determinism, incremental-vs-
+// exact-rescan HPWL equivalence, and selective rip-up routing regressions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "fabric/wcla.hpp"
+#include "netlist_testutil.hpp"
+#include "pnr/pnr.hpp"
+#include "synth/netlist.hpp"
+#include "techmap/techmap.hpp"
+
+namespace warp {
+namespace {
+
+using testutil::random_netlist;
+
+bool same_placement(const pnr::PlaceResult& a, const pnr::PlaceResult& b) {
+  if (a.placement.size() != b.placement.size()) return false;
+  for (std::size_t i = 0; i < a.placement.size(); ++i) {
+    if (a.placement[i].x != b.placement[i].x || a.placement[i].y != b.placement[i].y ||
+        a.placement[i].slot != b.placement[i].slot) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Place, DeterministicForFixedSeed) {
+  common::Rng rng(101);
+  auto net = random_netlist(rng, 12, 150, 8);
+  auto mapped = techmap::techmap(net);
+  ASSERT_TRUE(mapped.is_ok());
+  const auto geometry = fabric::FabricGeometry::small();
+  pnr::PlaceOptions options;
+  options.seed = 7;
+  auto first = pnr::place(mapped.value(), geometry, options);
+  auto second = pnr::place(mapped.value(), geometry, options);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_TRUE(same_placement(first.value(), second.value()));
+  EXPECT_EQ(first.value().hpwl, second.value().hpwl);
+  EXPECT_EQ(first.value().accepted_moves, second.value().accepted_moves);
+
+  // A different seed should (for a netlist this size) anneal differently.
+  options.seed = 8;
+  auto third = pnr::place(mapped.value(), geometry, options);
+  ASSERT_TRUE(third.is_ok());
+  EXPECT_FALSE(same_placement(first.value(), third.value()));
+}
+
+// Property test: the incremental bounding-box placer must match the exact-
+// rescan baseline move for move — same acceptances, same final placement,
+// same cost. verify_incremental additionally cross-checks every move's
+// maintained boxes and delta against a fresh endpoint scan inside place().
+TEST(Place, IncrementalMatchesExactRescan) {
+  common::Rng rng(2025);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto net = random_netlist(rng, 4 + trial, 60 + 40 * trial, 4 + trial);
+    auto mapped = techmap::techmap(net);
+    ASSERT_TRUE(mapped.is_ok());
+    const auto geometry = fabric::FabricGeometry::small();
+
+    pnr::PlaceOptions incremental;
+    incremental.seed = 3 + static_cast<std::uint64_t>(trial);
+    incremental.verify_incremental = true;
+    pnr::PlaceOptions rescan = incremental;
+    rescan.incremental = false;
+
+    auto inc = pnr::place(mapped.value(), geometry, incremental);
+    auto exact = pnr::place(mapped.value(), geometry, rescan);
+    ASSERT_TRUE(inc.is_ok()) << inc.message();  // verify mode fails on any drift
+    ASSERT_TRUE(exact.is_ok());
+    EXPECT_TRUE(same_placement(inc.value(), exact.value())) << "trial " << trial;
+    EXPECT_EQ(inc.value().hpwl, exact.value().hpwl) << "trial " << trial;
+    EXPECT_EQ(inc.value().accepted_moves, exact.value().accepted_moves);
+    EXPECT_GT(inc.value().delta_evaluations, 0u);
+  }
+}
+
+// High-fanout nets take the maintained-bounding-box path (small nets use a
+// direct two-scan delta); build one deliberately and verify it too.
+TEST(Place, IncrementalHandlesHighFanoutNets) {
+  synth::GateNetlist net;
+  const int a = net.add_input("a");
+  const int b = net.add_input("b");
+  for (int i = 0; i < 24; ++i) {
+    net.add_output("o" + std::to_string(i), net.gate_xor(a, b));
+  }
+  auto mapped = techmap::techmap(net);
+  ASSERT_TRUE(mapped.is_ok());
+  const auto geometry = fabric::FabricGeometry::small();
+
+  pnr::PlaceOptions incremental;
+  incremental.verify_incremental = true;
+  incremental.moves_per_lut = 200;  // plenty of shrink/grow churn
+  pnr::PlaceOptions rescan = incremental;
+  rescan.incremental = false;
+
+  auto inc = pnr::place(mapped.value(), geometry, incremental);
+  auto exact = pnr::place(mapped.value(), geometry, rescan);
+  ASSERT_TRUE(inc.is_ok()) << inc.message();
+  ASSERT_TRUE(exact.is_ok());
+  EXPECT_TRUE(same_placement(inc.value(), exact.value()));
+  EXPECT_EQ(inc.value().hpwl, exact.value().hpwl);
+  // The two 25-endpoint input nets must actually exercise the box scheme.
+  EXPECT_GT(inc.value().bbox_rescans, 0u);
+}
+
+// Count how many nets pass through each fabric cell (IO columns excluded),
+// mirroring the router's usage bookkeeping: one unit per net per distinct
+// cell of its routed tree, the driver's own cell exempt.
+std::map<std::pair<int, int>, int> cell_usage(const pnr::PnrResult& result) {
+  std::map<std::pair<int, int>, int> usage;
+  for (const auto& routed : result.route.routes) {
+    std::pair<int, int> source;
+    if (routed.driver_lut >= 0) {
+      const auto& site = result.place.placement[static_cast<std::size_t>(routed.driver_lut)];
+      source = {site.x, site.y};
+    } else {
+      const auto& site = result.place.input_pads[static_cast<std::size_t>(routed.driver_input)];
+      source = {site.x, site.y};
+    }
+    std::set<std::pair<int, int>> cells;
+    for (const auto& sink : routed.sinks) {
+      for (const auto& cell : sink.path) cells.insert(cell);
+    }
+    cells.erase(source);
+    for (const auto& cell : cells) ++usage[cell];
+  }
+  return usage;
+}
+
+// Regression: on a congested grid the selective rip-up router must still
+// converge to a legal (no overuse) solution, and must actually exercise the
+// rip-up path rather than rerouting everything.
+TEST(Route, SelectiveRipupConvergesOnCongestedGrid) {
+  common::Rng rng(17);
+  auto net = random_netlist(rng, 10, 80, 6);
+  auto mapped = techmap::techmap(net);
+  ASSERT_TRUE(mapped.is_ok());
+  fabric::FabricGeometry geometry = fabric::FabricGeometry::small();
+  geometry.channel_capacity = 3;  // tight: forces congestion iterations
+
+  pnr::PnrOptions options;
+  options.route.max_iterations = 32;
+  auto result = pnr::place_and_route(mapped.value(), geometry, options);
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  const auto& route = result.value().route;
+  EXPECT_TRUE(route.success);
+  EXPECT_GT(route.iterations, 1u);
+  EXPECT_GT(route.nets_rerouted, 0u);
+  ASSERT_EQ(route.nets_rerouted_per_iter.size(), route.iterations);
+  // Selective rip-up: later iterations touch a strict subset of the nets.
+  EXPECT_LT(route.nets_rerouted_per_iter[1], route.nets_rerouted_per_iter[0]);
+
+  // Legality: no non-IO cell carries more nets than the channel capacity.
+  for (const auto& [cell, count] : cell_usage(result.value())) {
+    if (cell.first < 0 || cell.first >= static_cast<int>(geometry.width)) continue;
+    EXPECT_LE(count, static_cast<int>(geometry.channel_capacity))
+        << "overused cell (" << cell.first << "," << cell.second << ")";
+  }
+
+  // Every sink still gets a connected, grid-adjacent path.
+  for (const auto& routed : route.routes) {
+    for (const auto& sink : routed.sinks) {
+      ASSERT_FALSE(sink.path.empty());
+      for (std::size_t i = 1; i < sink.path.size(); ++i) {
+        const int dx = std::abs(sink.path[i].first - sink.path[i - 1].first);
+        const int dy = std::abs(sink.path[i].second - sink.path[i - 1].second);
+        EXPECT_EQ(dx + dy, 1);
+      }
+    }
+  }
+}
+
+// On an uncongested fabric both routers converge in one iteration and must
+// produce bit-identical routes and expansion counts (the DPM time model
+// charges per expansion).
+TEST(Route, SelectiveMatchesFullRipupWhenUncongested) {
+  common::Rng rng(23);
+  auto net = random_netlist(rng, 10, 100, 6);
+  auto mapped = techmap::techmap(net);
+  ASSERT_TRUE(mapped.is_ok());
+  const auto geometry = fabric::FabricGeometry::small();
+  auto placed = pnr::place(mapped.value(), geometry);
+  ASSERT_TRUE(placed.is_ok());
+
+  pnr::RouteOptions selective;
+  pnr::RouteOptions full;
+  full.selective_ripup = false;
+  auto a = pnr::route(mapped.value(), geometry, placed.value(), selective);
+  auto b = pnr::route(mapped.value(), geometry, placed.value(), full);
+  ASSERT_TRUE(a.is_ok()) << a.message();
+  ASSERT_TRUE(b.is_ok()) << b.message();
+  ASSERT_EQ(a.value().iterations, 1u);
+  EXPECT_EQ(a.value().expansions, b.value().expansions);
+  EXPECT_EQ(a.value().critical_path_ns, b.value().critical_path_ns);
+  ASSERT_EQ(a.value().routes.size(), b.value().routes.size());
+  for (std::size_t n = 0; n < a.value().routes.size(); ++n) {
+    const auto& ra = a.value().routes[n];
+    const auto& rb = b.value().routes[n];
+    ASSERT_EQ(ra.sinks.size(), rb.sinks.size());
+    for (std::size_t s = 0; s < ra.sinks.size(); ++s) {
+      EXPECT_EQ(ra.sinks[s].path, rb.sinks[s].path);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace warp

@@ -3,6 +3,7 @@
 
 #include "common/rng.hpp"
 #include "fabric/wcla.hpp"
+#include "netlist_testutil.hpp"
 #include "pnr/pnr.hpp"
 #include "synth/netlist.hpp"
 #include "techmap/techmap.hpp"
@@ -10,30 +11,7 @@
 namespace warp {
 namespace {
 
-// Random DAG netlist generator for property tests.
-synth::GateNetlist random_netlist(common::Rng& rng, unsigned inputs, unsigned gates,
-                                  unsigned outputs) {
-  synth::GateNetlist net;
-  std::vector<int> pool;
-  for (unsigned i = 0; i < inputs; ++i) pool.push_back(net.add_input("i" + std::to_string(i)));
-  for (unsigned g = 0; g < gates; ++g) {
-    const int a = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
-    const int b = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
-    int id;
-    switch (rng.below(4)) {
-      case 0: id = net.gate_and(a, b); break;
-      case 1: id = net.gate_or(a, b); break;
-      case 2: id = net.gate_xor(a, b); break;
-      default: id = net.gate_not(a); break;
-    }
-    pool.push_back(id);
-  }
-  for (unsigned o = 0; o < outputs; ++o) {
-    net.add_output("o" + std::to_string(o),
-                   pool[pool.size() - 1 - (o % std::min<std::size_t>(pool.size(), 8))]);
-  }
-  return net;
-}
+using testutil::random_netlist;
 
 std::vector<bool> netlist_inputs_to_lut_inputs(const synth::GateNetlist& net,
                                                const techmap::LutNetlist& mapped,
