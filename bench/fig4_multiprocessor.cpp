@@ -1,37 +1,105 @@
-// Figure 4: multi-processor warp system with a single shared DPM.
+// Figure 4: multi-processor warp system with a single shared DPM — and the
+// host-side scale-out of that experiment.
 //
 // The paper argues one DPM serving all processors round-robin is sufficient
-// (Section 3). This bench runs all six benchmarks on a six-processor system
-// sharing one DPM and reports, per processor, the software/warped times and
-// how long it waited for the DPM to reach it — the cost of sharing.
+// (Section 3). This bench first reproduces the six-processor table (per
+// processor: software/warped times and how long it waited for the shared
+// DPM — the cost of sharing), then scales the experiment to 16/32/64
+// replicated kernel mixes and measures the *simulator's* wall clock: the
+// serial reference engine vs. the threaded engine (worker threads per
+// system, one DPM scheduler thread popping jobs in virtual-time order).
+// Both engines must produce bit-identical MultiWarpEntry tables — the
+// virtual-time queue, not host scheduling, defines all reported numbers.
+//
+// Emits BENCH_fig4.json in the working directory. Exits nonzero if any
+// parallel run deviates from the serial reference. Speedups are reported,
+// not gated: they depend on the host's core count (a single-core host shows
+// ~1x; the >= 3x target applies to multi-core hosts).
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "experiments/harness.hpp"
 
-int main() {
-  using namespace warp;
-  std::vector<std::unique_ptr<warpsys::WarpSystem>> systems;
-  std::vector<std::string> names;
-  for (const auto& w : workloads::all_workloads()) {
-    auto program = isa::assemble(w.source, isa::CpuConfig{true, true, false, 85.0});
-    if (!program) continue;
-    warpsys::WarpSystemConfig config;
-    config.cpu = program.value().config;
-    config.dpm.synth.csd_max_terms = 2;
-    systems.push_back(
-        std::make_unique<warpsys::WarpSystem>(program.value(), w.init, config));
-    names.push_back(w.name);
+namespace {
+
+using namespace warp;
+
+std::vector<std::string> replicated_mix(std::size_t n) {
+  std::vector<std::string> base;
+  for (const auto& w : workloads::all_workloads()) base.push_back(w.name);
+  std::vector<std::string> mix;
+  for (std::size_t i = 0; i < n; ++i) mix.push_back(base[i % base.size()]);
+  return mix;
+}
+
+struct TimedRun {
+  std::vector<warpsys::MultiWarpEntry> entries;
+  double ms = 0.0;
+};
+
+TimedRun timed_run(const std::vector<std::string>& mix,
+                   const warpsys::MultiWarpOptions& options) {
+  auto built = experiments::build_warp_systems(mix, experiments::default_options());
+  if (!built) {
+    std::fprintf(stderr, "build systems failed: %s\n", built.message().c_str());
+    std::exit(1);
+  }
+  auto systems = std::move(built).value();
+  const auto start = std::chrono::steady_clock::now();
+  TimedRun run;
+  run.entries = warpsys::run_multiprocessor(systems, mix, options);
+  run.ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start)
+               .count();
+  return run;
+}
+
+struct ScalePoint {
+  std::size_t systems = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double speedup = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t max_systems = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-systems") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      ++i;
+      const unsigned long value = std::strtoul(argv[i], &end, 10);
+      if (argv[i][0] == '-' || end == argv[i] || *end != '\0' || value == 0) {
+        std::fprintf(stderr, "--max-systems expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return 1;
+      }
+      max_systems = static_cast<std::size_t>(value);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (supported: --max-systems N)\n",
+                   argv[i]);
+      return 1;
+    }
   }
 
-  const auto entries = warpsys::run_multiprocessor(systems, names);
+  // --- The paper's six-processor experiment (round robin). ---------------
+  const auto mix6 = replicated_mix(6);
+  warpsys::MultiWarpOptions serial_options;
+  serial_options.parallel = false;
+  const auto fig4 = timed_run(mix6, serial_options);
 
   common::Table table({"Processor", "Benchmark", "SW (ms)", "Warped (ms)", "Speedup",
                        "DPM job (ms)", "DPM wait (ms)"});
   double total_dpm = 0.0;
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const auto& e = entries[i];
+  for (std::size_t i = 0; i < fig4.entries.size(); ++i) {
+    const auto& e = fig4.entries[i];
     table.add_row({common::format("cpu%zu", i), e.name,
                    common::format("%.3f", e.sw_seconds * 1e3),
                    common::format("%.3f", e.warped_seconds * 1e3),
@@ -44,7 +112,87 @@ int main() {
               table.to_string().c_str());
   std::printf("Total DPM busy time: %.1f ms — a single DPM suffices, as the paper argues;\n",
               total_dpm * 1e3);
-  std::printf("the last processor waits %.1f ms before its kernel comes online.\n",
-              entries.empty() ? 0.0 : entries.back().dpm_wait_seconds * 1e3);
+  std::printf("the last processor waits %.1f ms before its kernel comes online.\n\n",
+              fig4.entries.empty() ? 0.0 : fig4.entries.back().dpm_wait_seconds * 1e3);
+
+  // --- The same six processors under the opt-in FIFO queue policy. -------
+  warpsys::MultiWarpOptions fifo_options;
+  fifo_options.policy = warpsys::DpmQueuePolicy::kFifo;
+  const auto fifo = timed_run(mix6, fifo_options);
+  warpsys::MultiWarpOptions fifo_serial_options = fifo_options;
+  fifo_serial_options.parallel = false;
+  const bool fifo_identical = timed_run(mix6, fifo_serial_options).entries == fifo.entries;
+  common::Table fifo_table({"Processor", "Benchmark", "Request (ms)", "DPM job (ms)",
+                            "DPM wait (ms)"});
+  for (std::size_t i = 0; i < fifo.entries.size(); ++i) {
+    const auto& e = fifo.entries[i];
+    fifo_table.add_row({common::format("cpu%zu", i), e.name,
+                        common::format("%.3f", e.sw_seconds * 1e3),
+                        common::format("%.1f", e.dpm_seconds * 1e3),
+                        common::format("%.1f", e.dpm_wait_seconds * 1e3)});
+  }
+  std::printf("Same mix, FIFO DPM queue (served by virtual profile-completion time;\n"
+              "waits are queueing delay after the request; parallel == serial: %s):\n\n%s\n",
+              fifo_identical ? "yes" : "NO", fifo_table.to_string().c_str());
+
+  // --- Host scale-out: serial vs. threaded engine. -----------------------
+  const unsigned host_threads = std::thread::hardware_concurrency();
+  std::vector<ScalePoint> points;
+  bool all_identical = true;
+  for (const std::size_t n : {std::size_t{6}, std::size_t{16}, std::size_t{32},
+                              std::size_t{64}}) {
+    if (n > max_systems) continue;
+    const auto mix = replicated_mix(n);
+    const auto serial = timed_run(mix, serial_options);
+    warpsys::MultiWarpOptions parallel_options;  // defaults: parallel round robin
+    const auto parallel = timed_run(mix, parallel_options);
+
+    ScalePoint point;
+    point.systems = n;
+    point.serial_ms = serial.ms;
+    point.parallel_ms = parallel.ms;
+    point.speedup = serial.ms / parallel.ms;
+    point.identical = serial.entries == parallel.entries;
+    all_identical = all_identical && point.identical;
+    points.push_back(point);
+  }
+
+  common::Table scale_table({"Systems", "Serial (ms)", "Parallel (ms)", "Host speedup",
+                             "Bit-identical"});
+  for (const auto& p : points) {
+    scale_table.add_row({common::format("%zu", p.systems),
+                         common::format("%.0f", p.serial_ms),
+                         common::format("%.0f", p.parallel_ms),
+                         common::format("%.2fx", p.speedup),
+                         p.identical ? "yes" : "NO"});
+  }
+  std::printf("Host scale-out (%u hardware threads): serial vs. threaded engine\n\n%s\n",
+              host_threads, scale_table.to_string().c_str());
+
+  FILE* json = std::fopen("BENCH_fig4.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_fig4.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"fig4_multiprocessor\",\n");
+  std::fprintf(json, "  \"policy\": \"round_robin\",\n");
+  std::fprintf(json, "  \"host_threads\": %u,\n", host_threads);
+  std::fprintf(json, "  \"scales\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(json,
+                 "    {\"systems\": %zu, \"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
+                 "\"host_speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                 p.systems, p.serial_ms, p.parallel_ms, p.speedup,
+                 p.identical ? "true" : "false", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_fig4.json\n");
+
+  if (!all_identical || !fifo_identical) {
+    std::fprintf(stderr, "FAIL: parallel engine deviated from the serial reference\n");
+    return 1;
+  }
   return 0;
 }

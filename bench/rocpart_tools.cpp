@@ -12,6 +12,7 @@
 #include "decompile/cfg.hpp"
 #include "decompile/extract.hpp"
 #include "decompile/liveness.hpp"
+#include "experiments/harness.hpp"
 #include "isa/assembler.hpp"
 #include "logicopt/rocm.hpp"
 #include "pnr/pnr.hpp"
@@ -141,13 +142,59 @@ void BM_RocmMinimize(benchmark::State& state) {
     cases.emplace_back(std::move(on), std::move(off));
   }
   std::size_t i = 0;
+  std::uint64_t expand_steps = 0, tautology_calls = 0, memo_hits = 0, cofactor_cubes = 0,
+                buffers = 0;
   for (auto _ : state) {
     const auto& [on, off] = cases[i++ % cases.size()];
-    auto result = logicopt::rocm_minimize(on, off, num_vars);
+    logicopt::RocmStats stats;
+    auto result = logicopt::rocm_minimize(on, off, num_vars, &stats);
     benchmark::DoNotOptimize(result.size());
+    expand_steps += stats.expand_steps;
+    tautology_calls += stats.tautology_calls;
+    memo_hits += stats.tautology_memo_hits;
+    cofactor_cubes += stats.tautology_cofactor_cubes;
+    buffers += stats.tautology_buffers_grown;
   }
+  // Metered DPM work plus the cofactor-reuse/memoization savings: covers
+  // allocated per run collapses from one-per-recursion-call to the handful
+  // of per-depth buffers, and memo hits shave whole tautology recursions.
+  using benchmark::Counter;
+  state.counters["expand_steps"] = Counter(static_cast<double>(expand_steps), Counter::kAvgIterations);
+  state.counters["tautology_calls"] = Counter(static_cast<double>(tautology_calls), Counter::kAvgIterations);
+  state.counters["memo_hits"] = Counter(static_cast<double>(memo_hits), Counter::kAvgIterations);
+  state.counters["cofactor_cubes"] = Counter(static_cast<double>(cofactor_cubes), Counter::kAvgIterations);
+  state.counters["covers_allocated"] = Counter(static_cast<double>(buffers), Counter::kAvgIterations);
 }
 BENCHMARK(BM_RocmMinimize)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_RocmMinimizeIdctLuts(benchmark::State& state) {
+  // The real minimization workload of the heaviest DPM job: every LUT
+  // function of the mapped idct kernel, exactly as dpm.cpp runs them.
+  auto netlist = experiments::partition_netlist(workloads::workload_by_name("idct"),
+                                                experiments::default_options());
+  if (!netlist) {
+    state.SkipWithError(netlist.message().c_str());
+    return;
+  }
+  std::uint64_t tautology_calls = 0, memo_hits = 0;
+  for (auto _ : state) {
+    tautology_calls = 0;
+    memo_hits = 0;
+    for (const auto& lut : netlist.value().luts) {
+      logicopt::Cover on, off;
+      logicopt::covers_from_truth(lut.truth, lut.num_inputs, on, off);
+      logicopt::RocmStats stats;
+      auto result = logicopt::rocm_minimize(on, off, lut.num_inputs, &stats);
+      benchmark::DoNotOptimize(result.size());
+      tautology_calls += stats.tautology_calls;
+      memo_hits += stats.tautology_memo_hits;
+    }
+  }
+  state.counters["luts"] = static_cast<double>(netlist.value().luts.size());
+  state.counters["tautology_calls"] = static_cast<double>(tautology_calls);
+  state.counters["memo_hits"] = static_cast<double>(memo_hits);
+}
+BENCHMARK(BM_RocmMinimizeIdctLuts)->Unit(benchmark::kMillisecond);
 
 void BM_FullWarpFlow(benchmark::State& state) {
   // The whole DPM pipeline on canrdr (decompile -> synth -> map -> pnr ->

@@ -6,32 +6,38 @@
 // fashion. Each processor keeps its own profiler; the shared DPM warps them
 // one after another, so later processors wait longer before their kernels
 // come online.
+//
+// Host-side, the default engine is threaded: one worker per processor runs
+// the software/warped simulations while the shared DPM serves partitioning
+// jobs in virtual-time order. The serial engine (parallel = false) computes
+// the exact same table — this example cross-checks that guarantee.
 #include <cstdio>
+#include <cstdlib>
 
-#include "isa/assembler.hpp"
-#include "warp/warp_system.hpp"
-#include "workloads/workload.hpp"
+#include "experiments/harness.hpp"
+
+namespace {
+
+std::vector<std::unique_ptr<warp::warpsys::WarpSystem>> build_systems(
+    const std::vector<std::string>& mix) {
+  using namespace warp;
+  auto built = experiments::build_warp_systems(mix, experiments::default_options());
+  if (!built) {
+    std::printf("build systems failed: %s\n", built.message().c_str());
+    std::exit(1);
+  }
+  return std::move(built).value();
+}
+
+}  // namespace
 
 int main() {
   using namespace warp;
   const std::vector<std::string> mix = {"canrdr", "g3fax", "canrdr", "matmul"};
 
-  std::vector<std::unique_ptr<warpsys::WarpSystem>> systems;
-  for (const auto& name : mix) {
-    const auto& w = workloads::workload_by_name(name);
-    auto program = isa::assemble(w.source, isa::CpuConfig{true, true, false, 85.0});
-    if (!program) {
-      std::printf("assemble %s failed: %s\n", name.c_str(), program.message().c_str());
-      return 1;
-    }
-    warpsys::WarpSystemConfig config;
-    config.cpu = program.value().config;
-    config.dpm.synth.csd_max_terms = 2;
-    systems.push_back(std::make_unique<warpsys::WarpSystem>(program.value(), w.init, config));
-  }
-
   std::printf("four MicroBlaze processors, one shared DPM (round robin):\n\n");
-  const auto entries = warpsys::run_multiprocessor(systems, mix);
+  auto systems = build_systems(mix);
+  const auto entries = warpsys::run_multiprocessor(systems, mix);  // threaded engine
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const auto& e = entries[i];
     std::printf("cpu%zu %-7s: sw %7.3f ms -> warped %7.3f ms (%.2fx)"
@@ -50,5 +56,15 @@ int main() {
     }
   }
   std::printf("\nall results bit-exact after warping: %s\n", all_ok ? "yes" : "NO");
-  return all_ok ? 0 : 1;
+
+  // The parallel engine is a host-side optimization only: the serial
+  // reference engine must produce the identical table.
+  warpsys::MultiWarpOptions serial;
+  serial.parallel = false;
+  auto serial_systems = build_systems(mix);
+  const auto reference = warpsys::run_multiprocessor(serial_systems, mix, serial);
+  const bool identical = reference == entries;
+  std::printf("threaded engine matches the serial reference bit-for-bit: %s\n",
+              identical ? "yes" : "NO");
+  return (all_ok && identical) ? 0 : 1;
 }

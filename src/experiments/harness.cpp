@@ -89,6 +89,23 @@ BenchmarkResult run_benchmark(const workloads::Workload& workload,
   return result;
 }
 
+common::Result<std::vector<std::unique_ptr<warpsys::WarpSystem>>> build_warp_systems(
+    const std::vector<std::string>& mix, const HarnessOptions& options) {
+  using R = common::Result<std::vector<std::unique_ptr<warpsys::WarpSystem>>>;
+  std::vector<std::unique_ptr<warpsys::WarpSystem>> systems;
+  for (const auto& name : mix) {
+    const auto& workload = workloads::workload_by_name(name);
+    auto program = isa::assemble(workload.source, options.cpu);
+    if (!program) return R::error("assemble " + name + ": " + program.message());
+    warpsys::WarpSystemConfig system_config = options.system;
+    system_config.cpu = options.cpu;
+    system_config.verify_hw = options.verify_hw;
+    systems.push_back(std::make_unique<warpsys::WarpSystem>(program.value(), workload.init,
+                                                            system_config));
+  }
+  return systems;
+}
+
 std::vector<BenchmarkResult> run_all_benchmarks(const HarnessOptions& options) {
   std::vector<BenchmarkResult> results;
   for (const auto& workload : workloads::all_workloads()) {

@@ -69,6 +69,12 @@ HarnessOptions default_options();
 BenchmarkResult run_benchmark(const workloads::Workload& workload,
                               const HarnessOptions& options);
 
+/// Assemble each named workload and wire up one WarpSystem per entry — the
+/// N-processor platform of Figure 4, ready for warpsys::run_multiprocessor.
+/// Fails on the first workload that does not assemble.
+common::Result<std::vector<std::unique_ptr<warpsys::WarpSystem>>> build_warp_systems(
+    const std::vector<std::string>& mix, const HarnessOptions& options);
+
 /// All six paper benchmarks.
 std::vector<BenchmarkResult> run_all_benchmarks(const HarnessOptions& options);
 

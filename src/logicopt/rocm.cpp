@@ -1,6 +1,8 @@
 #include "logicopt/rocm.hpp"
 
 #include <algorithm>
+#include <string>
+#include <unordered_map>
 
 #include "common/bitutil.hpp"
 #include "common/error.hpp"
@@ -30,10 +32,30 @@ bool cover_eval(const Cover& cover, unsigned num_vars, std::uint32_t assignment)
 
 namespace {
 
-// Cofactor the cover with respect to literal (var = value). Cubes with the
-// opposite literal vanish; the variable is dropped from the rest.
-Cover cofactor(const Cover& cover, unsigned var, bool value) {
-  Cover out;
+// Per-depth cofactor buffers for the tautology recursion. Splitting on a
+// variable consumes it, so the recursion is at most num_vars deep; one Cover
+// per depth, sized once up front and reused for every cofactor computed at
+// that depth, replaces the fresh Cover the old code allocated per recursion
+// level. All buffers are reserved before the recursion starts — a resize
+// mid-recursion would invalidate the parent-level cover reference.
+struct TautologyScratch {
+  std::vector<Cover> depth;
+  std::uint64_t buffers_grown = 0;
+  std::uint64_t cofactor_cubes = 0;
+
+  void prepare(unsigned num_vars) {
+    if (depth.size() < num_vars + 1) {
+      buffers_grown += num_vars + 1 - depth.size();
+      depth.resize(num_vars + 1);
+    }
+  }
+};
+
+// Cofactor `cover` with respect to literal (var = value) into `out`. Cubes
+// with the opposite literal vanish; the variable is dropped from the rest.
+void cofactor_into(const Cover& cover, unsigned var, bool value, Cover& out,
+                   TautologyScratch& scratch) {
+  out.clear();
   const std::uint16_t bit = static_cast<std::uint16_t>(1u << var);
   for (const auto& cube : cover) {
     if (cube.care & bit) {
@@ -47,10 +69,11 @@ Cover cofactor(const Cover& cover, unsigned var, bool value) {
       out.push_back(cube);
     }
   }
-  return out;
+  scratch.cofactor_cubes += out.size();
 }
 
-bool tautology_recursive(const Cover& cover, unsigned num_vars, std::uint64_t* calls) {
+bool tautology_recursive(const Cover& cover, unsigned num_vars, unsigned level,
+                         TautologyScratch& scratch, std::uint64_t* calls) {
   if (calls) ++*calls;
   // A cover containing the universal cube is a tautology.
   for (const auto& cube : cover) {
@@ -85,16 +108,39 @@ bool tautology_recursive(const Cover& cover, unsigned num_vars, std::uint64_t* c
     // only, handled above; be safe:
     return !cover.empty();
   }
-  return tautology_recursive(cofactor(cover, static_cast<unsigned>(best_var), false),
-                             num_vars, calls) &&
-         tautology_recursive(cofactor(cover, static_cast<unsigned>(best_var), true),
-                             num_vars, calls);
+  // Both cofactors share this depth's buffer: the false branch is fully
+  // explored (deeper levels use deeper buffers) before the buffer is
+  // overwritten with the true cofactor.
+  Cover& buffer = scratch.depth[level];
+  cofactor_into(cover, static_cast<unsigned>(best_var), false, buffer, scratch);
+  if (!tautology_recursive(buffer, num_vars, level + 1, scratch, calls)) return false;
+  cofactor_into(cover, static_cast<unsigned>(best_var), true, buffer, scratch);
+  return tautology_recursive(buffer, num_vars, level + 1, scratch, calls);
+}
+
+bool tautology(const Cover& cover, unsigned num_vars, TautologyScratch& scratch,
+               std::uint64_t* calls) {
+  scratch.prepare(num_vars);
+  return tautology_recursive(cover, num_vars, 0, scratch, calls);
+}
+
+// Order-independent memo key for a cover: its sorted (care, polarity) words.
+std::string cover_key(const Cover& cover) {
+  std::vector<std::uint32_t> words;
+  words.reserve(cover.size());
+  for (const auto& cube : cover) {
+    words.push_back((static_cast<std::uint32_t>(cube.care) << 16) | cube.polarity);
+  }
+  std::sort(words.begin(), words.end());
+  return std::string(reinterpret_cast<const char*>(words.data()),
+                     words.size() * sizeof(std::uint32_t));
 }
 
 }  // namespace
 
-bool cover_is_tautology(Cover cover, unsigned num_vars) {
-  return tautology_recursive(cover, num_vars, nullptr);
+bool cover_is_tautology(const Cover& cover, unsigned num_vars) {
+  TautologyScratch scratch;
+  return tautology(cover, num_vars, scratch, nullptr);
 }
 
 unsigned cover_literals(const Cover& cover) {
@@ -151,7 +197,13 @@ Cover rocm_minimize(const Cover& on, const Cover& off, unsigned num_vars, RocmSt
   cover = std::move(pruned);
 
   // IRREDUNDANT: drop cubes covered by the union of the others, detected by
-  // checking that (rest cofactored by cube) is a tautology.
+  // checking that (rest cofactored by cube) is a tautology. Identical `rest`
+  // covers recur across candidate cubes (cube order aside), so verdicts are
+  // memoized: a hit charges one metered tautology call instead of the whole
+  // recursion — lean enough for the DPM's embedded processor, and the DPM
+  // time model (expand_steps + tautology_calls) sees the saving.
+  TautologyScratch scratch;
+  std::unordered_map<std::string, bool> memo;
   Cover result;
   for (std::size_t i = 0; i < cover.size(); ++i) {
     Cover rest;
@@ -173,11 +225,21 @@ Cover rocm_minimize(const Cover& on, const Cover& off, unsigned num_vars, RocmSt
       rest.push_back(cof);
     }
     ++local.tautology_calls;
-    std::uint64_t calls = 0;
-    const bool redundant = tautology_recursive(rest, num_vars, &calls);
-    local.tautology_calls += calls;
+    bool redundant;
+    std::string key = cover_key(rest);
+    if (const auto it = memo.find(key); it != memo.end()) {
+      redundant = it->second;
+      ++local.tautology_memo_hits;
+    } else {
+      std::uint64_t calls = 0;
+      redundant = tautology(rest, num_vars, scratch, &calls);
+      local.tautology_calls += calls;
+      memo.emplace(std::move(key), redundant);
+    }
     if (!redundant) result.push_back(cover[i]);
   }
+  local.tautology_cofactor_cubes = scratch.cofactor_cubes;
+  local.tautology_buffers_grown = scratch.buffers_grown;
 
   local.final_cubes = static_cast<unsigned>(result.size());
   local.final_literals = cover_literals(result);

@@ -37,8 +37,9 @@ bool cube_contains(const Cube& outer, const Cube& inner);
 bool cover_eval(const Cover& cover, unsigned num_vars, std::uint32_t assignment);
 
 /// True if `cover` is a tautology over `num_vars` variables (recursive
-/// Shannon cofactoring with unate shortcuts).
-bool cover_is_tautology(Cover cover, unsigned num_vars);
+/// Shannon cofactoring with unate shortcuts; cofactors go into per-depth
+/// scratch buffers, not freshly allocated covers).
+bool cover_is_tautology(const Cover& cover, unsigned num_vars);
 
 /// Number of literals in the cover (the classic minimization objective).
 unsigned cover_literals(const Cover& cover);
@@ -49,7 +50,11 @@ struct RocmStats {
   unsigned final_cubes = 0;
   unsigned final_literals = 0;
   std::uint64_t expand_steps = 0;     // metered work for the DPM time model
-  std::uint64_t tautology_calls = 0;
+  std::uint64_t tautology_calls = 0;  // metered work; memo hits count as one
+  // Cofactor-reuse / memoization instrumentation (not metered as DPM work):
+  std::uint64_t tautology_memo_hits = 0;      // IRREDUNDANT checks answered from the memo
+  std::uint64_t tautology_cofactor_cubes = 0; // cubes written into reused depth buffers
+  std::uint64_t tautology_buffers_grown = 0;  // depth buffers actually allocated
 };
 
 /// Minimize `on` against the explicit `off` set. The result covers every

@@ -102,6 +102,8 @@ PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
     // minimizes the literal count the router must honor; metered work).
     unsigned literals_before = 0;
     unsigned literals_after = 0;
+    std::uint64_t tautology_calls = 0;
+    std::uint64_t memo_hits = 0;
     for (const auto& lut : mapped.value().luts) {
       logicopt::Cover on, off;
       logicopt::covers_from_truth(lut.truth, lut.num_inputs, on, off);
@@ -109,6 +111,8 @@ PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
       const auto minimized = logicopt::rocm_minimize(on, off, lut.num_inputs, &rocm_stats);
       literals_before += rocm_stats.initial_literals;
       literals_after += logicopt::cover_literals(minimized);
+      tautology_calls += rocm_stats.tautology_calls;
+      memo_hits += rocm_stats.tautology_memo_hits;
       cycles += cost.per_rocm_step *
                 static_cast<double>(rocm_stats.expand_steps + rocm_stats.tautology_calls);
     }
@@ -159,6 +163,8 @@ PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
     outcome.lut_depth = outcome.config->netlist.depth();
     outcome.rocm_literals_before = literals_before;
     outcome.rocm_literals_after = literals_after;
+    outcome.rocm_tautology_calls = tautology_calls;
+    outcome.rocm_memo_hits = memo_hits;
     outcome.critical_path_ns = outcome.config->critical_path_ns;
     outcome.fabric_clock_mhz = outcome.config->fabric_clock_mhz();
     outcome.bitstream_words = bitstream.size();

@@ -74,6 +74,8 @@ struct PartitionOutcome {
   unsigned lut_depth = 0;
   unsigned rocm_literals_before = 0;
   unsigned rocm_literals_after = 0;
+  std::uint64_t rocm_tautology_calls = 0;  // metered ROCM work on the winning candidate
+  std::uint64_t rocm_memo_hits = 0;        // IRREDUNDANT verdicts reused from the memo
   double placement_hpwl = 0.0;
   std::uint64_t place_delta_evaluations = 0;  // per-net incremental HPWL evaluations
   unsigned route_iterations = 0;
@@ -89,6 +91,14 @@ struct PartitionOutcome {
 };
 
 /// Run the full ROCPART flow over the profiled binary.
+///
+/// Reentrancy: this is a pure function of its arguments — the whole flow
+/// (decompile, synth, techmap, ROCM, PnR, bitstream, stub) keeps its state
+/// in locals, with no mutable globals or function-local statics. Distinct
+/// partition jobs therefore cannot interact, and concurrent software runs on
+/// other systems never observe a DPM job in flight. The multiprocessor
+/// engine still serializes the jobs themselves: the shared DPM is a single
+/// server, and its queue order (virtual time) is part of the model.
 PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
                            const std::vector<profiler::LoopCandidate>& candidates,
                            std::uint32_t wcla_base, const DpmOptions& options);

@@ -15,12 +15,20 @@
 // MultiWarpSystem (Figure 4) shares one DPM across N processors round-robin:
 // each processor is profiled and warped in turn, so processor i waits for
 // i-1 partitioning jobs before its own hardware comes online.
+//
+// run_multiprocessor simulates that N-processor system. Host execution can
+// be serial (one system after another) or parallel (one worker thread per
+// system plus a DPM scheduler thread); either way the shared DPM is a
+// single-server queue ordered by *virtual* time, so the reported waits,
+// speedups and partitions are bit-identical across host modes and thread
+// counts. See DpmQueuePolicy for the service-order knob.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "energy/power_model.hpp"
 #include "hwsim/wcla_device.hpp"
@@ -90,15 +98,58 @@ class WarpSystem {
 /// One row of a multi-processor experiment.
 struct MultiWarpEntry {
   std::string name;
+  std::string detail;              // partition detail or first run error
   double sw_seconds = 0.0;
   double warped_seconds = 0.0;
   double speedup = 0.0;
   double dpm_seconds = 0.0;        // this processor's partitioning job
   double dpm_wait_seconds = 0.0;   // queueing until the shared DPM reached it
   bool warped = false;
+
+  bool operator==(const MultiWarpEntry&) const = default;
 };
 
-/// Run N workloads through one shared DPM, round-robin (Figure 4).
+/// How the shared single-server DPM orders queued partitioning jobs. Service
+/// order is always defined by *virtual* time (the simulated clocks), never by
+/// host completion order, so results are deterministic under any host
+/// scheduling.
+enum class DpmQueuePolicy {
+  /// The paper's policy: strictly by processor index. Processor i's wait is
+  /// the DPM busy time accumulated by jobs 0..i-1 (the serial baseline).
+  kRoundRobin,
+  /// First-come-first-served by virtual request time — the instant the
+  /// profiled software run completes — with ties broken by processor index.
+  /// The wait is the queueing delay between request and service start.
+  kFifo,
+  /// Served by descending MultiWarpOptions::priorities entry (missing
+  /// entries are 0), ties broken by processor index. Waits as in kFifo.
+  /// Batch-arrival model: the DPM starts service only once every processor
+  /// has filed its request (that is what makes the order deterministic), so
+  /// a low-priority job's wait can include DPM idle time spent before the
+  /// higher-priority jobs were even requested.
+  kPriority,
+};
+
+struct MultiWarpOptions {
+  /// Host execution: worker threads + DPM scheduler thread when true, the
+  /// single-threaded reference loop when false. Results are identical.
+  bool parallel = true;
+  /// Worker thread count; 0 means std::thread::hardware_concurrency(),
+  /// always clamped to the number of systems. Ignored when !parallel.
+  unsigned threads = 0;
+  DpmQueuePolicy policy = DpmQueuePolicy::kRoundRobin;
+  /// Per-processor priorities for DpmQueuePolicy::kPriority (higher first).
+  std::vector<int> priorities;
+};
+
+/// Run N workloads through one shared DPM (Figure 4). Each system is
+/// profiled, partitioned by the shared DPM in the policy's virtual-time
+/// order, and re-run warped. The two-argument form is the paper's
+/// round-robin experiment with default (parallel) host execution.
+std::vector<MultiWarpEntry> run_multiprocessor(
+    std::vector<std::unique_ptr<WarpSystem>>& systems,
+    const std::vector<std::string>& names,
+    const MultiWarpOptions& options);
 std::vector<MultiWarpEntry> run_multiprocessor(
     std::vector<std::unique_ptr<WarpSystem>>& systems,
     const std::vector<std::string>& names);
