@@ -1,6 +1,8 @@
 // Bit-manipulation helpers shared across the warp-processing library.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <bit>
 
@@ -66,6 +68,46 @@ inline void transpose64(std::uint64_t m[64]) {
       m[k | j] ^= t;
     }
   }
+}
+
+/// Upper bound on the `w_words` parameter of the blocked transposes below
+/// (sizes their stack scratch; the packed evaluator's widest block is 4).
+inline constexpr unsigned kMaxTransposeBlocks = 8;
+
+/// Blocked transpose for lane blocks wider than one word. `m` holds
+/// `w_words * 64` words in frame-major order (m[f] is the data word of
+/// frame f). Afterwards `m` is plane-major: row b occupies the contiguous
+/// block m[b*w_words .. b*w_words+w_words), and bit j of block word g is
+/// bit b of original frame g*64+j — i.e. each bit owns one contiguous
+/// lane block of w_words words. w_words == 1 is exactly transpose64.
+inline void transpose64_blocked(std::uint64_t* m, unsigned w_words) {
+  assert(w_words >= 1 && w_words <= kMaxTransposeBlocks);
+  if (w_words == 1) {
+    transpose64(m);
+    return;
+  }
+  std::uint64_t planes[kMaxTransposeBlocks * 64];
+  for (unsigned g = 0; g < w_words; ++g) {
+    transpose64(m + 64 * g);
+    for (unsigned b = 0; b < 64; ++b) planes[b * w_words + g] = m[64 * g + b];
+  }
+  std::copy(planes, planes + 64 * w_words, m);
+}
+
+/// Inverse of transpose64_blocked: plane-major lane blocks back to
+/// frame-major words (m[f] bit b = bit (f % 64) of plane b's word f/64).
+inline void transpose64_unblocked(std::uint64_t* m, unsigned w_words) {
+  assert(w_words >= 1 && w_words <= kMaxTransposeBlocks);
+  if (w_words == 1) {
+    transpose64(m);
+    return;
+  }
+  std::uint64_t frames[kMaxTransposeBlocks * 64];
+  for (unsigned g = 0; g < w_words; ++g) {
+    for (unsigned b = 0; b < 64; ++b) frames[64 * g + b] = m[b * w_words + g];
+    transpose64(frames + 64 * g);
+  }
+  std::copy(frames, frames + 64 * w_words, m);
 }
 
 }  // namespace warp::common

@@ -1,5 +1,7 @@
 #include "experiments/harness.hpp"
 
+#include <algorithm>
+
 #include "isa/assembler.hpp"
 
 namespace warp::experiments {
@@ -151,6 +153,81 @@ common::Result<double> run_software_only(const workloads::Workload& workload,
     return common::Result<double>::error(check.message());
   }
   return core.stats().seconds(cpu.clock_mhz);
+}
+
+common::Result<FlowedWorkload> flow_workload(const workloads::Workload& workload,
+                                             const HarnessOptions& options,
+                                             std::uint64_t trip_cap) {
+  using R = common::Result<FlowedWorkload>;
+  auto program = isa::assemble(workload.source, options.cpu);
+  if (!program) return R::error(workload.name + ": assemble: " + program.message());
+  warpsys::WarpSystemConfig config = options.system;
+  config.cpu = options.cpu;
+  auto system =
+      std::make_unique<warpsys::WarpSystem>(program.value(), workload.init, config);
+  if (auto sw = system->run_software(); !sw) {
+    return R::error(workload.name + ": software run: " + sw.message());
+  }
+  if (const auto& outcome = system->warp(); !outcome.success) {
+    return R::error(workload.name + ": partition: " + outcome.detail);
+  }
+  if (auto warped = system->run_warped(); !warped) {
+    return R::error(workload.name + ": warped run: " + warped.message());
+  }
+  FlowedWorkload flowed;
+  flowed.invocation = system->wcla().invocation();
+  hwsim::KernelExecutor* exec = system->wcla().executor();
+  flowed.invocation.trip =
+      max_safe_trip(exec->kernel().ir, flowed.invocation.stream_bases,
+                    system->data_mem().size(), flowed.invocation.trip, trip_cap);
+  flowed.system = std::move(system);
+  return flowed;
+}
+
+std::uint64_t max_safe_trip(const decompile::KernelIR& ir,
+                            const std::vector<std::uint32_t>& stream_bases,
+                            std::size_t mem_bytes, std::uint64_t lo, std::uint64_t cap) {
+  auto fits = [&](std::uint64_t trip) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges(ir.streams.size());
+    for (std::size_t s = 0; s < ir.streams.size(); ++s) {
+      const auto& stream = ir.streams[s];
+      std::int64_t range_lo = static_cast<std::int64_t>(stream_bases[s]);
+      std::int64_t range_hi = range_lo;
+      for (const std::int64_t it : {std::int64_t{0}, static_cast<std::int64_t>(trip) - 1}) {
+        for (const std::int64_t t :
+             {std::int64_t{0}, static_cast<std::int64_t>(stream.burst) - 1}) {
+          const std::int64_t addr =
+              static_cast<std::int64_t>(stream_bases[s]) +
+              static_cast<std::int64_t>(stream.stride_bytes) * it +
+              t * static_cast<std::int64_t>(stream.tap_stride_bytes);
+          if (addr < 0 || addr + stream.elem_bytes > static_cast<std::int64_t>(mem_bytes)) {
+            return false;
+          }
+          range_lo = std::min(range_lo, addr);
+          range_hi = std::max(range_hi, addr + stream.elem_bytes - 1);
+        }
+      }
+      ranges[s] = {range_lo, range_hi};
+    }
+    for (std::size_t ws = 0; ws < ir.streams.size(); ++ws) {
+      if (!ir.streams[ws].is_write) continue;
+      for (std::size_t rs = 0; rs < ir.streams.size(); ++rs) {
+        if (ir.streams[rs].is_write || stream_bases[ws] == stream_bases[rs]) continue;
+        if (ranges[ws].second >= ranges[rs].first && ranges[rs].second >= ranges[ws].first) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  std::uint64_t hi = cap;
+  if (!fits(lo)) return lo;  // keep the stub's own trip
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (fits(mid)) lo = mid;
+    else hi = mid - 1;
+  }
+  return lo;
 }
 
 }  // namespace warp::experiments

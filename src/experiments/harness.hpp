@@ -89,4 +89,32 @@ common::Result<double> run_software_only(const workloads::Workload& workload,
 common::Result<techmap::LutNetlist> partition_netlist(const workloads::Workload& workload,
                                                       const HarnessOptions& options);
 
+/// A workload pushed through the full warp flow (assemble -> software run
+/// -> DPM partition -> warped run), with the stub's last real invocation
+/// captured from the WCLA device and its trip stretched via max_safe_trip.
+/// The executor and data memory live in `system`.
+struct FlowedWorkload {
+  std::unique_ptr<warpsys::WarpSystem> system;
+  hwsim::KernelInvocation invocation;
+};
+
+/// Run the full flow for one workload and capture the invocation, for
+/// engine-equivalence sweeps (tests) and microbenchmarks. `trip_cap`
+/// bounds the stretched trip count. Fails on the first step that does not
+/// succeed.
+common::Result<FlowedWorkload> flow_workload(const workloads::Workload& workload,
+                                             const HarnessOptions& options,
+                                             std::uint64_t trip_cap);
+
+/// Largest trip count in [lo, cap] whose stream address envelope stays
+/// inside `mem_bytes` of data memory AND keeps write streams disjoint from
+/// read streams at different bases — so a stretched invocation stays
+/// eligible for the executor's packed path exactly when the stub-sized one
+/// was. Returns `lo` unchanged if even that does not fit. Used by the
+/// packed-eval microbenchmark and the engine-equivalence tests to retime
+/// kernels at trips long enough for wide lane blocks to engage.
+std::uint64_t max_safe_trip(const decompile::KernelIR& ir,
+                            const std::vector<std::uint32_t>& stream_bases,
+                            std::size_t mem_bytes, std::uint64_t lo, std::uint64_t cap);
+
 }  // namespace warp::experiments

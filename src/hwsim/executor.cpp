@@ -11,10 +11,20 @@ namespace warp::hwsim {
 using synth::HwKernel;
 using techmap::PortSpec;
 
-KernelExecutor::KernelExecutor(const HwKernel& kernel, const fabric::FabricConfig& config)
+KernelExecutor::KernelExecutor(const HwKernel& kernel, const fabric::FabricConfig& config,
+                               PackedOptions packed)
     : kernel_(kernel), config_(config) {
+  set_packed_options(packed);
   bind_ports();
   if (packed_supported_) packed_.emplace(config_.netlist);
+}
+
+void KernelExecutor::set_packed_options(PackedOptions packed) {
+  if (packed.width != 0 && !PackedEvaluator::width_supported(packed.width)) {
+    throw common::InternalError(
+        common::format("executor: unsupported packed lane-block width %u", packed.width));
+  }
+  packed_options_ = packed;
 }
 
 void KernelExecutor::bind_ports() {
@@ -183,7 +193,8 @@ std::uint32_t KernelExecutor::iv_value(int iv_pos, std::uint64_t iter) const {
              static_cast<std::int64_t>(iter));
 }
 
-bool KernelExecutor::streams_hazard_free(const KernelInvocation& invocation) const {
+bool KernelExecutor::streams_hazard_free(const KernelInvocation& invocation,
+                                         unsigned block_lanes) const {
   const auto& ir = kernel_.ir;
   if (invocation.trip == 0) return true;
   const std::int64_t last_iter = static_cast<std::int64_t>(invocation.trip) - 1;
@@ -242,7 +253,7 @@ bool KernelExecutor::streams_hazard_free(const KernelInvocation& invocation) con
           // diff - stride*d bytes apart; their elem-byte intervals overlap
           // when that gap is smaller than an element. d == 0 (same
           // iteration) is safe: both engines read before writing.
-          for (std::int64_t d = 1; d < static_cast<std::int64_t>(kPackedLanes); ++d) {
+          for (std::int64_t d = 1; d < static_cast<std::int64_t>(block_lanes); ++d) {
             const std::int64_t gap = diff - static_cast<std::int64_t>(w.stride_bytes) * d;
             if (gap > -w.elem_bytes && gap < w.elem_bytes) return false;
           }
@@ -251,6 +262,22 @@ bool KernelExecutor::streams_hazard_free(const KernelInvocation& invocation) con
     }
   }
   return true;
+}
+
+unsigned KernelExecutor::select_packed_width(const KernelInvocation& invocation) const {
+  // A pinned width is honored as-is (hazards drop to scalar, matching the
+  // historical W=1 semantics); auto mode starts from the trip/plan-size
+  // heuristic and narrows the block until its hazard window closes.
+  if (packed_options_.width != 0) {
+    return streams_hazard_free(invocation, packed_options_.width * kPackedWordBits)
+               ? packed_options_.width
+               : 0;
+  }
+  unsigned width = packed_->choose_width(invocation.trip);
+  while (width != 0 && !streams_hazard_free(invocation, width * kPackedWordBits)) {
+    width >>= 1;
+  }
+  return width;
 }
 
 common::Result<KernelRunResult> KernelExecutor::run(sim::Memory& memory,
@@ -282,15 +309,19 @@ common::Result<KernelRunResult> KernelExecutor::run(sim::Memory& memory,
   }
 
   KernelRunResult result;
-  const bool use_packed = packed_supported_ && !verify_against_dfg &&
-                          engine_ != EvalEngine::kScalar &&
-                          streams_hazard_free(invocation);
+  const unsigned width = (packed_supported_ && !verify_against_dfg &&
+                          engine_ != EvalEngine::kScalar)
+                             ? select_packed_width(invocation)
+                             : 0;
   std::uint64_t iter = 0;
-  if (use_packed) {
-    for (; iter + kPackedLanes <= invocation.trip; iter += kPackedLanes) {
-      run_packed_block(memory, invocation, iter, acc);
+  if (width != 0) {
+    packed_->set_width(width);
+    const std::uint64_t block = std::uint64_t{width} * kPackedWordBits;
+    for (; iter + block <= invocation.trip; iter += block) {
+      run_packed_block(memory, invocation, iter, acc, width);
     }
     result.packed_iterations = iter;
+    if (iter != 0) result.packed_width = width;
   }
   for (; iter < invocation.trip; ++iter) {
     run_scalar_iter(memory, invocation, iter, acc, verify_against_dfg);
@@ -434,22 +465,28 @@ void KernelExecutor::run_scalar_iter(sim::Memory& memory, const KernelInvocation
   }
 }
 
-void KernelExecutor::unpack_group(const OutputGroup& group,
-                                  std::array<std::uint64_t, kPackedLanes>& words) const {
-  words.fill(0);
+void KernelExecutor::unpack_group(const OutputGroup& group, std::uint64_t* words,
+                                  unsigned width) const {
+  const unsigned block_lanes = width * kPackedWordBits;
+  std::fill(words, words + block_lanes, 0);
   for (const OutputBit& ob : group) {
-    words[ob.bit] = packed_->output(ob.output_index);
+    for (unsigned w = 0; w < width; ++w) {
+      words[ob.bit * width + w] = packed_->output(ob.output_index, w);
+    }
   }
-  common::transpose64(words.data());
+  common::transpose64_unblocked(words, width);
 }
 
 void KernelExecutor::run_packed_block(sim::Memory& memory, const KernelInvocation& invocation,
-                                      std::uint64_t iter0, std::vector<std::uint32_t>& acc) {
+                                      std::uint64_t iter0, std::vector<std::uint32_t>& acc,
+                                      unsigned width) {
   const auto& ir = kernel_.ir;
+  const unsigned block_lanes = width * kPackedWordBits;
 
-  // 1. Batched DADG reads: 64 iterations of every read tap, loaded one
-  //    word per iteration and bit-transposed in place into lane planes
-  //    (row b = the 64-iteration lane of tap bit b).
+  // 1. Batched DADG reads: width*64 iterations of every read tap, loaded
+  //    one word per iteration and block-transposed in place into lane
+  //    blocks (the width words at row b*width = the lane block of tap
+  //    bit b).
   for (std::size_t s = 0; s < ir.streams.size(); ++s) {
     const auto& stream = ir.streams[s];
     if (stream.is_write) continue;
@@ -457,7 +494,7 @@ void KernelExecutor::run_packed_block(sim::Memory& memory, const KernelInvocatio
       auto& words = block_taps_[tap_base_[s] + t];
       const std::uint32_t tap_offset =
           invocation.stream_bases[s] + t * static_cast<std::uint32_t>(stream.tap_stride_bytes);
-      for (unsigned j = 0; j < kPackedLanes; ++j) {
+      for (unsigned j = 0; j < block_lanes; ++j) {
         const std::uint32_t addr =
             tap_offset +
             static_cast<std::uint32_t>(static_cast<std::int64_t>(stream.stride_bytes) *
@@ -468,53 +505,57 @@ void KernelExecutor::run_packed_block(sim::Memory& memory, const KernelInvocatio
           default: words[j] = memory.read32(addr); break;
         }
       }
-      common::transpose64(words.data());
+      common::transpose64_blocked(words.data(), width);
     }
   }
 
-  // Induction-variable lane planes for the block, one row set per iv reg.
+  // Induction-variable lane blocks, one row set per iv reg.
   for (std::size_t p = 0; p < ir.iv_regs.size(); ++p) {
-    for (unsigned j = 0; j < kPackedLanes; ++j) {
+    for (unsigned j = 0; j < block_lanes; ++j) {
       iv_planes_[p][j] = iv_value(static_cast<int>(p), iter0 + j);
     }
-    common::transpose64(iv_planes_[p].data());
+    common::transpose64_blocked(iv_planes_[p].data(), width);
   }
 
-  // 2. Wire the lane planes to the fabric inputs and evaluate all 64
+  // 2. Wire the lane blocks to the fabric inputs and evaluate all width*64
   //    iterations in one pass.
   for (std::size_t i = 0; i < input_bindings_.size(); ++i) {
     const InputBinding& binding = input_bindings_[i];
-    std::uint64_t lane = 0;
     switch (binding.kind) {
       case InputBinding::Kind::kStream:
-        lane = block_taps_[static_cast<std::size_t>(binding.tap_index)][binding.bit];
+        packed_->set_input_block(
+            i, &block_taps_[static_cast<std::size_t>(binding.tap_index)][binding.bit * width]);
         break;
-      case InputBinding::Kind::kLiveIn:
-        lane = ((livein_cache_[i] >> binding.bit) & 1u) ? ~0ull : 0ull;
+      case InputBinding::Kind::kLiveIn: {
+        const std::uint64_t lane = ((livein_cache_[i] >> binding.bit) & 1u) ? ~0ull : 0ull;
+        for (unsigned w = 0; w < width; ++w) packed_->set_input(i, w, lane);
         break;
+      }
       case InputBinding::Kind::kIv:
         if (binding.iv_pos >= 0) {
-          lane = iv_planes_[static_cast<std::size_t>(binding.iv_pos)][binding.bit];
+          packed_->set_input_block(
+              i, &iv_planes_[static_cast<std::size_t>(binding.iv_pos)][binding.bit * width]);
+        } else {
+          for (unsigned w = 0; w < width; ++w) packed_->set_input(i, w, 0);
         }
         break;
       case InputBinding::Kind::kMacResult:
       case InputBinding::Kind::kAccState:
         throw common::InternalError("executor: feedback input on the packed path");
     }
-    packed_->set_input(i, lane);
   }
   packed_->run();
 
-  // 3. MAC accumulations: operands come out of the packed pass; the 64
-  //    products are summed in iteration order.
-  std::array<std::uint64_t, kPackedLanes> words_a;
-  std::array<std::uint64_t, kPackedLanes> words_b;
+  // 3. MAC accumulations: operands come out of the packed pass; the
+  //    width*64 products are summed in iteration order.
+  std::array<std::uint64_t, kMaxPackedLanes> words_a;
+  std::array<std::uint64_t, kMaxPackedLanes> words_b;
   for (std::size_t m = 0; m < kernel_.mac_ops.size(); ++m) {
     if (!kernel_.mac_ops[m].accumulate) continue;  // feedback MACs never get here
-    unpack_group(mac_a_groups_[m], words_a);
-    unpack_group(mac_b_groups_[m], words_b);
+    unpack_group(mac_a_groups_[m], words_a.data(), width);
+    unpack_group(mac_b_groups_[m], words_b.data(), width);
     std::uint32_t sum = 0;
-    for (unsigned j = 0; j < kPackedLanes; ++j) {
+    for (unsigned j = 0; j < block_lanes; ++j) {
       sum += static_cast<std::uint32_t>(words_a[j]) * static_cast<std::uint32_t>(words_b[j]);
     }
     acc[static_cast<std::size_t>(kernel_.mac_ops[m].acc_index)] += sum;
@@ -524,9 +565,9 @@ void KernelExecutor::run_packed_block(sim::Memory& memory, const KernelInvocatio
   //    in case two write taps alias).
   if (!kernel_.write_outputs.empty()) {
     for (std::size_t w = 0; w < kernel_.write_outputs.size(); ++w) {
-      unpack_group(write_groups_[w], write_words_[w]);
+      unpack_group(write_groups_[w], write_words_[w].data(), width);
     }
-    for (unsigned j = 0; j < kPackedLanes; ++j) {
+    for (unsigned j = 0; j < block_lanes; ++j) {
       for (std::size_t w = 0; w < kernel_.write_outputs.size(); ++w) {
         const auto& out = kernel_.write_outputs[w];
         const auto& stream = ir.streams[out.stream];
@@ -546,13 +587,14 @@ void KernelExecutor::run_packed_block(sim::Memory& memory, const KernelInvocatio
   }
 
   // 5. Fabric-held accumulator outputs without state feedback recompute the
-  //    same function every iteration; the final value is the last lane's.
+  //    same function every iteration; the final value is the last lane's
+  //    (bit 63 of the last word of the block).
   for (const auto& out : kernel_.acc_outputs) {
     if (out.via_mac) continue;
     std::uint32_t word = 0;
     for (const OutputBit& ob : acc_next_groups_[out.acc_index]) {
-      const std::uint64_t lane = packed_->output(ob.output_index);
-      word |= static_cast<std::uint32_t>((lane >> (kPackedLanes - 1)) & 1u) << ob.bit;
+      const std::uint64_t lane = packed_->output(ob.output_index, width - 1);
+      word |= static_cast<std::uint32_t>((lane >> (kPackedWordBits - 1)) & 1u) << ob.bit;
     }
     acc[out.acc_index] = word;
   }

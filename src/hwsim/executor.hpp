@@ -11,12 +11,14 @@
 //   clock  = fabric clock after critical-path derating
 //
 // Two evaluation engines back the same cycle model:
-//   - a packed engine (PackedEvaluator) that evaluates 64 loop iterations
-//     per pass, one uint64 lane per net, with batched stream tap reads and
-//     writes per block — used whenever the kernel has no per-iteration
-//     feedback into the fabric (MAC results or accumulator state feeding
-//     back) and the invocation's read/write streams cannot alias within a
-//     block;
+//   - a packed lane-block engine (PackedEvaluator) that evaluates W*64 loop
+//     iterations per pass (W in {1,2,4}, fixed via PackedOptions or chosen
+//     per run), one contiguous W-word lane block per net, with batched
+//     stream tap reads and writes per block — used whenever the kernel has
+//     no per-iteration feedback into the fabric (MAC results or accumulator
+//     state feeding back) and the invocation's read/write streams cannot
+//     alias within a block (auto mode narrows the block until it is
+//     hazard-free before giving up);
 //   - the scalar reference engine (one iteration at a time over the shared
 //     techmap::resolve_ref reference semantics), used for the loop tail,
 //     for feedback kernels, and for the golden DFG cross-check mode.
@@ -55,9 +57,12 @@ struct KernelRunResult {
   double time_ns = 0.0;
   std::vector<std::uint32_t> acc_final;  // per accumulator
   // Engine split, for tests and the microbenchmark: how many iterations ran
-  // through the packed 64-lane engine vs. the scalar reference engine.
+  // through the packed lane-block engine vs. the scalar reference engine,
+  // and the lane-block width (in 64-bit words) the packed passes used
+  // (0 when no packed pass ran).
   std::uint64_t packed_iterations = 0;
   std::uint64_t scalar_iterations = 0;
+  unsigned packed_width = 0;
 };
 
 class KernelExecutor {
@@ -68,8 +73,10 @@ class KernelExecutor {
   /// reference engine (the microbenchmark's baseline).
   enum class EvalEngine : std::uint8_t { kAuto, kScalar };
 
-  /// `kernel` and `config` must outlive the executor.
-  KernelExecutor(const synth::HwKernel& kernel, const fabric::FabricConfig& config);
+  /// `kernel` and `config` must outlive the executor. `packed` pins or
+  /// auto-selects the lane-block width of the packed engine.
+  KernelExecutor(const synth::HwKernel& kernel, const fabric::FabricConfig& config,
+                 PackedOptions packed = {});
 
   /// Execute one invocation against `memory`.
   /// When `verify_against_dfg` is set, every iteration is cross-checked
@@ -80,6 +87,10 @@ class KernelExecutor {
                                       bool verify_against_dfg = false);
 
   void set_engine(EvalEngine engine) { engine_ = engine; }
+  /// Re-pin or re-enable auto selection of the lane-block width (used by
+  /// the width-sweep microbenchmark). Throws on unsupported widths.
+  void set_packed_options(PackedOptions packed);
+  const PackedOptions& packed_options() const { return packed_options_; }
   /// True when the kernel itself permits packed evaluation (no MAC-result
   /// or accumulator-state feedback into the fabric). Individual invocations
   /// may still fall back when their streams alias.
@@ -116,25 +127,30 @@ class KernelExecutor {
   int find_write_node(unsigned stream, unsigned tap) const;
 
   /// True when the invocation's write streams cannot feed a read stream
-  /// within one 64-iteration block (packed batching preserves the scalar
-  /// read-then-write order only across iterations in different positions).
-  bool streams_hazard_free(const KernelInvocation& invocation) const;
+  /// within one `block_lanes`-iteration block (packed batching preserves
+  /// the scalar read-then-write order only across iterations in different
+  /// positions). Wider blocks widen the hazard window, so this is checked
+  /// per candidate width.
+  bool streams_hazard_free(const KernelInvocation& invocation, unsigned block_lanes) const;
+  /// Lane-block width (words) the packed engine will use for this
+  /// invocation; 0 when the invocation must run scalar.
+  unsigned select_packed_width(const KernelInvocation& invocation) const;
 
   void run_scalar_iter(sim::Memory& memory, const KernelInvocation& invocation,
                        std::uint64_t iter, std::vector<std::uint32_t>& acc,
                        bool verify_against_dfg);
   void run_packed_block(sim::Memory& memory, const KernelInvocation& invocation,
-                        std::uint64_t iter0, std::vector<std::uint32_t>& acc);
+                        std::uint64_t iter0, std::vector<std::uint32_t>& acc, unsigned width);
 
   std::uint32_t iv_value(int iv_pos, std::uint64_t iter) const;
-  /// Gather a word group out of the packed pass: bit-planes in, one word
-  /// per iteration out (in the low 32 bits of each row).
-  void unpack_group(const OutputGroup& group,
-                    std::array<std::uint64_t, kPackedLanes>& words) const;
+  /// Gather a word group out of the packed pass: lane blocks in, one word
+  /// per iteration out (in the low 32 bits of each of the width*64 rows).
+  void unpack_group(const OutputGroup& group, std::uint64_t* words, unsigned width) const;
 
   const synth::HwKernel& kernel_;
   const fabric::FabricConfig& config_;
   EvalEngine engine_ = EvalEngine::kAuto;
+  PackedOptions packed_options_;
   bool packed_supported_ = false;
 
   std::vector<InputBinding> input_bindings_;  // per primary input
@@ -156,10 +172,12 @@ class KernelExecutor {
   std::vector<std::uint32_t> mac_results_;    // scalar scratch
   std::vector<std::uint32_t> acc_start_of_iter_;
   // Per flat (stream, tap) index: loaded as one word per iteration, then
-  // bit-transposed in place so row b is the lane word of tap bit b.
-  std::vector<std::array<std::uint64_t, kPackedLanes>> block_taps_;
-  std::vector<std::array<std::uint64_t, kPackedLanes>> iv_planes_;   // per iv reg
-  std::vector<std::array<std::uint64_t, kPackedLanes>> write_words_;  // per write output
+  // block-transposed in place so the W words starting at row b*W are the
+  // lane block of tap bit b. Sized for the widest block; narrower widths
+  // use a prefix.
+  std::vector<std::array<std::uint64_t, kMaxPackedLanes>> block_taps_;
+  std::vector<std::array<std::uint64_t, kMaxPackedLanes>> iv_planes_;   // per iv reg
+  std::vector<std::array<std::uint64_t, kMaxPackedLanes>> write_words_;  // per write output
 };
 
 }  // namespace warp::hwsim

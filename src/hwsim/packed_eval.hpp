@@ -1,14 +1,16 @@
-// Bit-packed, levelized evaluation of a mapped LUT netlist.
+// Bit-packed, levelized evaluation of a mapped LUT netlist in lane blocks.
 //
 // The scalar engine (techmap::LutNetlist::evaluate) walks the LUT array
 // once per loop iteration over std::vector<bool> — fine for cross-checking,
 // but it makes the simulator, not the modeled hardware, the bottleneck when
 // a kernel runs millions of iterations. This engine compiles the netlist
-// once into a flat evaluation plan and then evaluates 64 loop iterations
-// per pass, SIMD-within-a-register style: every net owns one std::uint64_t
-// lane word whose bit j is the net's value in iteration j.
+// once into a flat evaluation plan and then evaluates W*64 loop iterations
+// per pass (the lane-block width W is 1, 2 or 4 words), SIMD-within-a-
+// register style: every net owns a contiguous block of W std::uint64_t lane
+// words whose bit j of word g is the net's value in iteration g*64+j of the
+// current block.
 //
-// Compilation (PackedEvaluator's constructor):
+// Compilation (PackedEvaluator's constructor) is width-independent:
 //   - every net gets an integer lane slot: slot 0 is constant 0, slot 1 is
 //     constant 1, slots [2, 2+inputs) are the primary inputs, and each
 //     surviving LUT gets a fresh slot — no NetRef dispatch or string
@@ -18,13 +20,25 @@
 //     slot aliases the source), and the rest are canonicalized to exactly
 //     kLutInputs fanins (unused pins point at the constant-0 lane);
 //   - each node's truth table is expanded to eight per-row lane masks, so
-//     evaluation is a branchless three-level mux tree over packed words.
+//     evaluation is a branchless three-level mux tree over packed words;
+//   - surviving nodes are re-sorted by mux-tree level and their slots
+//     renumbered in evaluation order, so a node's fanins live in the
+//     contiguous slot range of the previous level and wide lane blocks
+//     stream through the lane array mostly sequentially.
 //
-// The LUT array is emitted by the mapper in topological (levelized) order,
-// which the plan preserves: one forward pass evaluates everything.
+// The LUT array must be emitted in topological (levelized) order — the
+// mapper guarantees this, and the constructor rejects arrays that are not
+// (a fanin reading a later LUT would silently evaluate stale lanes).
+//
+// Evaluation is instantiated per width from one templated kernel: W=1 is
+// the original one-word SWAR pass, W=2/4 unroll the mux tree over lane
+// pairs/quads (with __uint128_t and AVX2 variants where the toolchain
+// provides them), and choose_width() implements the heuristic auto mode
+// keyed on plan size and trip count.
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -32,8 +46,14 @@
 
 namespace warp::hwsim {
 
-/// Iterations evaluated per packed pass: one bit lane per iteration.
-inline constexpr unsigned kPackedLanes = 64;
+/// Bits per lane word: one bit lane per loop iteration.
+inline constexpr unsigned kPackedWordBits = 64;
+
+/// Widest supported lane block, in 64-bit words (W=4: 256 iterations/pass).
+inline constexpr unsigned kMaxPackedWidth = 4;
+
+/// Iterations per pass at the widest block.
+inline constexpr unsigned kMaxPackedLanes = kMaxPackedWidth * kPackedWordBits;
 
 /// One compiled LUT: fanin lane slots and the truth table as lane masks
 /// (mask[m] is all-ones iff truth bit m is set).
@@ -43,33 +63,83 @@ struct PackedNode {
   std::array<std::uint64_t, 1u << techmap::kLutInputs> mask{};
 };
 
+/// Lane-block engine knob, plumbed from WarpSystemConfig down to the
+/// executor so benchmark harnesses can pin or sweep the width.
+struct PackedOptions {
+  /// Lane-block width in 64-bit words (width*64 iterations per fabric
+  /// pass): 1, 2 or 4. 0 selects the width automatically per run from the
+  /// plan size and trip count (PackedEvaluator::choose_width).
+  unsigned width = 0;
+};
+
 class PackedEvaluator {
  public:
+  /// Compiles the evaluation plan. Throws common::InternalError when the
+  /// LUT array is not topologically ordered or references are out of range.
   explicit PackedEvaluator(const techmap::LutNetlist& netlist);
+
+  static constexpr bool width_supported(unsigned width) {
+    return width == 1 || width == 2 || width == 4;
+  }
 
   std::size_t num_inputs() const { return num_inputs_; }
   std::size_t num_outputs() const { return output_slot_.size(); }
   /// LUTs surviving constant/wire folding (the per-pass work).
   std::size_t node_count() const { return nodes_.size(); }
 
-  /// Set primary input `input`'s lane word (bit j = value in iteration j).
-  void set_input(std::size_t input, std::uint64_t lanes) {
-    lanes_[2 + input] = lanes;
+  /// Active lane-block width in words, and iterations per pass.
+  unsigned width() const { return width_; }
+  unsigned lanes() const { return width_ * kPackedWordBits; }
+
+  /// Select the lane-block width (1, 2 or 4). Resizes the lane array; all
+  /// input lanes must be set again before the next run().
+  void set_width(unsigned width);
+
+  /// Heuristic auto width for a run of `trip` iterations: the widest block
+  /// that still gets at least two full passes, narrowed for very large
+  /// plans whose lane working set would outgrow the cache.
+  unsigned choose_width(std::uint64_t trip) const;
+
+  /// Set word `word` of primary input `input`'s lane block (bit j = value
+  /// in block iteration word*64+j).
+  void set_input(std::size_t input, unsigned word, std::uint64_t lanes) {
+    assert(input < num_inputs_);
+    assert(word < width_);
+    lanes_[(2 + input) * width_ + word] = lanes;
   }
 
-  /// Evaluate all nodes for the 64 packed iterations.
+  /// Set the full lane block (width() words) of primary input `input`.
+  void set_input_block(std::size_t input, const std::uint64_t* words) {
+    assert(input < num_inputs_);
+    for (unsigned w = 0; w < width_; ++w) {
+      lanes_[(2 + input) * width_ + w] = words[w];
+    }
+  }
+
+  /// Evaluate all nodes for the width()*64 packed iterations.
   void run();
 
-  /// Lane word of netlist output `index` after run().
-  std::uint64_t output(std::size_t index) const {
-    return lanes_[output_slot_[index]];
+  /// Lane word `word` of netlist output `index` after run().
+  std::uint64_t output(std::size_t index, unsigned word = 0) const {
+    assert(index < output_slot_.size());
+    assert(word < width_);
+    return lanes_[output_slot_[index] * width_ + word];
   }
 
  private:
+  template <unsigned W>
+  void run_pass();       // unrolled word-at-a-time fallback, any width
+  template <unsigned W>
+  void run_pass_sse2();  // W == 2/4 in 128-bit halves (baseline x86-64)
+  void run_pass_u128();  // W == 2 via __uint128_t (non-x86 fallback)
+  void run_pass_avx2();  // W == 4 in one 256-bit register, when compiled in
+
   std::vector<PackedNode> nodes_;
-  std::vector<std::uint64_t> lanes_;
+  std::vector<std::uint64_t> lanes_;  // num_slots_ * width_ words
   std::vector<std::uint32_t> output_slot_;  // per netlist output, resolved
   std::size_t num_inputs_ = 0;
+  std::uint32_t num_slots_ = 0;
+  unsigned width_ = 1;
 };
 
 }  // namespace warp::hwsim

@@ -10,7 +10,7 @@ void WclaDevice::configure(std::shared_ptr<const synth::HwKernel> kernel,
                            std::shared_ptr<const fabric::FabricConfig> config) {
   kernel_ = std::move(kernel);
   config_ = std::move(config);
-  executor_ = std::make_unique<KernelExecutor>(*kernel_, *config_);
+  executor_ = std::make_unique<KernelExecutor>(*kernel_, *config_, packed_options_);
   invocation_ = KernelInvocation{};
   invocation_.stream_bases.assign(kernel_->ir.streams.size(), 0);
   invocation_.acc_init.assign(kernel_->ir.accumulators.size(), 0);

@@ -48,6 +48,10 @@ class WclaDevice : public sim::OpbDevice {
   WclaDevice(sim::Memory& data_mem, double mb_clock_mhz, std::uint32_t base = kWclaBase)
       : data_mem_(data_mem), mb_clock_mhz_(mb_clock_mhz), base_(base) {}
 
+  /// Lane-block options handed to every executor built by configure();
+  /// set before warping (the default auto-selects the width per run).
+  void set_packed_options(PackedOptions packed) { packed_options_ = packed; }
+
   /// Install a synthesized + placed-and-routed kernel.
   void configure(std::shared_ptr<const synth::HwKernel> kernel,
                  std::shared_ptr<const fabric::FabricConfig> config);
@@ -81,6 +85,7 @@ class WclaDevice : public sim::OpbDevice {
   std::shared_ptr<const synth::HwKernel> kernel_;
   std::shared_ptr<const fabric::FabricConfig> config_;
   std::unique_ptr<KernelExecutor> executor_;
+  PackedOptions packed_options_;
   bool verify_ = false;
 
   KernelInvocation invocation_;

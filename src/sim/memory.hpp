@@ -63,6 +63,27 @@ class Memory {
     }
   }
 
+  /// Full word-wise snapshot, restorable with load_words(0, ...). Used by
+  /// engine-equivalence tests and benches to rerun a kernel on identical
+  /// starting data.
+  std::vector<std::uint32_t> snapshot_words() const {
+    std::vector<std::uint32_t> words(bytes_.size() / 4);
+    for (std::uint32_t addr = 0; addr + 4 <= bytes_.size(); addr += 4) {
+      words[addr / 4] = read32(addr);
+    }
+    return words;
+  }
+
+  /// FNV-1a hash over all whole words — a cheap equality fingerprint for
+  /// comparing final memory images across evaluation engines.
+  std::uint64_t checksum_words() const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint32_t addr = 0; addr + 4 <= bytes_.size(); addr += 4) {
+      h = (h ^ read32(addr)) * 1099511628211ull;
+    }
+    return h;
+  }
+
  private:
   void check(std::uint32_t addr, unsigned size) const {
     if (addr + size > bytes_.size()) {

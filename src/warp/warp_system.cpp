@@ -18,6 +18,7 @@ WarpSystem::WarpSystem(isa::Program program, DataInit init_data, WarpSystemConfi
       core_(instr_mem_, data_mem_, config.cpu),
       profiler_(config.profiler),
       wcla_(data_mem_, config.cpu.clock_mhz) {
+  wcla_.set_packed_options(config.packed);
   core_.add_device(&wcla_);
   core_.set_branch_hook([this](std::uint32_t pc, std::uint32_t target, bool taken) {
     profiler_.on_branch(pc, target, taken);

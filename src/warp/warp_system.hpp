@@ -42,6 +42,9 @@ struct WarpSystemConfig {
   isa::CpuConfig cpu;
   profiler::ProfilerConfig profiler;
   DpmOptions dpm;
+  /// Lane-block width of the WCLA simulator's packed engine (0 = auto).
+  /// A host-simulation knob only — it never changes simulated results.
+  hwsim::PackedOptions packed;
   std::size_t instr_mem_bytes = 1 << 16;
   std::size_t data_mem_bytes = 1 << 20;
   bool verify_hw = false;  // cross-check fabric vs. DFG on every HW write

@@ -9,8 +9,17 @@ const std::vector<Workload>& all_workloads() {
   return kAll;
 }
 
+const std::vector<Workload>& extended_workloads() {
+  static const std::vector<Workload> kAll = [] {
+    std::vector<Workload> all = all_workloads();
+    all.push_back(make_crc());
+    return all;
+  }();
+  return kAll;
+}
+
 const Workload& workload_by_name(const std::string& name) {
-  for (const auto& w : all_workloads()) {
+  for (const auto& w : extended_workloads()) {
     if (w.name == name) return w;
   }
   throw common::InternalError("unknown workload: " + name);

@@ -47,11 +47,19 @@ Workload make_canrdr();
 Workload make_bitmnp();
 Workload make_idct();
 Workload make_matmul();
+Workload make_crc();
 
 /// All six paper benchmarks, in Figure 6/7 order.
 const std::vector<Workload>& all_workloads();
 
-/// Lookup by name; throws InternalError if unknown.
+/// The paper benchmarks plus the post-paper coverage workloads (crc, which
+/// stresses the simulator's fabric-held-reduction and scalar-tail fallback
+/// paths). Figure drivers stay on all_workloads(); engine-coverage tests
+/// and the packed-eval microbenchmark use this list.
+const std::vector<Workload>& extended_workloads();
+
+/// Lookup by name over extended_workloads(); throws InternalError if
+/// unknown.
 const Workload& workload_by_name(const std::string& name);
 
 }  // namespace warp::workloads

@@ -26,6 +26,45 @@ TEST(BitUtil, Basics) {
   EXPECT_EQ(common::log2_ceil(9), 4u);
 }
 
+TEST(BitUtil, Transpose64RoundTrip) {
+  std::uint64_t m[64];
+  std::uint64_t seed = 0x1234;
+  auto rnd = [&] { return seed = seed * 6364136223846793005ull + 1442695040888963407ull; };
+  for (auto& row : m) row = rnd();
+  std::uint64_t orig[64];
+  std::copy(std::begin(m), std::end(m), std::begin(orig));
+  common::transpose64(m);
+  for (unsigned i = 0; i < 64; ++i) {
+    for (unsigned j = 0; j < 64; ++j) {
+      EXPECT_EQ((m[j] >> i) & 1u, (orig[i] >> j) & 1u) << i << "," << j;
+    }
+  }
+  common::transpose64(m);
+  for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(m[i], orig[i]);
+}
+
+TEST(BitUtil, BlockedTransposeMatchesReference) {
+  // transpose64_blocked: frame-major words in, contiguous per-bit lane
+  // blocks out; transpose64_unblocked inverts it exactly.
+  std::uint64_t seed = 0xBEEF;
+  auto rnd = [&] { return seed = seed * 6364136223846793005ull + 1442695040888963407ull; };
+  for (const unsigned w_words : {1u, 2u, 4u}) {
+    std::vector<std::uint64_t> m(64 * w_words);
+    for (auto& v : m) v = rnd();
+    const std::vector<std::uint64_t> frames = m;
+    common::transpose64_blocked(m.data(), w_words);
+    for (unsigned b = 0; b < 64; ++b) {
+      for (unsigned f = 0; f < 64 * w_words; ++f) {
+        const std::uint64_t lane_word = m[b * w_words + f / 64];
+        EXPECT_EQ((lane_word >> (f % 64)) & 1u, (frames[f] >> b) & 1u)
+            << "w=" << w_words << " bit " << b << " frame " << f;
+      }
+    }
+    common::transpose64_unblocked(m.data(), w_words);
+    EXPECT_EQ(m, frames) << w_words;
+  }
+}
+
 TEST(Strings, ParseInt) {
   long long v = 0;
   EXPECT_TRUE(common::parse_int("123", v));
@@ -113,10 +152,22 @@ TEST(Workloads, RegistryHasAllSixPaperBenchmarks) {
   EXPECT_THROW(workloads::workload_by_name("nope"), common::InternalError);
 }
 
+TEST(Workloads, ExtendedRegistryAddsCoverageKernels) {
+  // The extended list keeps the paper six in order and appends the
+  // post-paper coverage workloads; name lookup spans all of them.
+  const auto& extended = workloads::extended_workloads();
+  ASSERT_EQ(extended.size(), workloads::all_workloads().size() + 1);
+  for (std::size_t i = 0; i < workloads::all_workloads().size(); ++i) {
+    EXPECT_EQ(extended[i].name, workloads::all_workloads()[i].name);
+  }
+  EXPECT_EQ(extended.back().name, "crc");
+  EXPECT_EQ(workloads::workload_by_name("crc").name, "crc");
+}
+
 TEST(Workloads, CheckRejectsUntouchedMemory) {
   // The golden checkers must actually check something: fresh memory that
   // never ran the benchmark must fail.
-  for (const auto& w : workloads::all_workloads()) {
+  for (const auto& w : workloads::extended_workloads()) {
     sim::Memory mem(1 << 20);
     w.init(mem);
     EXPECT_FALSE(w.check(mem).is_ok()) << w.name;

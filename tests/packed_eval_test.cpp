@@ -43,8 +43,8 @@ synth::GateNetlist random_gate_netlist(common::Rng& rng, unsigned inputs, unsign
   return net;
 }
 
-/// Drive `frames` through both engines and require bit-exact agreement,
-/// 64 frames per packed pass.
+/// Drive `frames` through both engines and require bit-exact agreement at
+/// every supported lane-block width (64/128/256 frames per packed pass).
 void expect_engines_agree(const techmap::LutNetlist& netlist,
                           const std::vector<std::vector<bool>>& frames) {
   PackedEvaluator packed(netlist);
@@ -56,21 +56,29 @@ void expect_engines_agree(const techmap::LutNetlist& netlist,
     scalar_out[f] = netlist.evaluate_outputs(frames[f]);
   }
 
-  for (std::size_t block = 0; block < frames.size(); block += kPackedLanes) {
-    const std::size_t n = std::min<std::size_t>(kPackedLanes, frames.size() - block);
-    for (std::size_t i = 0; i < netlist.primary_inputs.size(); ++i) {
-      std::uint64_t lane = 0;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (frames[block + j][i]) lane |= 1ull << j;
+  for (const unsigned width : {1u, 2u, 4u}) {
+    packed.set_width(width);
+    ASSERT_EQ(packed.lanes(), width * kPackedWordBits);
+    const std::size_t block_lanes = packed.lanes();
+    for (std::size_t block = 0; block < frames.size(); block += block_lanes) {
+      const std::size_t n = std::min<std::size_t>(block_lanes, frames.size() - block);
+      for (std::size_t i = 0; i < netlist.primary_inputs.size(); ++i) {
+        for (unsigned w = 0; w < width; ++w) {
+          std::uint64_t lane = 0;
+          for (std::size_t j = 0; j < kPackedWordBits; ++j) {
+            const std::size_t f = block + w * kPackedWordBits + j;
+            if (f < frames.size() && frames[f][i]) lane |= 1ull << j;
+          }
+          packed.set_input(i, w, lane);
+        }
       }
-      packed.set_input(i, lane);
-    }
-    packed.run();
-    for (std::size_t o = 0; o < netlist.outputs.size(); ++o) {
-      const std::uint64_t lane = packed.output(o);
-      for (std::size_t j = 0; j < n; ++j) {
-        ASSERT_EQ(((lane >> j) & 1u) != 0, scalar_out[block + j][o])
-            << "output " << o << " frame " << block + j;
+      packed.run();
+      for (std::size_t o = 0; o < netlist.outputs.size(); ++o) {
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::uint64_t lane = packed.output(o, static_cast<unsigned>(j / kPackedWordBits));
+          ASSERT_EQ(((lane >> (j % kPackedWordBits)) & 1u) != 0, scalar_out[block + j][o])
+              << "width " << width << " output " << o << " frame " << block + j;
+        }
       }
     }
   }
@@ -205,6 +213,73 @@ TEST(PackedEval, PropertyRandomLutNetlists) {
   }
 }
 
+TEST(PackedEval, RejectsNonTopologicalLutArrays) {
+  // A LUT whose fanin references a later LUT would silently read stale
+  // lanes in a forward evaluation pass; the constructor must refuse it.
+  using techmap::NetRef;
+  techmap::LutNetlist netlist;
+  netlist.primary_inputs = {"a"};
+  techmap::Lut forward;  // reads LUT 1 before it is defined
+  forward.inputs = {NetRef{NetRef::Kind::kLut, 1}, NetRef{}, NetRef{}};
+  forward.num_inputs = 1;
+  forward.truth = 0x1;
+  netlist.luts.push_back(forward);
+  techmap::Lut inv;
+  inv.inputs = {NetRef{NetRef::Kind::kPrimaryInput, 0}, NetRef{}, NetRef{}};
+  inv.num_inputs = 1;
+  inv.truth = 0x1;
+  netlist.luts.push_back(inv);
+  netlist.outputs.push_back({"o", NetRef{NetRef::Kind::kLut, 0}});
+  EXPECT_THROW(PackedEvaluator{netlist}, common::InternalError);
+
+  // Out-of-range references are rejected too, not read out of bounds.
+  techmap::LutNetlist oob;
+  oob.primary_inputs = {"a"};
+  techmap::Lut bad;
+  bad.inputs = {NetRef{NetRef::Kind::kLut, 7}, NetRef{}, NetRef{}};
+  bad.num_inputs = 1;
+  bad.truth = 0x1;
+  oob.luts.push_back(bad);
+  oob.outputs.push_back({"o", NetRef{NetRef::Kind::kLut, 0}});
+  EXPECT_THROW(PackedEvaluator{oob}, common::InternalError);
+}
+
+TEST(PackedEval, ChooseWidthHeuristic) {
+  // Thin plans (wire-dominated kernels) are IO-bound: auto stays at one
+  // word regardless of trip. Plans with real logic widen with the trip,
+  // but never so wide that fewer than two full passes fit.
+  common::Rng rng(5);
+  auto small = techmap::techmap(random_gate_netlist(rng, 8, 40, 4));
+  ASSERT_TRUE(small.is_ok());
+  PackedEvaluator small_eval(small.value());
+  ASSERT_LT(small_eval.node_count(), 192u);
+  EXPECT_EQ(small_eval.choose_width(1u << 20), 1u);
+
+  // A netlist whose every LUT survives folding (3-input XOR chains).
+  using techmap::NetRef;
+  techmap::LutNetlist big;
+  big.primary_inputs = {"x0", "x1", "x2"};
+  for (int l = 0; l < 400; ++l) {
+    techmap::Lut lut;
+    lut.num_inputs = 3;
+    lut.truth = 0x96;  // 3-input XOR: never constant, never a wire
+    for (unsigned k = 0; k < 3; ++k) {
+      lut.inputs[k] = (l == 0) ? NetRef{NetRef::Kind::kPrimaryInput, static_cast<int>(k)}
+                               : NetRef{NetRef::Kind::kLut, l - 1 - static_cast<int>(k) % l};
+    }
+    big.luts.push_back(lut);
+  }
+  big.outputs.push_back({"o", NetRef{NetRef::Kind::kLut, 399}});
+  PackedEvaluator big_eval(big);
+  ASSERT_GE(big_eval.node_count(), 192u);
+  EXPECT_EQ(big_eval.choose_width(100), 1u);      // < 2 passes at W=2
+  EXPECT_EQ(big_eval.choose_width(300), 2u);      // 2 passes at W=2, not at W=4
+  EXPECT_EQ(big_eval.choose_width(1u << 20), 4u); // plenty of trip
+  for (const std::uint64_t trip : {0ull, 63ull, 512ull, 1ull << 30}) {
+    EXPECT_TRUE(PackedEvaluator::width_supported(big_eval.choose_width(trip))) << trip;
+  }
+}
+
 // ---- Full-kernel equivalence through the executor -------------------------
 
 struct Built {
@@ -302,6 +377,58 @@ TEST(PackedExecutor, MatchesScalarEngineOnKernelRun) {
   EXPECT_EQ(packed_result.value().wcla_cycles, scalar_result.value().wcla_cycles);
 }
 
+TEST(PackedExecutor, WidthSweepMatchesScalarEngine) {
+  // Pinned lane-block widths: every width must agree with the scalar
+  // engine bit-exactly and split the trip into blocks of width*64.
+  auto built = build_kernel(kTransform, "loop");
+  KernelInvocation invocation;
+  invocation.trip = 600;  // W=4: two 256-lane blocks + an 88-iteration tail
+  for (const auto& stream : built.ir.streams) {
+    invocation.stream_bases.push_back(stream.is_write ? 0x4000 : 0x1000);
+  }
+  invocation.acc_init.assign(built.ir.accumulators.size(), 0);
+  for (auto reg : built.ir.live_in_regs) invocation.live_in[reg] = 0;
+  invocation.live_in[2] = 0x1000;
+  invocation.live_in[3] = 0x4000;
+  invocation.live_in[4] = 600;
+
+  common::Rng rng(17);
+  std::vector<std::uint32_t> data(600);
+  for (auto& v : data) v = rng.next_u32();
+
+  sim::Memory mem_scalar(1 << 16);
+  for (unsigned i = 0; i < 600; ++i) mem_scalar.write32(0x1000 + 4 * i, data[i]);
+  KernelExecutor scalar_exec(*built.kernel, *built.config);
+  scalar_exec.set_engine(KernelExecutor::EvalEngine::kScalar);
+  auto scalar_result = scalar_exec.run(mem_scalar, invocation);
+  ASSERT_TRUE(scalar_result.is_ok()) << scalar_result.message();
+
+  for (const unsigned width : {1u, 2u, 4u}) {
+    sim::Memory mem(1 << 16);
+    for (unsigned i = 0; i < 600; ++i) mem.write32(0x1000 + 4 * i, data[i]);
+    KernelExecutor exec(*built.kernel, *built.config, hwsim::PackedOptions{width});
+    ASSERT_TRUE(exec.packed_supported());
+    auto result = exec.run(mem, invocation);
+    ASSERT_TRUE(result.is_ok()) << result.message();
+    const std::uint64_t block = std::uint64_t{width} * kPackedWordBits;
+    EXPECT_EQ(result.value().packed_iterations, (600 / block) * block) << width;
+    EXPECT_EQ(result.value().packed_width, width);
+    EXPECT_EQ(result.value().scalar_iterations, 600 % block) << width;
+    for (unsigned i = 0; i < 600; ++i) {
+      ASSERT_EQ(mem.read32(0x4000 + 4 * i), mem_scalar.read32(0x4000 + 4 * i))
+          << "width " << width << " word " << i;
+    }
+    EXPECT_EQ(result.value().acc_final, scalar_result.value().acc_final);
+    EXPECT_EQ(result.value().wcla_cycles, scalar_result.value().wcla_cycles);
+  }
+
+  // set_packed_options re-pins on a live executor and validates its input.
+  KernelExecutor exec(*built.kernel, *built.config);
+  EXPECT_THROW(exec.set_packed_options(hwsim::PackedOptions{3}), common::InternalError);
+  EXPECT_THROW((KernelExecutor{*built.kernel, *built.config, hwsim::PackedOptions{8}}),
+               common::InternalError);
+}
+
 TEST(PackedExecutor, InPlaceTransformStaysPacked) {
   // Read and write the same array in place: the hazard analysis must prove
   // the block-batched engine safe (same address read-then-written within
@@ -365,26 +492,35 @@ TEST(PackedExecutor, SubElementStrideFallsBackToScalar) {
   invocation.live_in[2] = 0x1000;
   invocation.live_in[4] = 150;
 
-  sim::Memory mem_auto(1 << 16);
   sim::Memory mem_scalar(1 << 16);
-  common::Rng rng(9);
+  common::Rng seed_rng(9);
   for (unsigned i = 0; i < 200; ++i) {
-    const std::uint32_t v = rng.next_u32();
-    mem_auto.write32(0x1000 + 4 * i, v);
-    mem_scalar.write32(0x1000 + 4 * i, v);
+    mem_scalar.write32(0x1000 + 4 * i, seed_rng.next_u32());
   }
-
-  KernelExecutor auto_exec(*built.kernel, *built.config);
-  auto auto_result = auto_exec.run(mem_auto, invocation);
-  ASSERT_TRUE(auto_result.is_ok()) << auto_result.message();
-  EXPECT_EQ(auto_result.value().packed_iterations, 0u);  // hazard: stays scalar
 
   KernelExecutor scalar_exec(*built.kernel, *built.config);
   scalar_exec.set_engine(KernelExecutor::EvalEngine::kScalar);
   auto scalar_result = scalar_exec.run(mem_scalar, invocation);
   ASSERT_TRUE(scalar_result.is_ok()) << scalar_result.message();
-  for (unsigned i = 0; i < 200; ++i) {
-    ASSERT_EQ(mem_auto.read32(0x1000 + 4 * i), mem_scalar.read32(0x1000 + 4 * i)) << i;
+
+  // The hazard must hold at auto and at every pinned width: the write of
+  // iteration i partially overlaps the read of i+1 no matter how wide the
+  // block is.
+  for (const unsigned width : {0u, 1u, 2u, 4u}) {
+    // Fresh copy of the original data (the scalar run transformed its own
+    // copy in place).
+    sim::Memory mem_auto(1 << 16);
+    common::Rng rng(9);
+    for (unsigned i = 0; i < 200; ++i) mem_auto.write32(0x1000 + 4 * i, rng.next_u32());
+    KernelExecutor exec(*built.kernel, *built.config, hwsim::PackedOptions{width});
+    auto result = exec.run(mem_auto, invocation);
+    ASSERT_TRUE(result.is_ok()) << result.message();
+    EXPECT_EQ(result.value().packed_iterations, 0u) << width;  // hazard: stays scalar
+    EXPECT_EQ(result.value().packed_width, 0u) << width;
+    for (unsigned i = 0; i < 200; ++i) {
+      ASSERT_EQ(mem_auto.read32(0x1000 + 4 * i), mem_scalar.read32(0x1000 + 4 * i))
+          << "width " << width << " word " << i;
+    }
   }
 }
 
@@ -397,6 +533,53 @@ TEST(PackedExecutor, HarnessBenchmarksStayGolden) {
   for (const auto& result : results) {
     EXPECT_TRUE(result.ok) << result.name << ": " << result.error;
     EXPECT_TRUE(result.warped) << result.name << ": " << result.warp_detail;
+  }
+}
+
+TEST(PackedExecutor, AllWorkloadsBitExactAtEveryWidth) {
+  // Acceptance gate for the lane-block engine: every registered workload
+  // (the six paper kernels plus crc) is run through the full warp flow,
+  // then its captured invocation is re-executed at every pinned width and
+  // in auto mode and compared word-for-word against the scalar reference.
+  // Feedback kernels (canrdr, idct, crc) must fall back to the scalar
+  // engine at every width and still match.
+  for (const auto& workload : workloads::extended_workloads()) {
+    // Full flow with the trip stretched (within the data BRAM, keeping
+    // packed eligibility) so wide blocks actually engage on
+    // packed-capable kernels.
+    auto flowed =
+        experiments::flow_workload(workload, experiments::default_options(), 2048);
+    ASSERT_TRUE(flowed.is_ok()) << flowed.message();
+    KernelExecutor* exec = flowed.value().system->wcla().executor();
+    sim::Memory& mem = flowed.value().system->data_mem();
+    const KernelInvocation& invocation = flowed.value().invocation;
+
+    const std::vector<std::uint32_t> snapshot = mem.snapshot_words();
+    exec->set_engine(KernelExecutor::EvalEngine::kScalar);
+    auto scalar_result = exec->run(mem, invocation);
+    ASSERT_TRUE(scalar_result.is_ok()) << workload.name;
+    const std::uint64_t scalar_sum = mem.checksum_words();
+    exec->set_engine(KernelExecutor::EvalEngine::kAuto);
+
+    for (const unsigned width : {0u, 1u, 2u, 4u}) {
+      mem.load_words(0, snapshot);
+      exec->set_packed_options(hwsim::PackedOptions{width});
+      auto result = exec->run(mem, invocation);
+      ASSERT_TRUE(result.is_ok()) << workload.name << " width " << width;
+      EXPECT_EQ(mem.checksum_words(), scalar_sum) << workload.name << " width " << width;
+      EXPECT_EQ(result.value().acc_final, scalar_result.value().acc_final)
+          << workload.name << " width " << width;
+      if (!exec->packed_supported()) {
+        EXPECT_EQ(result.value().packed_iterations, 0u)
+            << workload.name << " must stay on the scalar fallback";
+      } else if (width != 0 && invocation.trip >= 2 * width * kPackedWordBits) {
+        EXPECT_GT(result.value().packed_iterations, 0u)
+            << workload.name << " width " << width;
+      } else if (width == 0 && invocation.trip >= 2 * kPackedWordBits) {
+        // The default auto mode must engage too, not silently fall back.
+        EXPECT_GT(result.value().packed_iterations, 0u) << workload.name << " auto";
+      }
+    }
   }
 }
 

@@ -27,7 +27,8 @@ TEST_P(BenchmarkWarpTest, WarpsAndStaysBitExact) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchmarkWarpTest,
-                         ::testing::Values("brev", "g3fax", "canrdr", "bitmnp", "matmul"));
+                         ::testing::Values("brev", "g3fax", "canrdr", "bitmnp", "matmul",
+                                           "crc"));
 
 // idct is the heaviest CAD job; keep it in its own test so timing is visible.
 TEST(BenchmarkWarp, IdctWarpsAndStaysBitExact) {
