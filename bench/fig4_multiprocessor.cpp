@@ -5,25 +5,38 @@
 // (Section 3). This bench first reproduces the six-processor table (per
 // processor: software/warped times and how long it waited for the shared
 // DPM — the cost of sharing), then scales the experiment to 16/32/64
-// replicated kernel mixes and measures the *simulator's* wall clock: the
-// serial reference engine vs. the threaded engine (worker threads per
-// system, one DPM scheduler thread popping jobs in virtual-time order).
-// Both engines must produce bit-identical MultiWarpEntry tables — the
-// virtual-time queue, not host scheduling, defines all reported numbers.
+// replicated kernel mixes and measures the *simulator's* wall clock three
+// ways: the serial reference engine, the threaded engine (worker threads
+// per system, one DPM scheduler thread popping jobs in virtual-time order),
+// and the threaded engine with the shared content-addressed artifact cache
+// (partition/cache.hpp), under which the partitioning stages run once per
+// *unique* kernel instead of once per system. All engines must produce
+// bit-identical MultiWarpEntry tables — the virtual-time queue and the
+// deterministic cache-hit cost model, not host scheduling, define every
+// reported number.
 //
-// Emits BENCH_fig4.json in the working directory. Exits nonzero if any
-// parallel run deviates from the serial reference. Speedups are reported,
-// not gated: they depend on the host's core count (a single-core host shows
-// ~1x; the >= 3x target applies to multi-core hosts).
+// Emits BENCH_fig4.json in the working directory (including per-stage
+// cache-hit counters for the largest scale). Exits nonzero if any run
+// deviates from the serial cache-off reference. Speedups are reported, not
+// gated: they depend on the host's core count.
+//
+// --check: fast CI gate. Runs a 12-system mix (two replicas per kernel)
+// through serial/parallel x cache-off/cold/warm and the FIFO/priority
+// queue policies, verifies bit-identity everywhere and that cached stages
+// ran once per unique kernel; writes no JSON.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <thread>
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "experiments/harness.hpp"
+#include "partition/cache.hpp"
+#include "partition/pipeline.hpp"
 
 namespace {
 
@@ -35,6 +48,13 @@ std::vector<std::string> replicated_mix(std::size_t n) {
   std::vector<std::string> mix;
   for (std::size_t i = 0; i < n; ++i) mix.push_back(base[i % base.size()]);
   return mix;
+}
+
+std::size_t unique_kernel_count(const std::vector<std::string>& mix) {
+  std::vector<std::string> sorted = mix;
+  std::sort(sorted.begin(), sorted.end());
+  return static_cast<std::size_t>(
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
 }
 
 struct TimedRun {
@@ -63,14 +83,112 @@ struct ScalePoint {
   std::size_t systems = 0;
   double serial_ms = 0.0;
   double parallel_ms = 0.0;
+  double cached_ms = 0.0;   // parallel + fresh shared artifact cache
   double speedup = 0.0;
+  double cached_speedup = 0.0;
   bool identical = false;
+  bool cached_identical = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
+
+// --- --check: the CI cache-determinism gate --------------------------------
+
+int run_check() {
+  const auto mix = replicated_mix(12);  // two replicas of each kernel
+  const std::size_t unique = unique_kernel_count(mix);
+
+  warpsys::MultiWarpOptions serial_off;
+  serial_off.parallel = false;
+  const auto reference = timed_run(mix, serial_off).entries;
+
+  bool ok = true;
+  auto expect_same = [&](const char* label,
+                         const std::vector<warpsys::MultiWarpEntry>& got,
+                         const std::vector<warpsys::MultiWarpEntry>& want) {
+    const bool same = got == want;
+    std::printf("  %-32s %s\n", label, same ? "bit-identical" : "DEVIATES");
+    if (!same) ok = false;
+  };
+
+  std::printf("fig4 --check: 12-system mix, %zu unique kernels\n", unique);
+
+  warpsys::MultiWarpOptions parallel_off;
+  expect_same("parallel, cache off", timed_run(mix, parallel_off).entries, reference);
+
+  partition::ArtifactCache cache;
+  warpsys::MultiWarpOptions serial_on = serial_off;
+  serial_on.cache = &cache;
+  expect_same("serial, cold cache", timed_run(mix, serial_on).entries, reference);
+  expect_same("serial, warm cache", timed_run(mix, serial_on).entries, reference);
+
+  warpsys::MultiWarpOptions parallel_on;
+  parallel_on.cache = &cache;
+  expect_same("parallel, warm cache", timed_run(mix, parallel_on).entries, reference);
+
+  // Opt-in queue policies: cached parallel must match the cache-off serial
+  // reference *per policy*.
+  {
+    warpsys::MultiWarpOptions fifo_serial;
+    fifo_serial.parallel = false;
+    fifo_serial.policy = warpsys::DpmQueuePolicy::kFifo;
+    const auto fifo_reference = timed_run(mix, fifo_serial).entries;
+    partition::ArtifactCache fifo_cache;
+    warpsys::MultiWarpOptions fifo_parallel;
+    fifo_parallel.policy = warpsys::DpmQueuePolicy::kFifo;
+    fifo_parallel.cache = &fifo_cache;
+    expect_same("fifo parallel, cold cache", timed_run(mix, fifo_parallel).entries,
+                fifo_reference);
+  }
+  {
+    warpsys::MultiWarpOptions prio_serial;
+    prio_serial.parallel = false;
+    prio_serial.policy = warpsys::DpmQueuePolicy::kPriority;
+    prio_serial.priorities = {0, 7, 3, 1, 9, 2, 5, 4, 8, 6, 11, 10};
+    const auto prio_reference = timed_run(mix, prio_serial).entries;
+    partition::ArtifactCache prio_cache;
+    warpsys::MultiWarpOptions prio_parallel = prio_serial;
+    prio_parallel.parallel = true;
+    prio_parallel.cache = &prio_cache;
+    expect_same("priority parallel, cold cache", timed_run(mix, prio_parallel).entries,
+                prio_reference);
+  }
+
+  // Once per unique kernel: over three cached runs of 12 systems each, the
+  // frontend must have computed exactly `unique` times, and every stage's
+  // misses can only be its own unique inputs (hits must dominate).
+  const auto stats = cache.stats();
+  std::uint64_t hits = 0;
+  for (const auto& [stage, s] : stats) hits += s.hits;
+  const auto frontend = stats.find(partition::kStageFrontend);
+  if (frontend == stats.end() || frontend->second.misses != unique) {
+    std::printf("  FAIL: frontend computed %llu times, want once per unique kernel (%zu)\n",
+                frontend == stats.end()
+                    ? 0ull
+                    : static_cast<unsigned long long>(frontend->second.misses),
+                unique);
+    ok = false;
+  }
+  if (hits == 0) {
+    std::printf("  FAIL: shared cache saw no hits across replicated systems\n");
+    ok = false;
+  }
+  for (const auto& [stage, s] : stats) {
+    std::printf("  cache %-10s lookups=%-4llu hits=%-4llu misses=%llu\n", stage.c_str(),
+                static_cast<unsigned long long>(s.lookups),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.misses));
+  }
+
+  std::printf("fig4 --check: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t max_systems = 64;
+  bool check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--max-systems") == 0 && i + 1 < argc) {
       char* end = nullptr;
@@ -82,12 +200,16 @@ int main(int argc, char** argv) {
         return 1;
       }
       max_systems = static_cast<std::size_t>(value);
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
     } else {
-      std::fprintf(stderr, "unknown argument '%s' (supported: --max-systems N)\n",
+      std::fprintf(stderr,
+                   "unknown argument '%s' (supported: --max-systems N, --check)\n",
                    argv[i]);
       return 1;
     }
   }
+  if (check) return run_check();
 
   // --- The paper's six-processor experiment (round robin). ---------------
   const auto mix6 = replicated_mix(6);
@@ -135,9 +257,10 @@ int main(int argc, char** argv) {
               "waits are queueing delay after the request; parallel == serial: %s):\n\n%s\n",
               fifo_identical ? "yes" : "NO", fifo_table.to_string().c_str());
 
-  // --- Host scale-out: serial vs. threaded engine. -----------------------
+  // --- Host scale-out: serial vs. threaded vs. threaded + artifact cache. --
   const unsigned host_threads = std::thread::hardware_concurrency();
   std::vector<ScalePoint> points;
+  std::map<std::string, partition::StageCacheStats> last_stage_stats;
   bool all_identical = true;
   for (const std::size_t n : {std::size_t{6}, std::size_t{16}, std::size_t{32},
                               std::size_t{64}}) {
@@ -146,27 +269,44 @@ int main(int argc, char** argv) {
     const auto serial = timed_run(mix, serial_options);
     warpsys::MultiWarpOptions parallel_options;  // defaults: parallel round robin
     const auto parallel = timed_run(mix, parallel_options);
+    partition::ArtifactCache cache;  // cold per scale point
+    warpsys::MultiWarpOptions cached_options;
+    cached_options.cache = &cache;
+    const auto cached = timed_run(mix, cached_options);
 
     ScalePoint point;
     point.systems = n;
     point.serial_ms = serial.ms;
     point.parallel_ms = parallel.ms;
+    point.cached_ms = cached.ms;
     point.speedup = serial.ms / parallel.ms;
+    point.cached_speedup = serial.ms / cached.ms;
     point.identical = serial.entries == parallel.entries;
-    all_identical = all_identical && point.identical;
+    point.cached_identical = serial.entries == cached.entries;
+    const auto stats = cache.stats();
+    for (const auto& [stage, s] : stats) {
+      point.cache_hits += s.hits;
+      point.cache_misses += s.misses;
+    }
+    last_stage_stats = stats;
+    all_identical = all_identical && point.identical && point.cached_identical;
     points.push_back(point);
   }
 
-  common::Table scale_table({"Systems", "Serial (ms)", "Parallel (ms)", "Host speedup",
+  common::Table scale_table({"Systems", "Serial (ms)", "Parallel (ms)", "Cached (ms)",
+                             "Host speedup", "Cached speedup", "Hits", "Misses",
                              "Bit-identical"});
   for (const auto& p : points) {
-    scale_table.add_row({common::format("%zu", p.systems),
-                         common::format("%.0f", p.serial_ms),
-                         common::format("%.0f", p.parallel_ms),
-                         common::format("%.2fx", p.speedup),
-                         p.identical ? "yes" : "NO"});
+    scale_table.add_row(
+        {common::format("%zu", p.systems), common::format("%.0f", p.serial_ms),
+         common::format("%.0f", p.parallel_ms), common::format("%.0f", p.cached_ms),
+         common::format("%.2fx", p.speedup), common::format("%.2fx", p.cached_speedup),
+         common::format("%llu", static_cast<unsigned long long>(p.cache_hits)),
+         common::format("%llu", static_cast<unsigned long long>(p.cache_misses)),
+         (p.identical && p.cached_identical) ? "yes" : "NO"});
   }
-  std::printf("Host scale-out (%u hardware threads): serial vs. threaded engine\n\n%s\n",
+  std::printf("Host scale-out (%u hardware threads): serial vs. threaded vs. threaded +\n"
+              "shared artifact cache (partitioning stages once per unique kernel)\n\n%s\n",
               host_threads, scale_table.to_string().c_str());
 
   FILE* json = std::fopen("BENCH_fig4.json", "w");
@@ -182,16 +322,35 @@ int main(int argc, char** argv) {
     const auto& p = points[i];
     std::fprintf(json,
                  "    {\"systems\": %zu, \"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
-                 "\"host_speedup\": %.3f, \"bit_identical\": %s}%s\n",
-                 p.systems, p.serial_ms, p.parallel_ms, p.speedup,
-                 p.identical ? "true" : "false", i + 1 < points.size() ? "," : "");
+                 "\"cached_parallel_ms\": %.2f, \"host_speedup\": %.3f, "
+                 "\"cached_speedup\": %.3f, \"cache_hits\": %llu, "
+                 "\"cache_misses\": %llu, \"bit_identical\": %s, "
+                 "\"cache_bit_identical\": %s}%s\n",
+                 p.systems, p.serial_ms, p.parallel_ms, p.cached_ms, p.speedup,
+                 p.cached_speedup, static_cast<unsigned long long>(p.cache_hits),
+                 static_cast<unsigned long long>(p.cache_misses),
+                 p.identical ? "true" : "false", p.cached_identical ? "true" : "false",
+                 i + 1 < points.size() ? "," : "");
   }
-  std::fprintf(json, "  ]\n}\n");
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"cache_stages_at_max_scale\": {\n");
+  {
+    std::size_t emitted = 0;
+    for (const auto& [stage, s] : last_stage_stats) {
+      std::fprintf(json,
+                   "    \"%s\": {\"lookups\": %llu, \"hits\": %llu, \"misses\": %llu}%s\n",
+                   stage.c_str(), static_cast<unsigned long long>(s.lookups),
+                   static_cast<unsigned long long>(s.hits),
+                   static_cast<unsigned long long>(s.misses),
+                   ++emitted < last_stage_stats.size() ? "," : "");
+    }
+  }
+  std::fprintf(json, "  }\n}\n");
   std::fclose(json);
   std::printf("wrote BENCH_fig4.json\n");
 
   if (!all_identical || !fifo_identical) {
-    std::fprintf(stderr, "FAIL: parallel engine deviated from the serial reference\n");
+    std::fprintf(stderr, "FAIL: an engine deviated from the serial reference\n");
     return 1;
   }
   return 0;

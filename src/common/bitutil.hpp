@@ -6,6 +6,13 @@
 #include <cstdint>
 #include <bit>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace warp::common {
 
 /// Extract bits [lo, lo+width) of `value` (width <= 32).
@@ -59,7 +66,12 @@ constexpr unsigned popcount32(std::uint32_t v) { return static_cast<unsigned>(st
 /// original m[i] bit j. Used by the packed netlist evaluator to move
 /// between word-per-iteration and lane-per-bit layouts in O(64 log 64)
 /// word operations instead of one shift/mask pair per bit.
-inline void transpose64(std::uint64_t m[64]) {
+///
+/// This is the portable scalar reference; transpose64() below dispatches to
+/// the SIMD butterfly stages where the target has them (SSE2 on any x86-64
+/// build, AVX2 under -DWARP_NATIVE=ON) and is validated against this
+/// implementation by tests/bitutil_test.cpp.
+inline void transpose64_scalar(std::uint64_t m[64]) {
   std::uint64_t mask = 0x00000000FFFFFFFFull;
   for (unsigned j = 32; j; j >>= 1, mask ^= mask << j) {
     for (unsigned k = 0; k < 64; k = ((k | j) + 1) & ~j) {
@@ -70,9 +82,160 @@ inline void transpose64(std::uint64_t m[64]) {
   }
 }
 
+#if defined(__SSE2__)
+namespace detail {
+
+// One butterfly stage of the 64x64 transpose at distance J >= 2: exchange
+// masked halves between m[k] and m[k|J] for every k with bit J clear. The
+// k values come in runs of J consecutive indices, so vector lanes can walk
+// them contiguously (two at a time in 128-bit registers).
+template <unsigned J>
+inline void transpose64_stage_sse2(std::uint64_t* m, std::uint64_t mask) {
+  static_assert(J >= 2 && J <= 32);
+  const __m128i vmask = _mm_set1_epi64x(static_cast<long long>(mask));
+  for (unsigned base = 0; base < 64; base += 2 * J) {
+    for (unsigned k = base; k < base + J; k += 2) {
+      __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(m + k));
+      __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(m + k + J));
+      const __m128i t =
+          _mm_and_si128(_mm_xor_si128(_mm_srli_epi64(a, J), b), vmask);
+      a = _mm_xor_si128(a, _mm_slli_epi64(t, J));
+      b = _mm_xor_si128(b, t);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(m + k), a);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(m + k + J), b);
+    }
+  }
+}
+
+// The J == 1 stage pairs adjacent words, so the butterfly runs *within* a
+// 128-bit register's two lanes: unpack four words into (even, odd) vectors,
+// exchange, and re-interleave.
+inline void transpose64_stage1_sse2(std::uint64_t* m) {
+  const __m128i vmask = _mm_set1_epi64x(0x5555555555555555ll);
+  for (unsigned k = 0; k < 64; k += 4) {
+    const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(m + k));
+    const __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(m + k + 2));
+    __m128i a = _mm_unpacklo_epi64(v0, v1);  // m[k],   m[k+2]
+    __m128i b = _mm_unpackhi_epi64(v0, v1);  // m[k+1], m[k+3]
+    const __m128i t = _mm_and_si128(_mm_xor_si128(_mm_srli_epi64(a, 1), b), vmask);
+    a = _mm_xor_si128(a, _mm_slli_epi64(t, 1));
+    b = _mm_xor_si128(b, t);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(m + k), _mm_unpacklo_epi64(a, b));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(m + k + 2), _mm_unpackhi_epi64(a, b));
+  }
+}
+
+#if defined(__AVX2__)
+// Four butterflies per iteration for stage distances J >= 4.
+template <unsigned J>
+inline void transpose64_stage_avx2(std::uint64_t* m, std::uint64_t mask) {
+  static_assert(J >= 4 && J <= 32);
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(mask));
+  for (unsigned base = 0; base < 64; base += 2 * J) {
+    for (unsigned k = base; k < base + J; k += 4) {
+      __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + k));
+      __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(m + k + J));
+      const __m256i t =
+          _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64(a, J), b), vmask);
+      a = _mm256_xor_si256(a, _mm256_slli_epi64(t, J));
+      b = _mm256_xor_si256(b, t);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(m + k), a);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(m + k + J), b);
+    }
+  }
+}
+#endif  // __AVX2__
+
+}  // namespace detail
+
+inline void transpose64(std::uint64_t m[64]) {
+#if defined(__AVX2__)
+  detail::transpose64_stage_avx2<32>(m, 0x00000000FFFFFFFFull);
+  detail::transpose64_stage_avx2<16>(m, 0x0000FFFF0000FFFFull);
+  detail::transpose64_stage_avx2<8>(m, 0x00FF00FF00FF00FFull);
+  detail::transpose64_stage_avx2<4>(m, 0x0F0F0F0F0F0F0F0Full);
+#else
+  detail::transpose64_stage_sse2<32>(m, 0x00000000FFFFFFFFull);
+  detail::transpose64_stage_sse2<16>(m, 0x0000FFFF0000FFFFull);
+  detail::transpose64_stage_sse2<8>(m, 0x00FF00FF00FF00FFull);
+  detail::transpose64_stage_sse2<4>(m, 0x0F0F0F0F0F0F0F0Full);
+#endif
+  detail::transpose64_stage_sse2<2>(m, 0x3333333333333333ull);
+  detail::transpose64_stage1_sse2(m);
+}
+#else   // !__SSE2__
+inline void transpose64(std::uint64_t m[64]) { transpose64_scalar(m); }
+#endif  // __SSE2__
+
 /// Upper bound on the `w_words` parameter of the blocked transposes below
 /// (sizes their stack scratch; the packed evaluator's widest block is 4).
 inline constexpr unsigned kMaxTransposeBlocks = 8;
+
+#if defined(__SSE2__)
+namespace detail {
+
+// Interleave w in {2, 4} transposed 64-word groups into plane-major lane
+// blocks: out[b*w + g] = in[64*g + b]. The pattern is a pure 64-bit-lane
+// shuffle, so SSE2 unpacks do two output words per instruction.
+inline void interleave_planes_sse2(const std::uint64_t* in, std::uint64_t* out,
+                                   unsigned w_words) {
+  if (w_words == 2) {
+    for (unsigned b = 0; b < 64; b += 2) {
+      const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + b));
+      const __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 64 + b));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * b),
+                       _mm_unpacklo_epi64(v0, v1));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * b + 2),
+                       _mm_unpackhi_epi64(v0, v1));
+    }
+    return;
+  }
+  for (unsigned b = 0; b < 64; b += 2) {
+    const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + b));
+    const __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 64 + b));
+    const __m128i v2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 128 + b));
+    const __m128i v3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 192 + b));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * b),
+                     _mm_unpacklo_epi64(v0, v1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * b + 2),
+                     _mm_unpacklo_epi64(v2, v3));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * b + 4),
+                     _mm_unpackhi_epi64(v0, v1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 4 * b + 6),
+                     _mm_unpackhi_epi64(v2, v3));
+  }
+}
+
+// Inverse shuffle: out[64*g + b] = in[b*w + g] for w in {2, 4}.
+inline void deinterleave_planes_sse2(const std::uint64_t* in, std::uint64_t* out,
+                                     unsigned w_words) {
+  if (w_words == 2) {
+    for (unsigned b = 0; b < 64; b += 2) {
+      const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 2 * b));
+      const __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 2 * b + 2));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + b), _mm_unpacklo_epi64(v0, v1));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 64 + b),
+                       _mm_unpackhi_epi64(v0, v1));
+    }
+    return;
+  }
+  for (unsigned b = 0; b < 64; b += 2) {
+    const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * b));
+    const __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * b + 2));
+    const __m128i v2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * b + 4));
+    const __m128i v3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * b + 6));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + b), _mm_unpacklo_epi64(v0, v2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 64 + b),
+                     _mm_unpackhi_epi64(v0, v2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 128 + b),
+                     _mm_unpacklo_epi64(v1, v3));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 192 + b),
+                     _mm_unpackhi_epi64(v1, v3));
+  }
+}
+
+}  // namespace detail
+#endif  // __SSE2__
 
 /// Blocked transpose for lane blocks wider than one word. `m` holds
 /// `w_words * 64` words in frame-major order (m[f] is the data word of
@@ -80,6 +243,10 @@ inline constexpr unsigned kMaxTransposeBlocks = 8;
 /// block m[b*w_words .. b*w_words+w_words), and bit j of block word g is
 /// bit b of original frame g*64+j — i.e. each bit owns one contiguous
 /// lane block of w_words words. w_words == 1 is exactly transpose64.
+///
+/// Both the per-group 64x64 transposes and (for the packed evaluator's
+/// w_words in {2, 4}) the plane interleave run vectorized; the scalar
+/// reference below is kept for the other widths and for validation.
 inline void transpose64_blocked(std::uint64_t* m, unsigned w_words) {
   assert(w_words >= 1 && w_words <= kMaxTransposeBlocks);
   if (w_words == 1) {
@@ -87,8 +254,15 @@ inline void transpose64_blocked(std::uint64_t* m, unsigned w_words) {
     return;
   }
   std::uint64_t planes[kMaxTransposeBlocks * 64];
+  for (unsigned g = 0; g < w_words; ++g) transpose64(m + 64 * g);
+#if defined(__SSE2__)
+  if (w_words == 2 || w_words == 4) {
+    detail::interleave_planes_sse2(m, planes, w_words);
+    std::copy(planes, planes + 64 * w_words, m);
+    return;
+  }
+#endif
   for (unsigned g = 0; g < w_words; ++g) {
-    transpose64(m + 64 * g);
     for (unsigned b = 0; b < 64; ++b) planes[b * w_words + g] = m[64 * g + b];
   }
   std::copy(planes, planes + 64 * w_words, m);
@@ -103,6 +277,14 @@ inline void transpose64_unblocked(std::uint64_t* m, unsigned w_words) {
     return;
   }
   std::uint64_t frames[kMaxTransposeBlocks * 64];
+#if defined(__SSE2__)
+  if (w_words == 2 || w_words == 4) {
+    detail::deinterleave_planes_sse2(m, frames, w_words);
+    for (unsigned g = 0; g < w_words; ++g) transpose64(frames + 64 * g);
+    std::copy(frames, frames + 64 * w_words, m);
+    return;
+  }
+#endif
   for (unsigned g = 0; g < w_words; ++g) {
     for (unsigned b = 0; b < 64; ++b) frames[64 * g + b] = m[b * w_words + g];
     transpose64(frames + 64 * g);

@@ -1,0 +1,104 @@
+// Content hashing for CAD artifacts.
+//
+// The staged partition pipeline (src/partition/) keys its artifact cache on
+// *content* hashes of stage inputs: two artifacts hash equal iff the fields
+// that determine downstream tool behavior are equal — never because they
+// happen to share pointers, allocation history, or container iteration
+// order. Hashing is therefore explicit per field (no memcpy of structs, no
+// padding bytes) and canonicalizing call sites sort order-insensitive
+// collections (output ports by name, cover cubes by value) before feeding
+// the hasher.
+//
+// The digest is 128 bits built from two independent FNV-1a-64 lanes with a
+// splitmix finalizer — not cryptographic, but wide enough that accidental
+// collisions between the handful of artifacts a simulation produces are not
+// a practical concern.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace warp::common {
+
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest&) const = default;
+
+  /// Stable hex rendering ("hhhhhhhhhhhhhhhh:llllllllllllllll").
+  std::string to_string() const {
+    static constexpr char kHex[] = "0123456789abcdef";
+    char buf[33];
+    for (unsigned i = 0; i < 16; ++i) {
+      buf[15 - i] = kHex[(hi >> (4 * i)) & 0xF];
+      buf[32 - i] = kHex[(lo >> (4 * i)) & 0xF];
+    }
+    buf[16] = ':';
+    return std::string(buf, 33);
+  }
+};
+
+/// Incremental field-by-field hasher. Every integral field is widened to 8
+/// bytes before mixing so the digest is independent of the field's declared
+/// width, and floating-point fields are mixed by bit pattern (the pipeline
+/// only ever hashes doubles that are themselves deterministic).
+class Hasher {
+ public:
+  Hasher() = default;
+
+  Hasher& u64(std::uint64_t v) {
+    mix(v);
+    return *this;
+  }
+  Hasher& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Hasher& u32(std::uint32_t v) { return u64(v); }
+  Hasher& i32(std::int32_t v) { return i64(v); }
+  Hasher& boolean(bool v) { return u64(v ? 1 : 0); }
+  Hasher& f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+  Hasher& str(std::string_view s) {
+    u64(s.size());
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+    return *this;
+  }
+  Hasher& digest(const Digest& d) { return u64(d.hi).u64(d.lo); }
+
+  Digest finish() const {
+    // splitmix64-style avalanche so short inputs still spread over all bits.
+    return {avalanche(a_ ^ 0x9E3779B97F4A7C15ull), avalanche(b_ ^ 0xC2B2AE3D27D4EB4Full)};
+  }
+
+ private:
+  static constexpr std::uint64_t kPrimeA = 0x100000001B3ull;       // FNV-1a 64 prime
+  static constexpr std::uint64_t kPrimeB = 0x9E3779B97F4A7C15ull;  // odd (golden ratio)
+
+  void mix(std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+  }
+  void mix_byte(unsigned char c) {
+    a_ = (a_ ^ c) * kPrimeA;
+    b_ = (b_ ^ c) * kPrimeB;
+  }
+  static std::uint64_t avalanche(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  std::uint64_t a_ = 0xCBF29CE484222325ull;  // FNV-1a 64 offset basis
+  std::uint64_t b_ = 0x84222325CBF29CE4ull;
+};
+
+}  // namespace warp::common

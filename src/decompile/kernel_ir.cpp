@@ -347,4 +347,36 @@ std::string KernelIR::to_string() const {
   return os.str();
 }
 
+common::Digest content_hash(const KernelIR& ir) {
+  common::Hasher h;
+  h.u64(ir.dfg.size());
+  for (const DfgNode& n : ir.dfg.nodes()) {
+    h.u32(static_cast<std::uint32_t>(n.op)).i32(n.a).i32(n.b).i32(n.c).u32(n.value);
+  }
+  h.u64(ir.streams.size());
+  for (const Stream& s : ir.streams) {
+    h.u64(s.base_terms.size());
+    for (const StreamBaseTerm& t : s.base_terms) h.u32(t.reg).i32(t.coeff);
+    h.i32(s.base_offset).u32(s.elem_bytes).i32(s.stride_bytes).u32(s.burst);
+    h.i32(s.tap_stride_bytes).boolean(s.is_write);
+  }
+  h.u64(ir.writes.size());
+  for (const StreamWrite& w : ir.writes) h.u32(w.stream).u32(w.tap).i32(w.node);
+  h.u64(ir.accumulators.size());
+  for (const Accumulator& a : ir.accumulators) {
+    h.u32(a.reg).u32(static_cast<std::uint32_t>(a.op)).i32(a.node).u32(a.init_from_reg);
+  }
+  h.u64(ir.iv_finals.size());
+  for (const IvFinal& f : ir.iv_finals) h.u32(f.reg).i32(f.step);
+  h.u64(ir.live_in_regs.size());
+  for (const std::uint8_t r : ir.live_in_regs) h.u32(r);
+  h.u64(ir.iv_regs.size());
+  for (const auto& [reg, step] : ir.iv_regs) h.u32(reg).i32(step);
+  h.u32(static_cast<std::uint32_t>(ir.trip.kind)).u32(ir.trip.reg).i32(ir.trip.step);
+  h.i64(ir.trip.constant).boolean(ir.trip.bound_is_const).u32(ir.trip.bound_reg);
+  h.i32(ir.trip.bound_const);
+  h.u32(ir.header_pc).u32(ir.branch_pc).u32(ir.exit_pc).u64(ir.sw_cycles_per_iter);
+  return h.finish();
+}
+
 }  // namespace warp::decompile

@@ -24,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.hpp"
+
 namespace warp::decompile {
 
 inline constexpr unsigned kMaxStreams = 3;   // WCLA: Reg0..Reg2 address generators
@@ -192,5 +194,12 @@ struct KernelIR {
 
   std::string to_string() const;
 };
+
+/// Canonical content hash of a decompiled kernel: a pure function of the
+/// IR's semantic fields (Dfg nodes in their deterministic hash-consed index
+/// order, streams, writes, accumulators, trip form, region pcs). Equal IRs
+/// hash equal regardless of how or when they were extracted — the partition
+/// pipeline keys its synthesis-stage cache on this.
+common::Digest content_hash(const KernelIR& ir);
 
 }  // namespace warp::decompile

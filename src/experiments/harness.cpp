@@ -47,7 +47,7 @@ BenchmarkResult run_benchmark(const workloads::Workload& workload,
   result.mb_energy_mj = sw.value().energy.total_mj();
 
   // 2. Partition + 3. warped run.
-  const warpsys::PartitionOutcome& outcome = system.warp();
+  const warpsys::PartitionOutcome& outcome = system.warp(options.cache);
   result.outcome = outcome;
   result.warp_detail = outcome.detail;
   result.dpm_seconds = outcome.dpm_seconds;
@@ -128,7 +128,7 @@ common::Result<techmap::LutNetlist> partition_netlist(const workloads::Workload&
   if (auto sw = system.run_software(); !sw) {
     return R::error("software run: " + sw.message());
   }
-  const warpsys::PartitionOutcome& outcome = system.warp();
+  const warpsys::PartitionOutcome& outcome = system.warp(options.cache);
   if (!outcome.success || !outcome.config) {
     return R::error("partition: " + outcome.detail);
   }
@@ -168,7 +168,7 @@ common::Result<FlowedWorkload> flow_workload(const workloads::Workload& workload
   if (auto sw = system->run_software(); !sw) {
     return R::error(workload.name + ": software run: " + sw.message());
   }
-  if (const auto& outcome = system->warp(); !outcome.success) {
+  if (const auto& outcome = system->warp(options.cache); !outcome.success) {
     return R::error(workload.name + ": partition: " + outcome.detail);
   }
   if (auto warped = system->run_warped(); !warped) {

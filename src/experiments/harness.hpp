@@ -61,6 +61,10 @@ struct HarnessOptions {
   warpsys::WarpSystemConfig system;   // dpm/profiler/fabric settings
   bool verify_hw = false;             // per-write fabric-vs-DFG cross-check
   bool include_arm = true;
+  /// Shared content-addressed artifact cache for every DPM invocation the
+  /// harness makes (partition/cache.hpp). Not owned; null = no caching.
+  /// Purely a host-side optimization: results are bit-identical either way.
+  partition::ArtifactCache* cache = nullptr;
 };
 
 HarnessOptions default_options();

@@ -178,4 +178,34 @@ common::Result<FabricConfig> decode_bitstream(const std::vector<std::uint32_t>& 
   return Result::error("bitstream missing end marker");
 }
 
+namespace {
+
+void hash_sites(common::Hasher& h, const std::vector<LutSite>& sites) {
+  h.u64(sites.size());
+  for (const LutSite& s : sites) h.i32(s.x).i32(s.y).u32(s.slot);
+}
+
+}  // namespace
+
+common::Digest content_hash(const FabricConfig& config) {
+  common::Hasher h;
+  const FabricGeometry& g = config.geometry;
+  h.u32(g.width).u32(g.height).u32(g.luts_per_clb).u32(g.channel_capacity);
+  h.f64(g.lut_delay_ns).f64(g.wire_hop_delay_ns).f64(g.io_delay_ns).f64(g.max_clock_mhz);
+  h.digest(config.netlist.content_hash());
+  hash_sites(h, config.placement);
+  hash_sites(h, config.input_pads);
+  hash_sites(h, config.output_pads);
+  h.u64(config.routes.size());
+  for (const RoutedNet& net : config.routes) {
+    h.i32(net.driver_lut).i32(net.driver_input).u64(net.sinks.size());
+    for (const RoutedNet::Sink& sink : net.sinks) {
+      h.i32(sink.lut).i32(sink.output_index).u32(sink.input_pin).u64(sink.path.size());
+      for (const auto& [x, y] : sink.path) h.i32(x).i32(y);
+    }
+  }
+  h.f64(config.critical_path_ns);
+  return h.finish();
+}
+
 }  // namespace warp::fabric

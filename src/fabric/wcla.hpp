@@ -86,4 +86,9 @@ struct FabricConfig {
 std::vector<std::uint32_t> encode_bitstream(const FabricConfig& config);
 common::Result<FabricConfig> decode_bitstream(const std::vector<std::uint32_t>& words);
 
+/// Canonical content hash of a complete fabric configuration (geometry,
+/// mapped netlist, placement, pads, routed trees, timing). The bitstream
+/// stage of the partition pipeline keys its cache on this.
+common::Digest content_hash(const FabricConfig& config);
+
 }  // namespace warp::fabric

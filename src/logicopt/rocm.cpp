@@ -261,6 +261,18 @@ void covers_from_truth(std::uint64_t truth, unsigned num_vars, Cover& on, Cover&
   }
 }
 
+common::Digest cover_content_hash(const Cover& cover, unsigned num_vars) {
+  Cover sorted = cover;
+  std::sort(sorted.begin(), sorted.end(), [](const Cube& a, const Cube& b) {
+    if (a.care != b.care) return a.care < b.care;
+    return a.polarity < b.polarity;
+  });
+  common::Hasher h;
+  h.u32(num_vars).u64(sorted.size());
+  for (const Cube& c : sorted) h.u32(c.care).u32(c.polarity);
+  return h.finish();
+}
+
 std::uint64_t truth_from_cover(const Cover& cover, unsigned num_vars) {
   if (num_vars > 6) throw common::InternalError("truth_from_cover: num_vars > 6");
   std::uint64_t truth = 0;

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/hash.hpp"
+
 namespace warp::logicopt {
 
 inline constexpr unsigned kMaxCubeVars = 16;
@@ -43,6 +45,11 @@ bool cover_is_tautology(const Cover& cover, unsigned num_vars);
 
 /// Number of literals in the cover (the classic minimization objective).
 unsigned cover_literals(const Cover& cover);
+
+/// Canonical content hash of a cover as a *set* of cubes: cubes are sorted
+/// by (care, polarity) before hashing, so two covers with the same cubes in
+/// different list order — a pure iteration-history artifact — hash equal.
+common::Digest cover_content_hash(const Cover& cover, unsigned num_vars);
 
 struct RocmStats {
   unsigned initial_cubes = 0;

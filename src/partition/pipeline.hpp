@@ -1,0 +1,185 @@
+// Staged partition pipeline — the DPM's CAD flow as explicit stages.
+//
+// The dynamic partitioning module used to be one opaque call chain inside
+// warp/dpm.cpp. This subsystem restructures it into named stages, each a
+// pure function from a typed input artifact to a typed output artifact:
+//
+//   frontend   binary words            -> Cfg + whole-binary liveness
+//   decompile  (binary, loop)          -> KernelIR
+//   synth      KernelIR                -> HwKernel (MAC ops + gate netlist)
+//   techmap    HwKernel                -> LutNetlist (3-input LUT cover)
+//   rocm       LutNetlist              -> two-level minimization statistics
+//   pnr        LutNetlist              -> placed + routed FabricConfig
+//   bitstream  FabricConfig            -> configuration words
+//   stub       (KernelIR, liveness)    -> binary patch stub
+//
+// Every artifact has a stable content hash (canonical: no pointer-order or
+// allocation-history dependence — see common/hash.hpp), which gives each
+// stage a content-addressed cache key: (stage, input hash, config hash).
+// When a shared ArtifactCache is supplied, a stage whose key is cached
+// reuses the immutable artifact instead of recomputing it.
+//
+// Metering: each stage charges its share of the DPM execution-time model
+// (integer metered units x the DpmCostModel coefficient, accumulated in a
+// fixed order) and records the host wall-clock it actually consumed. The
+// virtual-time charge is computed from the artifact's recorded unit counts,
+// so a cache hit charges *exactly* the cycles a recomputation would — the
+// simulated DPM has no artifact cache, and results must stay bit-identical
+// across cold cache, warm cache, and no cache at all (the multiprocessor
+// engine's determinism guarantee extends through this subsystem).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/cache.hpp"
+#include "warp/dpm.hpp"
+
+namespace warp::partition {
+
+// Stage names, in flow order. Also the cache-key stage tags.
+inline constexpr const char* kStageFrontend = "frontend";
+inline constexpr const char* kStageDecompile = "decompile";
+inline constexpr const char* kStageSynth = "synth";
+inline constexpr const char* kStageTechmap = "techmap";
+inline constexpr const char* kStageRocm = "rocm";
+inline constexpr const char* kStagePnr = "pnr";
+inline constexpr const char* kStageBitstream = "bitstream";
+inline constexpr const char* kStageStub = "stub";
+
+/// All stage names in flow order (for reporting loops).
+const std::vector<std::string>& stage_names();
+
+// --- Typed stage artifacts -------------------------------------------------
+//
+// Artifacts are immutable once published (the cache hands out shared_ptr
+// <const T>). Stages that can reject their input store the rejection: a
+// cached failure short-circuits the same way a computed one does, with the
+// same error text. Metered unit counts ride along so virtual-time charges
+// can be replayed deterministically on hits.
+
+struct FrontendArtifact {
+  decompile::Cfg cfg;
+  // Built against `cfg` after it reaches its final address (the artifact
+  // lives behind a shared_ptr), hence the indirection; also makes the
+  // artifact non-copyable, so the reference can never dangle.
+  std::unique_ptr<decompile::Liveness> liveness;
+  std::uint64_t instrs = 0;  // metered: decode + CFG + liveness units
+};
+
+struct DecompileArtifact {
+  bool ok = false;
+  std::string error;               // rejection reason when !ok
+  decompile::KernelIR ir;          // valid when ok
+  common::Digest ir_hash;          // content hash of `ir`, valid when ok
+  std::uint64_t region_instrs = 0; // metered: symbolic-execution units
+};
+
+struct SynthArtifact {
+  bool ok = false;
+  std::string error;
+  synth::HwKernel kernel;       // valid when ok
+  common::Digest kernel_hash;   // content hash of `kernel`, valid when ok
+  std::uint64_t fabric_gates = 0;  // metered: bit-blast units (0 when !ok)
+};
+
+struct TechmapArtifact {
+  bool ok = false;
+  std::string error;
+  techmap::LutNetlist netlist;   // valid when ok
+  techmap::TechmapStats stats;   // metered: cut_count / luts_out
+  common::Digest netlist_hash;   // content hash of `netlist`, valid when ok
+};
+
+struct RocmArtifact {
+  unsigned literals_before = 0;
+  unsigned literals_after = 0;
+  std::uint64_t tautology_calls = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t steps = 0;  // metered: expand + tautology units over all LUTs
+};
+
+struct PnrArtifact {
+  bool ok = false;
+  std::string error;
+  pnr::PnrResult result;       // valid when ok
+  common::Digest result_hash;  // content hash of `result`, valid when ok
+};
+
+struct BitstreamArtifact {
+  std::vector<std::uint32_t> words;
+};
+
+struct StubArtifact {
+  bool ok = false;
+  std::string error;
+  warpsys::Stub stub;  // valid when ok
+};
+
+// --- The pipeline ----------------------------------------------------------
+
+class Pipeline {
+ public:
+  /// `cache` may be null (every stage computes). The options object is
+  /// copied; per-stage config hashes are derived once here.
+  Pipeline(const warpsys::DpmOptions& options, ArtifactCache* cache = nullptr);
+
+  /// Full candidate-scored ROCPART flow: behaviorally identical to the
+  /// historical warpsys::partition(), plus per-stage metrics and cache
+  /// counters on the outcome.
+  warpsys::PartitionOutcome run(const std::vector<std::uint32_t>& binary_words,
+                                const std::vector<profiler::LoopCandidate>& candidates,
+                                std::uint32_t wcla_base);
+
+  // Individual stage entry points (used by run(); public so tests and tools
+  // can drive stages in isolation). Each consults the cache first and
+  // publishes its artifact on a miss. Named run_* so the subsystem
+  // namespaces (decompile::, synth::, ...) stay usable inside the class.
+  std::shared_ptr<const FrontendArtifact> run_frontend(
+      const std::vector<std::uint32_t>& binary_words, const common::Digest& binary_hash);
+  std::shared_ptr<const DecompileArtifact> run_decompile(const FrontendArtifact& frontend,
+                                                         const common::Digest& binary_hash,
+                                                         std::uint32_t branch_pc,
+                                                         std::uint32_t header_pc);
+  std::shared_ptr<const SynthArtifact> run_synth(const DecompileArtifact& decompiled);
+  std::shared_ptr<const TechmapArtifact> run_techmap(const SynthArtifact& synthesized);
+  std::shared_ptr<const RocmArtifact> run_rocm(const TechmapArtifact& mapped);
+  std::shared_ptr<const PnrArtifact> run_pnr(const TechmapArtifact& mapped);
+  std::shared_ptr<const BitstreamArtifact> run_bitstream(const PnrArtifact& placed_routed);
+  std::shared_ptr<const StubArtifact> run_stub(const DecompileArtifact& decompiled,
+                                               const FrontendArtifact& frontend,
+                                               std::uint32_t stub_addr,
+                                               std::uint32_t wcla_base);
+
+ private:
+  // Generic stage driver: cache lookup, compute-on-miss, publish, and
+  // runs/hits/host_ns accounting into the current run's metrics.
+  template <typename T, typename Compute>
+  std::shared_ptr<const T> stage(const char* name, const common::Digest& input,
+                                 const common::Digest& config, Compute&& compute);
+
+  warpsys::StageMetric& metric(const char* name);
+  void charge(const char* name, double cycles);
+
+  warpsys::DpmOptions options_;
+  ArtifactCache* cache_ = nullptr;
+
+  // Per-stage config hashes, fixed at construction.
+  common::Digest extract_config_;
+  common::Digest synth_config_;
+  common::Digest techmap_config_;
+  common::Digest pnr_config_;
+  common::Digest empty_config_;
+
+  // Accounting for the run in flight (reset by run()).
+  std::vector<warpsys::StageMetric> metrics_;
+  double cycles_ = 0.0;
+  std::uint64_t run_hits_ = 0;
+  std::uint64_t run_misses_ = 0;
+};
+
+/// Content hash of a raw binary (the frontend/decompile cache input).
+common::Digest binary_content_hash(const std::vector<std::uint32_t>& binary_words);
+
+}  // namespace warp::partition

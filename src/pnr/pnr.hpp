@@ -111,4 +111,9 @@ common::Result<PnrResult> place_and_route(const techmap::LutNetlist& netlist,
                                           const fabric::FabricGeometry& geometry,
                                           const PnrOptions& options = {});
 
+/// Canonical content hash of a complete place-and-route result: the fabric
+/// configuration plus the metered flow statistics. Downstream pipeline
+/// stages (bitstream generation) chain their cache keys off this.
+common::Digest content_hash(const PnrResult& result);
+
 }  // namespace warp::pnr

@@ -426,4 +426,58 @@ common::Result<HwKernel> synthesize(const decompile::KernelIR& ir,
   return blaster.run();
 }
 
+namespace {
+
+void hash_bits(common::Hasher& h, const Bits& bits) {
+  for (const int id : bits) h.i32(id);
+}
+
+}  // namespace
+
+common::Digest content_hash(const HwKernel& kernel) {
+  common::Hasher h;
+  h.digest(decompile::content_hash(kernel.ir));
+  h.digest(content_hash(kernel.fabric));
+  h.u64(kernel.stream_inputs.size());
+  for (const auto& [key, bits] : kernel.stream_inputs) {
+    h.u32(key.first).u32(key.second);
+    hash_bits(h, bits);
+  }
+  h.u64(kernel.livein_inputs.size());
+  for (const auto& [reg, bits] : kernel.livein_inputs) {
+    h.u32(reg);
+    hash_bits(h, bits);
+  }
+  h.u64(kernel.iv_inputs.size());
+  for (const auto& [reg, bits] : kernel.iv_inputs) {
+    h.u32(reg);
+    hash_bits(h, bits);
+  }
+  h.u64(kernel.mac_result_inputs.size());
+  for (const Bits& bits : kernel.mac_result_inputs) hash_bits(h, bits);
+  h.u64(kernel.acc_state_inputs.size());
+  for (const auto& [acc, bits] : kernel.acc_state_inputs) {
+    h.u32(acc);
+    hash_bits(h, bits);
+  }
+  h.u64(kernel.mac_ops.size());
+  for (const MacOp& op : kernel.mac_ops) {
+    hash_bits(h, op.a_bits);
+    hash_bits(h, op.b_bits);
+    h.boolean(op.accumulate).i32(op.acc_index);
+  }
+  h.u64(kernel.write_outputs.size());
+  for (const WriteOutput& w : kernel.write_outputs) {
+    h.u32(w.stream).u32(w.tap);
+    hash_bits(h, w.bits);
+  }
+  h.u64(kernel.acc_outputs.size());
+  for (const AccOutput& a : kernel.acc_outputs) {
+    h.u32(a.acc_index).boolean(a.via_mac);
+    hash_bits(h, a.bits);
+  }
+  h.u32(kernel.mem_accesses_per_iter).u32(kernel.mac_cycles_per_iter);
+  return h.finish();
+}
+
 }  // namespace warp::synth

@@ -75,6 +75,11 @@ struct HwKernel {
   }
 };
 
+/// Canonical content hash of the whole synthesized kernel: the IR it came
+/// from, the fabric network, every input/output bus binding (std::map keeps
+/// bus order canonical), MAC ops and the per-iteration resource usage.
+common::Digest content_hash(const HwKernel& kernel);
+
 struct SynthOptions {
   unsigned csd_max_terms = 4;   // constant multiplies with more CSD digits go to the MAC
   std::size_t max_fabric_gates = 200000;  // sanity bound before mapping

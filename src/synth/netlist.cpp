@@ -208,4 +208,24 @@ std::string GateNetlist::stats_string() const {
                         outputs_.size(), depth());
 }
 
+common::Digest content_hash(const GateNetlist& net) {
+  common::Hasher h;
+  h.u64(net.size());
+  for (const Gate& g : net.gates()) {
+    h.u32(static_cast<std::uint32_t>(g.kind)).i32(g.a).i32(g.b);
+  }
+  h.u64(net.inputs().size());
+  for (const int id : net.inputs()) h.i32(id).str(net.input_name(id));
+  // Outputs are an order-insensitive port set: sort by name so two networks
+  // that differ only in output insertion order hash equal.
+  std::vector<const OutputBit*> outputs;
+  outputs.reserve(net.outputs().size());
+  for (const OutputBit& o : net.outputs()) outputs.push_back(&o);
+  std::sort(outputs.begin(), outputs.end(),
+            [](const OutputBit* a, const OutputBit* b) { return a->name < b->name; });
+  h.u64(outputs.size());
+  for (const OutputBit* o : outputs) h.str(o->name).i32(o->gate);
+  return h.finish();
+}
+
 }  // namespace warp::synth

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace warp::synth {
 
@@ -95,5 +96,11 @@ class GateNetlist {
   std::vector<std::string> input_names_;  // parallel to input_ids_
   std::vector<OutputBit> outputs_;
 };
+
+/// Canonical content hash: gates in their deterministic hash-consed index
+/// order, inputs with their names, outputs sorted by name (the output list
+/// is a port *set*; its insertion order is not semantic). Independent of the
+/// intern table's bucket layout and of allocation history.
+common::Digest content_hash(const GateNetlist& net);
 
 }  // namespace warp::synth

@@ -353,6 +353,31 @@ void LutNetlist::annotate_ports() {
   }
 }
 
+common::Digest LutNetlist::content_hash() const {
+  common::Hasher h;
+  h.u64(primary_inputs.size());
+  for (const std::string& name : primary_inputs) h.str(name);
+  h.u64(luts.size());
+  for (const Lut& lut : luts) {
+    h.u32(lut.num_inputs).u32(lut.truth);
+    for (const NetRef& ref : lut.inputs) {
+      h.u32(static_cast<std::uint32_t>(ref.kind)).i32(ref.index);
+    }
+  }
+  // Output ports are a set keyed by name; sort so insertion order (a mapper
+  // iteration artifact) never changes the digest.
+  std::vector<const MappedOutput*> sorted;
+  sorted.reserve(outputs.size());
+  for (const MappedOutput& o : outputs) sorted.push_back(&o);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MappedOutput* a, const MappedOutput* b) { return a->name < b->name; });
+  h.u64(sorted.size());
+  for (const MappedOutput* o : sorted) {
+    h.str(o->name).u32(static_cast<std::uint32_t>(o->source.kind)).i32(o->source.index);
+  }
+  return h.finish();
+}
+
 std::string LutNetlist::stats_string() const {
   return common::format("luts=%zu depth=%u inputs=%zu outputs=%zu", luts.size(), depth(),
                         primary_inputs.size(), outputs.size());

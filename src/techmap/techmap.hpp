@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "synth/netlist.hpp"
 
 namespace warp::techmap {
@@ -98,6 +99,14 @@ struct LutNetlist {
   /// (Re)derive input_ports/output_ports from the port names. Called by
   /// techmap(); callers that build a LutNetlist by hand use it directly.
   void annotate_ports();
+  /// Canonical content hash. LUTs are hashed in their (deterministic,
+  /// topological) index order and primary inputs in index order — both are
+  /// semantic, since NetRefs address them by index — but the output port
+  /// list is hashed in sorted-by-name order so port insertion order never
+  /// leaks into the digest. The derived input_ports/output_ports are not
+  /// hashed (they are a pure function of the names). The partition
+  /// pipeline's ROCM and place-and-route cache stages key on this.
+  common::Digest content_hash() const;
   std::string stats_string() const;
 };
 

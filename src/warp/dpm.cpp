@@ -1,181 +1,19 @@
 #include "warp/dpm.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/strings.hpp"
-#include "logicopt/rocm.hpp"
+#include "partition/pipeline.hpp"
 
 namespace warp::warpsys {
-namespace {
 
-// Static cycle estimate of the loop body [target, branch] for scoring.
-std::uint64_t body_cycle_estimate(const decompile::Cfg& cfg, std::uint32_t target_pc,
-                                  std::uint32_t branch_pc) {
-  const int first = decompile::find_instr(cfg.instrs(), target_pc);
-  const int last = decompile::find_instr(cfg.instrs(), branch_pc);
-  if (first < 0 || last < 0 || last < first) return 0;
-  std::uint64_t cycles = 0;
-  for (int i = first; i <= last; ++i) {
-    const auto& fi = cfg.instrs()[static_cast<std::size_t>(i)];
-    if (!fi.valid) return 0;
-    cycles += isa::latency_cycles(fi.instr.op, true);
-    if (fi.fused) cycles += 1;
-  }
-  return cycles;
-}
-
-}  // namespace
-
+// The DPM's CAD flow lives in partition::Pipeline (partition/pipeline.hpp):
+// explicit stages with typed, content-hashed artifacts, per-stage metering,
+// and an optional shared artifact cache. This entry point keeps the
+// historical single-call interface.
 PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
                            const std::vector<profiler::LoopCandidate>& candidates,
-                           std::uint32_t wcla_base, const DpmOptions& options) {
-  PartitionOutcome outcome;
-  double cycles = 0.0;
-  const DpmCostModel& cost = options.cost;
-
-  // Front end: decode, CFG, dominators, liveness over the whole binary.
-  auto cfg = decompile::Cfg::build(decompile::decode_program(binary_words));
-  decompile::Liveness liveness(cfg);
-  cycles += cost.per_binary_instr * static_cast<double>(cfg.instrs().size());
-
-  // Score candidates by (frequency x static body cost).
-  struct Scored {
-    profiler::LoopCandidate candidate;
-    std::uint64_t body_cycles = 0;
-    double score = 0.0;
-  };
-  std::vector<Scored> scored;
-  for (const auto& candidate : candidates) {
-    Scored s;
-    s.candidate = candidate;
-    s.body_cycles = body_cycle_estimate(cfg, candidate.target_pc, candidate.branch_pc);
-    s.score = static_cast<double>(candidate.count) * static_cast<double>(s.body_cycles);
-    if (s.score > 0) scored.push_back(s);
-  }
-  std::sort(scored.begin(), scored.end(),
-            [](const Scored& a, const Scored& b) { return a.score > b.score; });
-  if (scored.size() > options.max_candidates) scored.resize(options.max_candidates);
-
-  for (const auto& s : scored) {
-    const std::uint32_t header = s.candidate.target_pc;
-    const std::uint32_t branch = s.candidate.branch_pc;
-    auto tag = [&](const std::string& msg) {
-      outcome.attempts.push_back(common::format("loop 0x%x->0x%x (score %.0f): %s", branch,
-                                                header, s.score, msg.c_str()));
-      outcome.detail = outcome.attempts.back();
-    };
-
-    // Decompile.
-    auto ir = decompile::extract_kernel(cfg, liveness, branch, header, options.extract);
-    {
-      const int first = decompile::find_instr(cfg.instrs(), header);
-      const int last = decompile::find_instr(cfg.instrs(), branch);
-      if (first >= 0 && last >= first) {
-        cycles += cost.per_region_instr * static_cast<double>(last - first + 1);
-      }
-    }
-    if (!ir) {
-      tag("decompile: " + ir.message());
-      continue;
-    }
-
-    // Synthesize.
-    auto kernel = synth::synthesize(ir.value(), options.synth);
-    if (!kernel) {
-      tag("synthesis: " + kernel.message());
-      continue;
-    }
-    cycles += cost.per_gate * static_cast<double>(kernel.value().fabric.size());
-
-    // Technology map.
-    techmap::TechmapStats map_stats;
-    auto mapped = techmap::techmap(kernel.value().fabric, options.techmap, &map_stats);
-    if (!mapped) {
-      tag("techmap: " + mapped.message());
-      continue;
-    }
-    cycles += cost.per_cut * static_cast<double>(map_stats.cut_count);
-    cycles += cost.per_lut * static_cast<double>(map_stats.luts_out);
-
-    // ROCM two-level minimization of every LUT function (the DAC'03 step:
-    // minimizes the literal count the router must honor; metered work).
-    unsigned literals_before = 0;
-    unsigned literals_after = 0;
-    std::uint64_t tautology_calls = 0;
-    std::uint64_t memo_hits = 0;
-    for (const auto& lut : mapped.value().luts) {
-      logicopt::Cover on, off;
-      logicopt::covers_from_truth(lut.truth, lut.num_inputs, on, off);
-      logicopt::RocmStats rocm_stats;
-      const auto minimized = logicopt::rocm_minimize(on, off, lut.num_inputs, &rocm_stats);
-      literals_before += rocm_stats.initial_literals;
-      literals_after += logicopt::cover_literals(minimized);
-      tautology_calls += rocm_stats.tautology_calls;
-      memo_hits += rocm_stats.tautology_memo_hits;
-      cycles += cost.per_rocm_step *
-                static_cast<double>(rocm_stats.expand_steps + rocm_stats.tautology_calls);
-    }
-
-    // Place and route.
-    auto pnr_result = pnr::place_and_route(mapped.value(), options.fabric, options.pnr);
-    if (!pnr_result) {
-      tag("pnr: " + pnr_result.message());
-      continue;
-    }
-    cycles += cost.per_move * static_cast<double>(pnr_result.value().place.moves);
-    cycles += cost.per_expansion * static_cast<double>(pnr_result.value().route.expansions);
-
-    // Bitstream + stub.
-    const auto bitstream = fabric::encode_bitstream(pnr_result.value().config);
-    cycles += cost.per_bitstream_word * static_cast<double>(bitstream.size());
-
-    StubRequest stub_request;
-    stub_request.ir = ir.value();
-    stub_request.live_at_header = liveness.live_before_pc(header);
-    stub_request.live_at_exit =
-        (cfg.block_of_pc(ir.value().exit_pc) >= 0)
-            ? liveness.live_before_pc(ir.value().exit_pc)
-            : 0u;
-    stub_request.stub_addr =
-        (static_cast<std::uint32_t>(binary_words.size()) * 4 + 15u) & ~15u;
-    stub_request.wcla_base = wcla_base;
-    auto stub = build_stub(stub_request);
-    if (!stub) {
-      tag("stub: " + stub.message());
-      continue;
-    }
-
-    // Success: fill the outcome.
-    outcome.success = true;
-    outcome.placement_hpwl = pnr_result.value().place.hpwl;
-    outcome.place_delta_evaluations = pnr_result.value().place.delta_evaluations;
-    outcome.route_iterations = pnr_result.value().route.iterations;
-    outcome.route_nets_rerouted = pnr_result.value().route.nets_rerouted;
-    outcome.kernel = std::make_shared<synth::HwKernel>(std::move(kernel).value());
-    outcome.config =
-        std::make_shared<fabric::FabricConfig>(std::move(pnr_result).value().config);
-    outcome.stub = std::move(stub).value();
-    outcome.stub_addr = stub_request.stub_addr;
-    outcome.header_pc = header;
-    outcome.fabric_gates = outcome.kernel->fabric.live_logic_gate_count();
-    outcome.luts = outcome.config->netlist.luts.size();
-    outcome.lut_depth = outcome.config->netlist.depth();
-    outcome.rocm_literals_before = literals_before;
-    outcome.rocm_literals_after = literals_after;
-    outcome.rocm_tautology_calls = tautology_calls;
-    outcome.rocm_memo_hits = memo_hits;
-    outcome.critical_path_ns = outcome.config->critical_path_ns;
-    outcome.fabric_clock_mhz = outcome.config->fabric_clock_mhz();
-    outcome.bitstream_words = bitstream.size();
-    tag("selected");
-    break;
-  }
-
-  if (scored.empty()) outcome.detail = "no profiled loop candidates";
-  outcome.dpm_cycles = static_cast<std::uint64_t>(cycles);
-  outcome.dpm_seconds = cycles / (cost.clock_mhz * 1e6);
-  return outcome;
+                           std::uint32_t wcla_base, const DpmOptions& options,
+                           partition::ArtifactCache* cache) {
+  partition::Pipeline pipeline(options, cache);
+  return pipeline.run(binary_words, candidates, wcla_base);
 }
 
 }  // namespace warp::warpsys

@@ -31,6 +31,10 @@
 #include "techmap/techmap.hpp"
 #include "warp/stub_builder.hpp"
 
+namespace warp::partition {
+class ArtifactCache;  // content-addressed stage cache (partition/cache.hpp)
+}  // namespace warp::partition
+
 namespace warp::warpsys {
 
 /// Cycle costs per unit of metered tool work, on the DPM's own processor.
@@ -55,6 +59,21 @@ struct DpmOptions {
   fabric::FabricGeometry fabric;
   DpmCostModel cost;
   unsigned max_candidates = 8;
+};
+
+/// Per-stage accounting of one partition() call, in pipeline flow order.
+/// `cycles` is the stage's share of the DPM execution-time model (virtual
+/// time — deterministic, bit-identical whether the stage computed or was
+/// resolved from the artifact cache); `host_ns` is the wall-clock the host
+/// simulator actually spent (what the cache saves; never deterministic).
+/// These replace the old ad-hoc running `cycles` accumulator in
+/// partition(): dpm_cycles is now exactly the sum of stage cycles.
+struct StageMetric {
+  std::string name;
+  double cycles = 0.0;
+  std::uint64_t host_ns = 0;
+  std::uint32_t runs = 0;        // times the stage was needed (hit or miss)
+  std::uint32_t cache_hits = 0;  // of those, resolved from the artifact cache
 };
 
 struct PartitionOutcome {
@@ -88,19 +107,38 @@ struct PartitionOutcome {
   std::uint64_t dpm_cycles = 0;
   double dpm_seconds = 0.0;
   std::vector<std::string> attempts;  // one line per tried candidate
+
+  // Staged-pipeline accounting (partition/pipeline.hpp): one entry per
+  // stage that ran at least once, in flow order, plus the totals of the
+  // artifact-cache traffic this call generated.
+  std::vector<StageMetric> stage_metrics;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
-/// Run the full ROCPART flow over the profiled binary.
+/// Run the full ROCPART flow over the profiled binary. Thin wrapper over
+/// partition::Pipeline (partition/pipeline.hpp), which stages the flow as
+/// decompile -> synth -> techmap -> ROCM -> PnR -> bitstream -> stub with a
+/// typed, content-hashed artifact per stage.
 ///
-/// Reentrancy: this is a pure function of its arguments — the whole flow
-/// (decompile, synth, techmap, ROCM, PnR, bitstream, stub) keeps its state
-/// in locals, with no mutable globals or function-local statics. Distinct
-/// partition jobs therefore cannot interact, and concurrent software runs on
-/// other systems never observe a DPM job in flight. The multiprocessor
-/// engine still serializes the jobs themselves: the shared DPM is a single
-/// server, and its queue order (virtual time) is part of the model.
+/// `cache` (optional) is a shared content-addressed artifact cache: stages
+/// whose input hash + config hash match a cached artifact reuse it instead
+/// of recomputing. The cache is a pure host-side optimization — every
+/// simulated number (dpm_cycles, stage cycles, statistics, the hardware
+/// artifacts themselves) is bit-identical with or without it, because cache
+/// hits charge the stage's deterministic modeled cost, not a discounted one.
+///
+/// Reentrancy: without a cache this is a pure function of its arguments —
+/// the whole flow keeps its state in locals, with no mutable globals or
+/// function-local statics. Distinct partition jobs therefore cannot
+/// interact, and concurrent software runs on other systems never observe a
+/// DPM job in flight. With a cache, jobs share immutable artifacts (the
+/// cache itself is internally locked); the multiprocessor engine still
+/// serializes the jobs themselves: the shared DPM is a single server, and
+/// its queue order (virtual time) is part of the model.
 PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
                            const std::vector<profiler::LoopCandidate>& candidates,
-                           std::uint32_t wcla_base, const DpmOptions& options);
+                           std::uint32_t wcla_base, const DpmOptions& options,
+                           partition::ArtifactCache* cache = nullptr);
 
 }  // namespace warp::warpsys

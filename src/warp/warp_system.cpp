@@ -62,9 +62,9 @@ RunStats WarpSystem::finish_stats() const {
 
 common::Result<RunStats> WarpSystem::run_software() { return run_internal(true); }
 
-const PartitionOutcome& WarpSystem::warp() {
+const PartitionOutcome& WarpSystem::warp(partition::ArtifactCache* cache) {
   outcome_ = partition(program_.words, profiler_.candidates(),
-                       hwsim::kWclaBase, config_.dpm);
+                       hwsim::kWclaBase, config_.dpm, cache);
   if (outcome_->success) {
     // Write the stub into free instruction memory and patch the loop header
     // (through the second port of the instruction BRAM, like the real DPM).
@@ -135,10 +135,13 @@ bool profile_phase(WarpSystem& system, MultiWarpEntry& entry) {
 
 // One DPM service: run the partitioning flow for this system. Fills the
 // entry's job time and detail; the caller accounts the wait. Returns whether
-// hardware came online.
-bool dpm_phase(WarpSystem& system, MultiWarpEntry& entry) {
+// hardware came online. `cache` is the experiment-wide shared artifact
+// cache (may be null); safe here because every engine serializes DPM jobs
+// on a single thread, and the cache locks internally regardless.
+bool dpm_phase(WarpSystem& system, MultiWarpEntry& entry,
+               partition::ArtifactCache* cache) {
   try {
-    const PartitionOutcome& outcome = system.warp();
+    const PartitionOutcome& outcome = system.warp(cache);
     entry.detail = outcome.detail;
     entry.dpm_seconds = outcome.dpm_seconds;
     return outcome.success;
@@ -251,7 +254,7 @@ std::vector<MultiWarpEntry> run_multiprocessor_serial(
   DpmClock clock{options.policy};
   for (const std::size_t i : service_order(options, progress)) {
     entries[i].dpm_wait_seconds = clock.start(progress[i].request_seconds);
-    progress[i].partitioned = dpm_phase(*systems[i], entries[i]);
+    progress[i].partitioned = dpm_phase(*systems[i], entries[i], options.cache);
     clock.finish(entries[i].dpm_seconds);
   }
 
@@ -319,7 +322,7 @@ std::vector<MultiWarpEntry> run_multiprocessor_pipelined(
     if (progress[i].stage == SystemProgress::Stage::kNoJob) continue;
     const double wait = clock.start(progress[i].request_seconds);
     lock.unlock();
-    const bool partitioned = dpm_phase(*systems[i], entries[i]);
+    const bool partitioned = dpm_phase(*systems[i], entries[i], options.cache);
     lock.lock();
     entries[i].dpm_wait_seconds = wait;
     clock.finish(entries[i].dpm_seconds);
@@ -360,7 +363,7 @@ std::vector<MultiWarpEntry> run_multiprocessor_batched(
   DpmClock clock{options.policy};
   for (const std::size_t i : service_order(options, progress)) {
     entries[i].dpm_wait_seconds = clock.start(progress[i].request_seconds);
-    progress[i].partitioned = dpm_phase(*systems[i], entries[i]);
+    progress[i].partitioned = dpm_phase(*systems[i], entries[i], options.cache);
     clock.finish(entries[i].dpm_seconds);
   }
 

@@ -68,7 +68,10 @@ class WarpSystem {
   common::Result<RunStats> run_software();
 
   /// Invoke the DPM on the collected profile; patch + configure on success.
-  const PartitionOutcome& warp();
+  /// `cache` (optional) is a shared partition::ArtifactCache consulted by
+  /// the staged pipeline — a host-side optimization that never changes the
+  /// outcome (see dpm.hpp).
+  const PartitionOutcome& warp(partition::ArtifactCache* cache = nullptr);
 
   /// Run the (possibly patched) binary. Resets data memory first.
   common::Result<RunStats> run_warped();
@@ -143,6 +146,12 @@ struct MultiWarpOptions {
   DpmQueuePolicy policy = DpmQueuePolicy::kRoundRobin;
   /// Per-processor priorities for DpmQueuePolicy::kPriority (higher first).
   std::vector<int> priorities;
+  /// Shared content-addressed artifact cache consulted by every DPM job
+  /// (partition/cache.hpp). With N replicated kernels the partitioning
+  /// stages compute once per *unique* kernel; every simulated number stays
+  /// bit-identical to a cache-less run under any thread count and policy.
+  /// Not owned; may be null (no caching).
+  partition::ArtifactCache* cache = nullptr;
 };
 
 /// Run N workloads through one shared DPM (Figure 4). Each system is

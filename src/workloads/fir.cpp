@@ -1,0 +1,109 @@
+// fir (EEMBC TeleBench substitute): 4-tap constant-coefficient FIR filter.
+//
+// Each iteration reads a sliding window of four samples and computes
+//   y[i] = 3*x[i] - 2*x[i+1] + 5*x[i+2] + 2*x[i+3]   (mod 2^32)
+// with the multiplies strength-reduced to shifts and adds (every
+// coefficient is a <= 2-term CSD, so synthesis keeps the whole datapath in
+// the fabric instead of the MAC). That makes this the LUT-heavy,
+// feedback-free counterweight to idct: five 32-bit adder/subtractor chains
+// of fabric logic per iteration, no accumulators, no MAC-result feedback,
+// no in-place update — exactly the shape the packed lane-block engine
+// accepts. With 1024 iterations the auto width mode picks a wide block
+// (the plan carries hundreds of surviving LUTs), so this workload drives
+// the W>1 packed path end-to-end through the executor, where the paper's
+// wire-dominated kernels stay at W=1 and idct falls back to scalar.
+// A separate sampled-checksum loop keeps a software share of the runtime.
+#include "workloads/workload.hpp"
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace warp::workloads {
+namespace {
+
+constexpr std::uint32_t kIn = 4096;
+constexpr std::uint32_t kOut = 16384;
+constexpr std::uint32_t kChk = 256;
+constexpr unsigned kTaps = 4;
+constexpr unsigned kSamples = 1024;              // filter outputs
+constexpr unsigned kInWords = kSamples + kTaps - 1;
+constexpr std::uint64_t kSeed = 0xF17F17ull;
+
+constexpr const char* kSource = R"(
+; fir: y[i] = 3*x[i] - 2*x[i+1] + 5*x[i+2] + 2*x[i+3], shift-add form,
+; then a sampled software checksum over every 4th output.
+  li r2, 4096        ; X
+  li r3, 16384       ; Y
+  li r4, 1024        ; N
+loop:
+  lwi r5, r2, 0      ; x[i]
+  lwi r6, r2, 4      ; x[i+1]
+  lwi r7, r2, 8      ; x[i+2]
+  lwi r8, r2, 12     ; x[i+3]
+  shl_i r9, r5, 1
+  add r9, r9, r5     ; 3*x[i]
+  shl_i r10, r6, 1
+  sub r9, r9, r10    ; - 2*x[i+1]
+  shl_i r10, r7, 2
+  add r10, r10, r7   ; 5*x[i+2]
+  add r9, r9, r10
+  shl_i r10, r8, 1
+  add r9, r9, r10    ; + 2*x[i+3]
+  swi r9, r3, 0
+  addi r2, r2, 4
+  addi r3, r3, 4
+  addi r4, r4, -1
+  bne r4, loop
+; sampled checksum over every 4th output word
+  li r3, 16384
+  li r4, 256
+  li r12, 0
+check:
+  lwi r5, r3, 0
+  add r12, r12, r5
+  addi r3, r3, 16
+  addi r4, r4, -1
+  bne r4, check
+  li r2, 256
+  swi r12, r2, 0
+  halt
+)";
+
+std::uint32_t fir_tap(const std::uint32_t* x) {
+  return 3u * x[0] - 2u * x[1] + 5u * x[2] + 2u * x[3];
+}
+
+}  // namespace
+
+Workload make_fir() {
+  Workload w;
+  w.name = "fir";
+  w.description = "EEMBC-style 4-tap FIR (LUT-heavy shift-add datapath, feedback-free)";
+  w.source = kSource;
+  w.init = [](sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    for (unsigned i = 0; i < kInWords; ++i) {
+      mem.write32(kIn + 4 * i, rng.next_u32());
+    }
+    for (unsigned i = 0; i < kSamples; ++i) mem.write32(kOut + 4 * i, 0);
+    mem.write32(kChk, 0);
+  };
+  w.check = [](const sim::Memory& mem) {
+    common::Rng rng(kSeed);
+    std::uint32_t x[kInWords];
+    for (unsigned i = 0; i < kInWords; ++i) x[i] = rng.next_u32();
+    std::uint32_t sum = 0;
+    for (unsigned i = 0; i < kSamples; ++i) {
+      const std::uint32_t expect = fir_tap(&x[i]);
+      if (mem.read32(kOut + 4 * i) != expect) {
+        return common::Status::error(common::format("fir: y[%u] wrong", i));
+      }
+      if (i % 4 == 0) sum += expect;
+    }
+    if (mem.read32(kChk) != sum) return common::Status::error("fir: checksum mismatch");
+    return common::Status::ok();
+  };
+  return w;
+}
+
+}  // namespace warp::workloads

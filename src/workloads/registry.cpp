@@ -13,6 +13,7 @@ const std::vector<Workload>& extended_workloads() {
   static const std::vector<Workload> kAll = [] {
     std::vector<Workload> all = all_workloads();
     all.push_back(make_crc());
+    all.push_back(make_fir());
     return all;
   }();
   return kAll;

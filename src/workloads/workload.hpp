@@ -48,14 +48,17 @@ Workload make_bitmnp();
 Workload make_idct();
 Workload make_matmul();
 Workload make_crc();
+Workload make_fir();
 
 /// All six paper benchmarks, in Figure 6/7 order.
 const std::vector<Workload>& all_workloads();
 
-/// The paper benchmarks plus the post-paper coverage workloads (crc, which
+/// The paper benchmarks plus the post-paper coverage workloads: crc (which
 /// stresses the simulator's fabric-held-reduction and scalar-tail fallback
-/// paths). Figure drivers stay on all_workloads(); engine-coverage tests
-/// and the packed-eval microbenchmark use this list.
+/// paths) and fir (LUT-heavy and feedback-free, so the packed engine's
+/// wide auto widths engage end-to-end). Figure drivers stay on
+/// all_workloads(); engine-coverage tests and the packed-eval
+/// microbenchmark use this list.
 const std::vector<Workload>& extended_workloads();
 
 /// Lookup by name over extended_workloads(); throws InternalError if

@@ -1,0 +1,157 @@
+// Canonical content-hash tests for the partition pipeline's artifacts.
+//
+// The artifact cache (partition/cache.hpp) is only sound if equal content
+// always hashes equal: no pointer values, allocation history, or container
+// iteration order may leak into a digest. Order-insensitive collections
+// (netlist output ports, cover cube lists) must be canonicalized, and the
+// digests themselves must be stable across runs and platforms — the golden
+// values below are a regression gate on the hashing scheme itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "logicopt/rocm.hpp"
+#include "netlist_testutil.hpp"
+#include "synth/netlist.hpp"
+#include "techmap/techmap.hpp"
+
+namespace warp {
+namespace {
+
+techmap::LutNetlist small_netlist() {
+  techmap::LutNetlist net;
+  net.primary_inputs = {"s0t0[0]", "s0t0[1]", "li2[0]"};
+  techmap::Lut a;
+  a.num_inputs = 3;
+  a.truth = 0xCA;
+  a.inputs = {techmap::NetRef{techmap::NetRef::Kind::kPrimaryInput, 0},
+              techmap::NetRef{techmap::NetRef::Kind::kPrimaryInput, 1},
+              techmap::NetRef{techmap::NetRef::Kind::kPrimaryInput, 2}};
+  techmap::Lut b;
+  b.num_inputs = 2;
+  b.truth = 0x6;
+  b.inputs = {techmap::NetRef{techmap::NetRef::Kind::kLut, 0},
+              techmap::NetRef{techmap::NetRef::Kind::kPrimaryInput, 2},
+              techmap::NetRef{techmap::NetRef::Kind::kConst0, -1}};
+  net.luts = {a, b};
+  net.outputs = {{"w0t0[0]", techmap::NetRef{techmap::NetRef::Kind::kLut, 1}},
+                 {"w0t0[1]", techmap::NetRef{techmap::NetRef::Kind::kLut, 0}}};
+  net.annotate_ports();
+  return net;
+}
+
+TEST(ArtifactHash, LutNetlistPortOrderCanonical) {
+  techmap::LutNetlist net = small_netlist();
+  techmap::LutNetlist swapped = small_netlist();
+  std::swap(swapped.outputs[0], swapped.outputs[1]);
+  swapped.annotate_ports();
+  // Same netlist content, different output-port insertion order: the
+  // canonical hash must not see the difference.
+  EXPECT_EQ(net.content_hash(), swapped.content_hash());
+
+  techmap::LutNetlist changed = small_netlist();
+  changed.luts[1].truth ^= 1;
+  EXPECT_NE(net.content_hash(), changed.content_hash());
+
+  techmap::LutNetlist renamed = small_netlist();
+  renamed.outputs[0].name = "w1t0[0]";
+  EXPECT_NE(net.content_hash(), renamed.content_hash());
+}
+
+TEST(ArtifactHash, LutNetlistHashIsPureContent) {
+  // Two independently allocated copies hash identically (no pointer or
+  // allocation-history dependence), repeatedly.
+  const auto reference = small_netlist().content_hash();
+  for (int i = 0; i < 3; ++i) {
+    const techmap::LutNetlist net = small_netlist();
+    EXPECT_EQ(net.content_hash(), reference);
+  }
+}
+
+TEST(ArtifactHash, CoverCubeOrderCanonical) {
+  logicopt::Cover cover = {{0b0011, 0b0001}, {0b0101, 0b0100}, {0b1111, 0b1010}};
+  logicopt::Cover reversed = cover;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_EQ(logicopt::cover_content_hash(cover, 4),
+            logicopt::cover_content_hash(reversed, 4));
+
+  logicopt::Cover changed = cover;
+  changed[1].polarity ^= 1;
+  EXPECT_NE(logicopt::cover_content_hash(cover, 4),
+            logicopt::cover_content_hash(changed, 4));
+  // The variable count is part of the content.
+  EXPECT_NE(logicopt::cover_content_hash(cover, 4),
+            logicopt::cover_content_hash(cover, 5));
+}
+
+TEST(ArtifactHash, GateNetlistOutputOrderCanonical) {
+  auto build = [](bool swap_outputs) {
+    synth::GateNetlist net;
+    const int a = net.add_input("a");
+    const int b = net.add_input("b");
+    const int x = net.gate_xor(a, b);
+    const int y = net.gate_and(a, net.gate_not(b));
+    if (swap_outputs) {
+      net.add_output("oy", y);
+      net.add_output("ox", x);
+    } else {
+      net.add_output("ox", x);
+      net.add_output("oy", y);
+    }
+    return net;
+  };
+  EXPECT_EQ(content_hash(build(false)), content_hash(build(true)));
+
+  synth::GateNetlist other;
+  const int a = other.add_input("a");
+  const int b = other.add_input("b");
+  other.add_output("ox", other.gate_or(a, b));
+  EXPECT_NE(content_hash(build(false)), content_hash(other));
+}
+
+TEST(ArtifactHash, RandomGateNetlistStableAcrossRebuilds) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    common::Rng rng1(seed);
+    common::Rng rng2(seed);
+    const auto net1 = testutil::random_netlist(rng1, 6, 40, 4);
+    const auto net2 = testutil::random_netlist(rng2, 6, 40, 4);
+    EXPECT_EQ(content_hash(net1), content_hash(net2)) << "seed " << seed;
+  }
+}
+
+// Golden digests: these lock the hashing *scheme*. If you change the hash
+// algorithm or the set of hashed fields, update the constants — and expect
+// every previously persisted digest (none today; caches are in-memory) to
+// be invalidated.
+TEST(ArtifactHash, StabilityRegression) {
+  common::Hasher h;
+  h.u32(1).u64(2).i32(-3).str("warp").f64(0.5).boolean(true);
+  EXPECT_EQ(h.finish().to_string(),
+            "e0ac4ada2a0afa73:a38791561d20adf5");
+
+  EXPECT_EQ(small_netlist().content_hash().to_string(),
+            "9dc02760dbcbc9ee:2cd783d63957961d");
+
+  const logicopt::Cover cover = {{0b0011, 0b0001}, {0b0101, 0b0100}};
+  EXPECT_EQ(logicopt::cover_content_hash(cover, 4).to_string(),
+            "7317b0e5727097cc:a2a1739e5160ed8c");
+}
+
+TEST(ArtifactHash, DigestBasics) {
+  EXPECT_EQ(common::Digest{}.to_string(), "0000000000000000:0000000000000000");
+  common::Hasher a;
+  a.u32(7);
+  common::Hasher b;
+  b.u32(8);
+  EXPECT_NE(a.finish(), b.finish());
+  // Field framing: ("ab", "c") must differ from ("a", "bc").
+  common::Hasher s1;
+  s1.str("ab").str("c");
+  common::Hasher s2;
+  s2.str("a").str("bc");
+  EXPECT_NE(s1.finish(), s2.finish());
+}
+
+}  // namespace
+}  // namespace warp

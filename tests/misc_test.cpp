@@ -156,12 +156,14 @@ TEST(Workloads, ExtendedRegistryAddsCoverageKernels) {
   // The extended list keeps the paper six in order and appends the
   // post-paper coverage workloads; name lookup spans all of them.
   const auto& extended = workloads::extended_workloads();
-  ASSERT_EQ(extended.size(), workloads::all_workloads().size() + 1);
+  ASSERT_EQ(extended.size(), workloads::all_workloads().size() + 2);
   for (std::size_t i = 0; i < workloads::all_workloads().size(); ++i) {
     EXPECT_EQ(extended[i].name, workloads::all_workloads()[i].name);
   }
-  EXPECT_EQ(extended.back().name, "crc");
+  EXPECT_EQ(extended[extended.size() - 2].name, "crc");
+  EXPECT_EQ(extended.back().name, "fir");
   EXPECT_EQ(workloads::workload_by_name("crc").name, "crc");
+  EXPECT_EQ(workloads::workload_by_name("fir").name, "fir");
 }
 
 TEST(Workloads, CheckRejectsUntouchedMemory) {

@@ -536,9 +536,29 @@ TEST(PackedExecutor, HarnessBenchmarksStayGolden) {
   }
 }
 
+TEST(PackedExecutor, FirEngagesWideAutoWidthEndToEnd) {
+  // fir exists precisely to drive the packed engine's wide widths through
+  // the whole executor: LUT-heavy (hundreds of surviving plan nodes, above
+  // the auto mode's thin-plan cutoff) and feedback-free (no accumulators,
+  // no MAC, no in-place hazard), with a long trip. Auto mode must therefore
+  // pick a lane block wider than one word — no other registered workload
+  // reaches W>1 end-to-end without pinning.
+  const auto& fir = workloads::workload_by_name("fir");
+  auto flowed = experiments::flow_workload(fir, experiments::default_options(), 1u << 20);
+  ASSERT_TRUE(flowed.is_ok()) << flowed.message();
+  KernelExecutor* exec = flowed.value().system->wcla().executor();
+  ASSERT_TRUE(exec->packed_supported()) << "fir must be packed-eligible";
+  EXPECT_GE(exec->packed_node_count(), 192u) << "fir must be LUT-heavy";
+  sim::Memory& mem = flowed.value().system->data_mem();
+  auto result = exec->run(mem, flowed.value().invocation);
+  ASSERT_TRUE(result.is_ok()) << result.message();
+  EXPECT_GT(result.value().packed_width, 1u) << "auto mode stayed narrow";
+  EXPECT_GT(result.value().packed_iterations, 0u);
+}
+
 TEST(PackedExecutor, AllWorkloadsBitExactAtEveryWidth) {
   // Acceptance gate for the lane-block engine: every registered workload
-  // (the six paper kernels plus crc) is run through the full warp flow,
+  // (the paper kernels plus crc and fir) is run through the full warp flow,
   // then its captured invocation is re-executed at every pinned width and
   // in auto mode and compared word-for-word against the scalar reference.
   // Feedback kernels (canrdr, idct, crc) must fall back to the scalar
