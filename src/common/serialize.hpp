@@ -1,0 +1,178 @@
+// Bounds-checked binary serialization primitives.
+//
+// The persistent artifact store (src/partition/disk_store.*) writes typed
+// stage artifacts to disk and must survive any byte-level damage to what it
+// reads back: truncation, bit flips, hostile lengths. ByteWriter builds a
+// little-endian byte stream field by field; ByteReader is its mirror that
+// *never* trusts the stream — every primitive checks the remaining length,
+// every count is validated against what could possibly fit in the bytes
+// left, and the first violation latches a failure flag instead of touching
+// out-of-range memory. Decoders check `ok()` (or use the require helpers)
+// and treat failure as corruption.
+//
+// All integers are fixed-width little-endian; doubles travel as their IEEE
+// bit pattern, so round-trips are bit-exact and digests computed over
+// decoded artifacts match the originals.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace warp::common {
+
+class ByteWriter {
+ public:
+  ByteWriter& u8(std::uint8_t v) {
+    bytes_.push_back(v);
+    return *this;
+  }
+  ByteWriter& u16(std::uint16_t v) { return fixed(v, 2); }
+  ByteWriter& u32(std::uint32_t v) { return fixed(v, 4); }
+  ByteWriter& u64(std::uint64_t v) { return fixed(v, 8); }
+  ByteWriter& i8(std::int8_t v) { return u8(static_cast<std::uint8_t>(v)); }
+  ByteWriter& i32(std::int32_t v) { return u32(static_cast<std::uint32_t>(v)); }
+  ByteWriter& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  ByteWriter& boolean(bool v) { return u8(v ? 1 : 0); }
+  ByteWriter& f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+  ByteWriter& str(std::string_view s) {
+    u64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+    return *this;
+  }
+  ByteWriter& digest(const Digest& d) { return u64(d.hi).u64(d.lo); }
+  ByteWriter& raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+    return *this;
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  ByteWriter& fixed(std::uint64_t v, unsigned width) {
+    for (unsigned i = 0; i < width; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    return *this;
+  }
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Non-owning reader over an immutable byte range. Any out-of-bounds read or
+/// failed expectation latches `ok() == false`; after that every read returns
+/// a zero value and the cursor stops moving, so decoders can run to the end
+/// and check ok() once (or bail early).
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t position() const { return pos_; }
+  /// Decoders call this last: a valid stream is fully consumed.
+  bool at_end() const { return ok_ && pos_ == size_; }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(fixed(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(fixed(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(fixed(4)); }
+  std::uint64_t u64() { return fixed(8); }
+  std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) fail();
+    return v == 1;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  Digest digest() {
+    Digest d;
+    d.hi = u64();
+    d.lo = u64();
+    return d;
+  }
+  std::string str() {
+    const std::uint64_t n = length(1);
+    if (!ok_) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// Read an element count that is followed by >= `min_elem_bytes` bytes per
+  /// element; a count the remaining bytes cannot possibly hold fails
+  /// immediately (hostile-length guard — no giant allocations).
+  std::uint64_t length(std::size_t min_elem_bytes) {
+    const std::uint64_t n = u64();
+    if (!ok_) return 0;
+    if (min_elem_bytes != 0 && n > remaining() / min_elem_bytes) {
+      fail();
+      return 0;
+    }
+    return n;
+  }
+
+  /// Expect an exact value (magic numbers, versions); mismatch fails.
+  void expect_u32(std::uint32_t want) {
+    if (u32() != want) fail();
+  }
+  void expect_u64(std::uint64_t want) {
+    if (u64() != want) fail();
+  }
+
+  /// Latch a semantic failure discovered by the decoder itself (bad enum
+  /// value, dangling index, ...).
+  void fail() { ok_ = false; }
+  /// fail() unless `cond` — for decoder-side invariant checks.
+  void require(bool cond) {
+    if (!cond) fail();
+  }
+
+ private:
+  std::uint64_t fixed(unsigned width) {
+    if (!ok_ || size_ - pos_ < width) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += width;
+    return v;
+  }
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Content checksum of a byte range (the store's trailer checksum). FNV-1a
+/// is sequential, so any flip, swap, insertion or truncation changes it.
+inline Digest bytes_checksum(const std::uint8_t* data, std::size_t size) {
+  Hasher h;
+  h.str(std::string_view(reinterpret_cast<const char*>(data), size));
+  return h.finish();
+}
+
+}  // namespace warp::common

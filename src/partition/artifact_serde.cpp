@@ -1,0 +1,860 @@
+#include "partition/artifact_serde.hpp"
+
+#include <utility>
+
+#include "common/serialize.hpp"
+#include "decompile/decoder.hpp"
+#include "isa/isa.hpp"
+
+namespace warp::partition {
+namespace {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+// Every decoder follows the same discipline: read through the bounds-checked
+// reader, range-check enums and cross-references as they arrive, and finish
+// with require(at_end()). For artifacts that carry their content hash the
+// decoder recomputes it and compares — a payload that passes the structural
+// checks but decodes to a *different* artifact than was stored is rejected
+// (the "never a wrong artifact" guarantee).
+
+template <typename T>
+common::Result<std::shared_ptr<const T>> corrupt(const char* what) {
+  return common::Result<std::shared_ptr<const T>>::error(
+      std::string("artifact decode: corrupt or truncated ") + what + " payload");
+}
+
+void enc_header(ByteWriter& w, std::uint32_t tag, std::uint32_t version) {
+  w.u32(tag).u32(version);
+}
+
+void dec_header(ByteReader& r, std::uint32_t tag, std::uint32_t version) {
+  r.expect_u32(tag);
+  r.expect_u32(version);
+}
+
+FailureKind dec_failure_kind(ByteReader& r) {
+  const std::uint8_t v = r.u8();
+  r.require(v <= static_cast<std::uint8_t>(FailureKind::kTransient));
+  return static_cast<FailureKind>(v);
+}
+
+// --- decompile::KernelIR ---------------------------------------------------
+
+void enc_kernel_ir(ByteWriter& w, const decompile::KernelIR& ir) {
+  const auto& nodes = ir.dfg.nodes();
+  w.u64(nodes.size());
+  for (const decompile::DfgNode& n : nodes) {
+    w.u8(static_cast<std::uint8_t>(n.op)).i32(n.a).i32(n.b).i32(n.c).u32(n.value);
+  }
+  w.u64(ir.streams.size());
+  for (const decompile::Stream& s : ir.streams) {
+    w.u64(s.base_terms.size());
+    for (const decompile::StreamBaseTerm& t : s.base_terms) w.u8(t.reg).i32(t.coeff);
+    w.i32(s.base_offset).u8(s.elem_bytes).i32(s.stride_bytes).u8(s.burst);
+    w.i32(s.tap_stride_bytes).boolean(s.is_write);
+  }
+  w.u64(ir.writes.size());
+  for (const decompile::StreamWrite& sw : ir.writes) w.u8(sw.stream).u8(sw.tap).i32(sw.node);
+  w.u64(ir.accumulators.size());
+  for (const decompile::Accumulator& a : ir.accumulators) {
+    w.u8(a.reg).u8(static_cast<std::uint8_t>(a.op)).i32(a.node).u32(a.init_from_reg);
+  }
+  w.u64(ir.iv_finals.size());
+  for (const decompile::IvFinal& f : ir.iv_finals) w.u8(f.reg).i32(f.step);
+  w.u64(ir.live_in_regs.size());
+  for (const std::uint8_t reg : ir.live_in_regs) w.u8(reg);
+  w.u64(ir.iv_regs.size());
+  for (const auto& [reg, step] : ir.iv_regs) w.u8(reg).i32(step);
+  w.u8(static_cast<std::uint8_t>(ir.trip.kind)).u8(ir.trip.reg).i32(ir.trip.step);
+  w.i64(ir.trip.constant).boolean(ir.trip.bound_is_const).u8(ir.trip.bound_reg);
+  w.i32(ir.trip.bound_const);
+  w.u32(ir.header_pc).u32(ir.branch_pc).u32(ir.exit_pc);
+  w.u64(ir.sw_cycles_per_iter);
+}
+
+decompile::KernelIR dec_kernel_ir(ByteReader& r) {
+  decompile::KernelIR ir;
+  const std::uint64_t num_nodes = r.length(17);
+  std::vector<decompile::DfgNode> nodes;
+  nodes.reserve(static_cast<std::size_t>(num_nodes));
+  for (std::uint64_t i = 0; i < num_nodes && r.ok(); ++i) {
+    decompile::DfgNode n;
+    const std::uint8_t op = r.u8();
+    r.require(op <= static_cast<std::uint8_t>(decompile::DfgOp::kCmp3U));
+    n.op = static_cast<decompile::DfgOp>(op);
+    n.a = r.i32();
+    n.b = r.i32();
+    n.c = r.i32();
+    n.value = r.u32();
+    // Hash-consed graphs are strictly topological: operands precede users.
+    const int limit = static_cast<int>(i);
+    r.require(n.a >= -1 && n.a < limit && n.b >= -1 && n.b < limit && n.c >= -1 &&
+              n.c < limit);
+    nodes.push_back(n);
+  }
+  const int dfg_size = static_cast<int>(nodes.size());
+  if (r.ok()) ir.dfg = decompile::Dfg::restore(std::move(nodes));
+  const std::uint64_t num_streams = r.length(23);
+  for (std::uint64_t i = 0; i < num_streams && r.ok(); ++i) {
+    decompile::Stream s;
+    const std::uint64_t terms = r.length(5);
+    for (std::uint64_t t = 0; t < terms && r.ok(); ++t) {
+      decompile::StreamBaseTerm term;
+      term.reg = r.u8();
+      r.require(term.reg < isa::kNumRegisters);
+      term.coeff = r.i32();
+      s.base_terms.push_back(term);
+    }
+    s.base_offset = r.i32();
+    s.elem_bytes = r.u8();
+    s.stride_bytes = r.i32();
+    s.burst = r.u8();
+    s.tap_stride_bytes = r.i32();
+    s.is_write = r.boolean();
+    ir.streams.push_back(std::move(s));
+  }
+  const std::uint64_t num_writes = r.length(6);
+  for (std::uint64_t i = 0; i < num_writes && r.ok(); ++i) {
+    decompile::StreamWrite sw;
+    sw.stream = r.u8();
+    sw.tap = r.u8();
+    sw.node = r.i32();
+    r.require(sw.stream < ir.streams.size() && sw.node >= -1 && sw.node < dfg_size);
+    ir.writes.push_back(sw);
+  }
+  const std::uint64_t num_accs = r.length(10);
+  for (std::uint64_t i = 0; i < num_accs && r.ok(); ++i) {
+    decompile::Accumulator a;
+    a.reg = r.u8();
+    r.require(a.reg < isa::kNumRegisters);
+    const std::uint8_t op = r.u8();
+    r.require(op <= static_cast<std::uint8_t>(decompile::DfgOp::kCmp3U));
+    a.op = static_cast<decompile::DfgOp>(op);
+    a.node = r.i32();
+    a.init_from_reg = r.u32();
+    r.require(a.node >= -1 && a.node < dfg_size);
+    r.require(a.init_from_reg < isa::kNumRegisters);
+    ir.accumulators.push_back(a);
+  }
+  const std::uint64_t num_finals = r.length(5);
+  for (std::uint64_t i = 0; i < num_finals && r.ok(); ++i) {
+    decompile::IvFinal f;
+    f.reg = r.u8();
+    r.require(f.reg < isa::kNumRegisters);
+    f.step = r.i32();
+    ir.iv_finals.push_back(f);
+  }
+  const std::uint64_t num_live = r.length(1);
+  for (std::uint64_t i = 0; i < num_live && r.ok(); ++i) {
+    const std::uint8_t reg = r.u8();
+    r.require(reg < isa::kNumRegisters);
+    ir.live_in_regs.push_back(reg);
+  }
+  const std::uint64_t num_ivs = r.length(5);
+  for (std::uint64_t i = 0; i < num_ivs && r.ok(); ++i) {
+    const std::uint8_t reg = r.u8();
+    r.require(reg < isa::kNumRegisters);
+    const std::int32_t step = r.i32();
+    ir.iv_regs.emplace_back(reg, step);
+  }
+  const std::uint8_t trip_kind = r.u8();
+  r.require(trip_kind <= static_cast<std::uint8_t>(decompile::TripCount::Kind::kBoundedUp));
+  ir.trip.kind = static_cast<decompile::TripCount::Kind>(trip_kind);
+  ir.trip.reg = r.u8();
+  r.require(ir.trip.reg < isa::kNumRegisters);
+  ir.trip.step = r.i32();
+  ir.trip.constant = r.i64();
+  ir.trip.bound_is_const = r.boolean();
+  ir.trip.bound_reg = r.u8();
+  r.require(ir.trip.bound_reg < isa::kNumRegisters);
+  ir.trip.bound_const = r.i32();
+  ir.header_pc = r.u32();
+  ir.branch_pc = r.u32();
+  ir.exit_pc = r.u32();
+  ir.sw_cycles_per_iter = r.u64();
+  return ir;
+}
+
+// --- synth::GateNetlist / Bits ---------------------------------------------
+
+void enc_netlist(ByteWriter& w, const synth::GateNetlist& net) {
+  w.u64(net.gates().size());
+  for (const synth::Gate& g : net.gates()) {
+    w.u8(static_cast<std::uint8_t>(g.kind)).i32(g.a).i32(g.b);
+  }
+  w.u64(net.inputs().size());
+  for (const int id : net.inputs()) w.i32(id).str(net.input_name(id));
+  w.u64(net.outputs().size());
+  for (const synth::OutputBit& o : net.outputs()) w.str(o.name).i32(o.gate);
+}
+
+synth::GateNetlist dec_netlist(ByteReader& r) {
+  const std::uint64_t num_gates = r.length(9);
+  std::vector<synth::Gate> gates;
+  gates.reserve(static_cast<std::size_t>(num_gates));
+  for (std::uint64_t i = 0; i < num_gates && r.ok(); ++i) {
+    synth::Gate g;
+    const std::uint8_t kind = r.u8();
+    r.require(kind <= static_cast<std::uint8_t>(synth::GateKind::kBuf));
+    g.kind = static_cast<synth::GateKind>(kind);
+    g.a = r.i32();
+    g.b = r.i32();
+    const int limit = static_cast<int>(i);
+    r.require(g.a >= -1 && g.a < limit && g.b >= -1 && g.b < limit);
+    gates.push_back(g);
+  }
+  const int size = static_cast<int>(gates.size());
+  const std::uint64_t num_inputs = r.length(12);
+  std::vector<int> input_ids;
+  std::vector<std::string> input_names;
+  for (std::uint64_t i = 0; i < num_inputs && r.ok(); ++i) {
+    const int id = r.i32();
+    const bool id_ok = id >= 0 && id < size &&
+                       gates[static_cast<std::size_t>(id)].kind == synth::GateKind::kInput;
+    r.require(id_ok);
+    input_ids.push_back(id_ok ? id : 0);
+    input_names.push_back(r.str());
+  }
+  const std::uint64_t num_outputs = r.length(12);
+  std::vector<synth::OutputBit> outputs;
+  for (std::uint64_t i = 0; i < num_outputs && r.ok(); ++i) {
+    synth::OutputBit o;
+    o.name = r.str();
+    o.gate = r.i32();
+    r.require(o.gate >= -1 && o.gate < size);
+    outputs.push_back(std::move(o));
+  }
+  r.require(r.ok() && size >= 2 && gates[0].kind == synth::GateKind::kConst0 &&
+            gates[1].kind == synth::GateKind::kConst1);
+  if (!r.ok()) return synth::GateNetlist{};
+  return synth::GateNetlist::restore(std::move(gates), std::move(input_ids),
+                                     std::move(input_names), std::move(outputs));
+}
+
+void enc_bits(ByteWriter& w, const synth::Bits& bits) {
+  for (const int b : bits) w.i32(b);
+}
+
+synth::Bits dec_bits(ByteReader& r, int gate_limit) {
+  synth::Bits bits{};
+  for (int& b : bits) {
+    b = r.i32();
+    r.require(b >= -1 && b < gate_limit);
+  }
+  return bits;
+}
+
+void enc_hw_kernel(ByteWriter& w, const synth::HwKernel& k) {
+  enc_kernel_ir(w, k.ir);
+  enc_netlist(w, k.fabric);
+  w.u64(k.stream_inputs.size());
+  for (const auto& [key, bits] : k.stream_inputs) {
+    w.u32(key.first).u32(key.second);
+    enc_bits(w, bits);
+  }
+  w.u64(k.livein_inputs.size());
+  for (const auto& [reg, bits] : k.livein_inputs) {
+    w.u32(reg);
+    enc_bits(w, bits);
+  }
+  w.u64(k.iv_inputs.size());
+  for (const auto& [reg, bits] : k.iv_inputs) {
+    w.u32(reg);
+    enc_bits(w, bits);
+  }
+  w.u64(k.mac_result_inputs.size());
+  for (const synth::Bits& bits : k.mac_result_inputs) enc_bits(w, bits);
+  w.u64(k.acc_state_inputs.size());
+  for (const auto& [idx, bits] : k.acc_state_inputs) {
+    w.u32(idx);
+    enc_bits(w, bits);
+  }
+  w.u64(k.mac_ops.size());
+  for (const synth::MacOp& op : k.mac_ops) {
+    enc_bits(w, op.a_bits);
+    enc_bits(w, op.b_bits);
+    w.boolean(op.accumulate).i32(op.acc_index);
+  }
+  w.u64(k.write_outputs.size());
+  for (const synth::WriteOutput& o : k.write_outputs) {
+    w.u32(o.stream).u32(o.tap);
+    enc_bits(w, o.bits);
+  }
+  w.u64(k.acc_outputs.size());
+  for (const synth::AccOutput& o : k.acc_outputs) {
+    w.u32(o.acc_index).boolean(o.via_mac);
+    enc_bits(w, o.bits);
+  }
+  w.u32(k.mem_accesses_per_iter).u32(k.mac_cycles_per_iter);
+}
+
+synth::HwKernel dec_hw_kernel(ByteReader& r) {
+  synth::HwKernel k;
+  k.ir = dec_kernel_ir(r);
+  k.fabric = dec_netlist(r);
+  const int limit = static_cast<int>(k.fabric.size());
+  const std::uint64_t num_stream = r.length(136);
+  for (std::uint64_t i = 0; i < num_stream && r.ok(); ++i) {
+    const unsigned stream = r.u32();
+    const unsigned tap = r.u32();
+    k.stream_inputs.emplace(std::make_pair(stream, tap), dec_bits(r, limit));
+  }
+  const std::uint64_t num_livein = r.length(132);
+  for (std::uint64_t i = 0; i < num_livein && r.ok(); ++i) {
+    const unsigned reg = r.u32();
+    k.livein_inputs.emplace(reg, dec_bits(r, limit));
+  }
+  const std::uint64_t num_iv = r.length(132);
+  for (std::uint64_t i = 0; i < num_iv && r.ok(); ++i) {
+    const unsigned reg = r.u32();
+    k.iv_inputs.emplace(reg, dec_bits(r, limit));
+  }
+  const std::uint64_t num_mac_res = r.length(128);
+  for (std::uint64_t i = 0; i < num_mac_res && r.ok(); ++i) {
+    k.mac_result_inputs.push_back(dec_bits(r, limit));
+  }
+  const std::uint64_t num_acc_state = r.length(132);
+  for (std::uint64_t i = 0; i < num_acc_state && r.ok(); ++i) {
+    const unsigned idx = r.u32();
+    k.acc_state_inputs.emplace(idx, dec_bits(r, limit));
+  }
+  const std::uint64_t num_macs = r.length(261);
+  for (std::uint64_t i = 0; i < num_macs && r.ok(); ++i) {
+    synth::MacOp op;
+    op.a_bits = dec_bits(r, limit);
+    op.b_bits = dec_bits(r, limit);
+    op.accumulate = r.boolean();
+    op.acc_index = r.i32();
+    r.require(op.acc_index >= -1 &&
+              op.acc_index < static_cast<int>(k.ir.accumulators.size()));
+    k.mac_ops.push_back(op);
+  }
+  const std::uint64_t num_write = r.length(136);
+  for (std::uint64_t i = 0; i < num_write && r.ok(); ++i) {
+    synth::WriteOutput o;
+    o.stream = r.u32();
+    o.tap = r.u32();
+    o.bits = dec_bits(r, limit);
+    k.write_outputs.push_back(o);
+  }
+  const std::uint64_t num_acc_out = r.length(133);
+  for (std::uint64_t i = 0; i < num_acc_out && r.ok(); ++i) {
+    synth::AccOutput o;
+    o.acc_index = r.u32();
+    o.via_mac = r.boolean();
+    o.bits = dec_bits(r, limit);
+    r.require(o.acc_index < k.ir.accumulators.size());
+    k.acc_outputs.push_back(o);
+  }
+  k.mem_accesses_per_iter = r.u32();
+  k.mac_cycles_per_iter = r.u32();
+  return k;
+}
+
+// --- techmap::LutNetlist ---------------------------------------------------
+
+void enc_net_ref(ByteWriter& w, const techmap::NetRef& ref) {
+  w.u8(static_cast<std::uint8_t>(ref.kind)).i32(ref.index);
+}
+
+techmap::NetRef dec_net_ref(ByteReader& r, int lut_limit, int input_limit) {
+  techmap::NetRef ref;
+  const std::uint8_t kind = r.u8();
+  r.require(kind <= static_cast<std::uint8_t>(techmap::NetRef::Kind::kConst1));
+  ref.kind = static_cast<techmap::NetRef::Kind>(kind);
+  ref.index = r.i32();
+  switch (ref.kind) {
+    case techmap::NetRef::Kind::kLut:
+      r.require(ref.index >= 0 && ref.index < lut_limit);
+      break;
+    case techmap::NetRef::Kind::kPrimaryInput:
+      r.require(ref.index >= 0 && ref.index < input_limit);
+      break;
+    default:
+      break;
+  }
+  return ref;
+}
+
+void enc_lut_netlist(ByteWriter& w, const techmap::LutNetlist& net) {
+  w.u64(net.primary_inputs.size());
+  for (const std::string& name : net.primary_inputs) w.str(name);
+  w.u64(net.luts.size());
+  for (const techmap::Lut& lut : net.luts) {
+    for (const techmap::NetRef& ref : lut.inputs) enc_net_ref(w, ref);
+    w.u32(lut.num_inputs).u8(lut.truth);
+  }
+  w.u64(net.outputs.size());
+  for (const techmap::MappedOutput& o : net.outputs) {
+    w.str(o.name);
+    enc_net_ref(w, o.source);
+  }
+  // input_ports/output_ports are derived (annotate_ports() on decode).
+}
+
+techmap::LutNetlist dec_lut_netlist(ByteReader& r) {
+  techmap::LutNetlist net;
+  const std::uint64_t num_inputs = r.length(8);
+  for (std::uint64_t i = 0; i < num_inputs && r.ok(); ++i) {
+    net.primary_inputs.push_back(r.str());
+  }
+  const int input_limit = static_cast<int>(net.primary_inputs.size());
+  const std::uint64_t num_luts = r.length(20);
+  for (std::uint64_t i = 0; i < num_luts && r.ok(); ++i) {
+    techmap::Lut lut;
+    // LUTs are in topological index order: a LUT only references earlier ones.
+    for (techmap::NetRef& ref : lut.inputs) {
+      ref = dec_net_ref(r, static_cast<int>(i), input_limit);
+    }
+    lut.num_inputs = r.u32();
+    lut.truth = r.u8();
+    r.require(lut.num_inputs <= techmap::kLutInputs);
+    net.luts.push_back(lut);
+  }
+  const std::uint64_t num_outputs = r.length(13);
+  for (std::uint64_t i = 0; i < num_outputs && r.ok(); ++i) {
+    techmap::MappedOutput o;
+    o.name = r.str();
+    o.source = dec_net_ref(r, static_cast<int>(net.luts.size()), input_limit);
+    net.outputs.push_back(std::move(o));
+  }
+  if (r.ok()) net.annotate_ports();
+  return net;
+}
+
+// --- fabric geometry / placement / routing ---------------------------------
+
+void enc_geometry(ByteWriter& w, const fabric::FabricGeometry& g) {
+  w.u32(g.width).u32(g.height).u32(g.luts_per_clb).u32(g.channel_capacity);
+  w.f64(g.lut_delay_ns).f64(g.wire_hop_delay_ns).f64(g.io_delay_ns).f64(g.max_clock_mhz);
+}
+
+fabric::FabricGeometry dec_geometry(ByteReader& r) {
+  fabric::FabricGeometry g;
+  g.width = r.u32();
+  g.height = r.u32();
+  g.luts_per_clb = r.u32();
+  g.channel_capacity = r.u32();
+  g.lut_delay_ns = r.f64();
+  g.wire_hop_delay_ns = r.f64();
+  g.io_delay_ns = r.f64();
+  g.max_clock_mhz = r.f64();
+  return g;
+}
+
+void enc_site(ByteWriter& w, const fabric::LutSite& s) {
+  w.i32(s.x).i32(s.y).u32(s.slot);
+}
+
+fabric::LutSite dec_site(ByteReader& r) {
+  fabric::LutSite s;
+  s.x = r.i32();
+  s.y = r.i32();
+  s.slot = r.u32();
+  return s;
+}
+
+void enc_sites(ByteWriter& w, const std::vector<fabric::LutSite>& sites) {
+  w.u64(sites.size());
+  for (const fabric::LutSite& s : sites) enc_site(w, s);
+}
+
+std::vector<fabric::LutSite> dec_sites(ByteReader& r) {
+  std::vector<fabric::LutSite> sites;
+  const std::uint64_t n = r.length(12);
+  sites.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) sites.push_back(dec_site(r));
+  return sites;
+}
+
+void enc_routes(ByteWriter& w, const std::vector<fabric::RoutedNet>& routes) {
+  w.u64(routes.size());
+  for (const fabric::RoutedNet& net : routes) {
+    w.i32(net.driver_lut).i32(net.driver_input);
+    w.u64(net.sinks.size());
+    for (const fabric::RoutedNet::Sink& sink : net.sinks) {
+      w.i32(sink.lut).i32(sink.output_index).u32(sink.input_pin);
+      w.u64(sink.path.size());
+      for (const auto& [x, y] : sink.path) w.i32(x).i32(y);
+    }
+  }
+}
+
+std::vector<fabric::RoutedNet> dec_routes(ByteReader& r, int lut_limit, int input_limit,
+                                          int output_limit) {
+  std::vector<fabric::RoutedNet> routes;
+  const std::uint64_t n = r.length(16);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    fabric::RoutedNet net;
+    net.driver_lut = r.i32();
+    net.driver_input = r.i32();
+    r.require(net.driver_lut >= -1 && net.driver_lut < lut_limit);
+    if (net.driver_lut < 0) r.require(net.driver_input >= 0 && net.driver_input < input_limit);
+    const std::uint64_t num_sinks = r.length(20);
+    for (std::uint64_t s = 0; s < num_sinks && r.ok(); ++s) {
+      fabric::RoutedNet::Sink sink;
+      sink.lut = r.i32();
+      sink.output_index = r.i32();
+      sink.input_pin = r.u32();
+      r.require(sink.lut >= -1 && sink.lut < lut_limit);
+      if (sink.lut < 0) {
+        r.require(sink.output_index >= 0 && sink.output_index < output_limit);
+      } else {
+        r.require(sink.input_pin < techmap::kLutInputs);
+      }
+      const std::uint64_t hops = r.length(8);
+      sink.path.reserve(static_cast<std::size_t>(hops));
+      for (std::uint64_t h = 0; h < hops && r.ok(); ++h) {
+        const int x = r.i32();
+        const int y = r.i32();
+        sink.path.emplace_back(x, y);
+      }
+      net.sinks.push_back(std::move(sink));
+    }
+    routes.push_back(std::move(net));
+  }
+  return routes;
+}
+
+void enc_pnr_result(ByteWriter& w, const pnr::PnrResult& res) {
+  enc_geometry(w, res.config.geometry);
+  enc_lut_netlist(w, res.config.netlist);
+  enc_sites(w, res.config.placement);
+  enc_sites(w, res.config.input_pads);
+  enc_sites(w, res.config.output_pads);
+  enc_routes(w, res.config.routes);
+  w.f64(res.config.critical_path_ns);
+  enc_sites(w, res.place.placement);
+  enc_sites(w, res.place.input_pads);
+  enc_sites(w, res.place.output_pads);
+  w.f64(res.place.hpwl).u64(res.place.moves).u64(res.place.accepted_moves);
+  w.u64(res.place.delta_evaluations).u64(res.place.bbox_rescans);
+  enc_routes(w, res.route.routes);
+  w.boolean(res.route.success).u32(res.route.iterations).u64(res.route.expansions);
+  w.f64(res.route.critical_path_ns).u32(res.route.max_hops).u64(res.route.nets_rerouted);
+  w.u64(res.route.nets_rerouted_per_iter.size());
+  for (const unsigned v : res.route.nets_rerouted_per_iter) w.u32(v);
+}
+
+pnr::PnrResult dec_pnr_result(ByteReader& r) {
+  pnr::PnrResult res;
+  res.config.geometry = dec_geometry(r);
+  res.config.netlist = dec_lut_netlist(r);
+  const int lut_limit = static_cast<int>(res.config.netlist.luts.size());
+  const int input_limit = static_cast<int>(res.config.netlist.primary_inputs.size());
+  const int output_limit = static_cast<int>(res.config.netlist.outputs.size());
+  res.config.placement = dec_sites(r);
+  res.config.input_pads = dec_sites(r);
+  res.config.output_pads = dec_sites(r);
+  res.config.routes = dec_routes(r, lut_limit, input_limit, output_limit);
+  res.config.critical_path_ns = r.f64();
+  r.require(res.config.placement.size() == static_cast<std::size_t>(lut_limit) &&
+            res.config.input_pads.size() == static_cast<std::size_t>(input_limit) &&
+            res.config.output_pads.size() == static_cast<std::size_t>(output_limit));
+  res.place.placement = dec_sites(r);
+  res.place.input_pads = dec_sites(r);
+  res.place.output_pads = dec_sites(r);
+  res.place.hpwl = r.f64();
+  res.place.moves = r.u64();
+  res.place.accepted_moves = r.u64();
+  res.place.delta_evaluations = r.u64();
+  res.place.bbox_rescans = r.u64();
+  res.route.routes = dec_routes(r, lut_limit, input_limit, output_limit);
+  res.route.success = r.boolean();
+  res.route.iterations = r.u32();
+  res.route.expansions = r.u64();
+  res.route.critical_path_ns = r.f64();
+  res.route.max_hops = r.u32();
+  res.route.nets_rerouted = r.u64();
+  const std::uint64_t iters = r.length(4);
+  for (std::uint64_t i = 0; i < iters && r.ok(); ++i) {
+    res.route.nets_rerouted_per_iter.push_back(r.u32());
+  }
+  return res;
+}
+
+}  // namespace
+
+// --- FrontendArtifact ------------------------------------------------------
+//
+// Persisted as a *recipe*: the fused instruction list. CFG, dominators and
+// liveness are deterministic functions of it, so decode rebuilds them with
+// the exact code the frontend stage runs — cheaper than serializing the
+// graph and immune to representation drift.
+
+std::vector<std::uint8_t> ArtifactCodec<FrontendArtifact>::encode(const FrontendArtifact& a) {
+  ByteWriter w;
+  enc_header(w, kTag, kVersion);
+  const auto& instrs = a.cfg.instrs();
+  w.u64(instrs.size());
+  for (const decompile::FusedInstr& fi : instrs) {
+    w.u32(fi.pc).u8(static_cast<std::uint8_t>(fi.instr.op)).u8(fi.instr.rd);
+    w.u8(fi.instr.ra).u8(fi.instr.rb).i32(fi.instr.imm);
+    w.i64(fi.imm).boolean(fi.fused).boolean(fi.valid);
+  }
+  return w.take();
+}
+
+ArtifactCodec<FrontendArtifact>::Decoded ArtifactCodec<FrontendArtifact>::decode(
+    const std::uint8_t* data, std::size_t size) {
+  try {
+    ByteReader r(data, size);
+    dec_header(r, kTag, kVersion);
+    const std::uint64_t n = r.length(18);
+    std::vector<decompile::FusedInstr> instrs;
+    instrs.reserve(static_cast<std::size_t>(n));
+    std::uint32_t expected_pc = 0;
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      decompile::FusedInstr fi;
+      fi.pc = r.u32();
+      const std::uint8_t op = r.u8();
+      r.require(op < static_cast<std::uint8_t>(isa::Opcode::kOpcodeCount));
+      fi.instr.op = static_cast<isa::Opcode>(op);
+      fi.instr.rd = r.u8();
+      fi.instr.ra = r.u8();
+      fi.instr.rb = r.u8();
+      r.require(fi.instr.rd < isa::kNumRegisters && fi.instr.ra < isa::kNumRegisters &&
+                fi.instr.rb < isa::kNumRegisters);
+      fi.instr.imm = r.i32();
+      fi.imm = r.i64();
+      fi.fused = r.boolean();
+      fi.valid = r.boolean();
+      // decode_program() produces a contiguous instruction stream; anything
+      // else cannot be a frontend artifact.
+      r.require(fi.pc == expected_pc);
+      expected_pc = fi.next_pc();
+      instrs.push_back(fi);
+    }
+    if (!r.at_end()) return corrupt<FrontendArtifact>("frontend");
+    auto art = std::make_shared<FrontendArtifact>();
+    art->cfg = decompile::Cfg::build(std::move(instrs));
+    art->liveness = std::make_unique<decompile::Liveness>(art->cfg);
+    art->instrs = art->cfg.instrs().size();
+    return std::shared_ptr<const FrontendArtifact>(std::move(art));
+  } catch (const std::exception& e) {
+    return Decoded::error(std::string("artifact decode: frontend: ") + e.what());
+  }
+}
+
+// --- DecompileArtifact -----------------------------------------------------
+
+std::vector<std::uint8_t> ArtifactCodec<DecompileArtifact>::encode(const DecompileArtifact& a) {
+  ByteWriter w;
+  enc_header(w, kTag, kVersion);
+  w.boolean(a.ok).str(a.error).u8(static_cast<std::uint8_t>(a.fail_kind));
+  w.u64(a.region_instrs);
+  if (a.ok) {
+    enc_kernel_ir(w, a.ir);
+    w.digest(a.ir_hash);
+  }
+  return w.take();
+}
+
+ArtifactCodec<DecompileArtifact>::Decoded ArtifactCodec<DecompileArtifact>::decode(
+    const std::uint8_t* data, std::size_t size) {
+  try {
+    ByteReader r(data, size);
+    dec_header(r, kTag, kVersion);
+    auto art = std::make_shared<DecompileArtifact>();
+    art->ok = r.boolean();
+    art->error = r.str();
+    art->fail_kind = dec_failure_kind(r);
+    art->region_instrs = r.u64();
+    if (r.ok() && art->ok) {
+      art->ir = dec_kernel_ir(r);
+      art->ir_hash = r.digest();
+      r.require(r.ok() && content_hash(art->ir) == art->ir_hash);
+    }
+    if (!r.at_end()) return corrupt<DecompileArtifact>("decompile");
+    return std::shared_ptr<const DecompileArtifact>(std::move(art));
+  } catch (const std::exception& e) {
+    return Decoded::error(std::string("artifact decode: decompile: ") + e.what());
+  }
+}
+
+// --- SynthArtifact ---------------------------------------------------------
+
+std::vector<std::uint8_t> ArtifactCodec<SynthArtifact>::encode(const SynthArtifact& a) {
+  ByteWriter w;
+  enc_header(w, kTag, kVersion);
+  w.boolean(a.ok).str(a.error).u8(static_cast<std::uint8_t>(a.fail_kind));
+  w.u64(a.fabric_gates);
+  if (a.ok) {
+    enc_hw_kernel(w, a.kernel);
+    w.digest(a.kernel_hash);
+  }
+  return w.take();
+}
+
+ArtifactCodec<SynthArtifact>::Decoded ArtifactCodec<SynthArtifact>::decode(
+    const std::uint8_t* data, std::size_t size) {
+  try {
+    ByteReader r(data, size);
+    dec_header(r, kTag, kVersion);
+    auto art = std::make_shared<SynthArtifact>();
+    art->ok = r.boolean();
+    art->error = r.str();
+    art->fail_kind = dec_failure_kind(r);
+    art->fabric_gates = r.u64();
+    if (r.ok() && art->ok) {
+      art->kernel = dec_hw_kernel(r);
+      art->kernel_hash = r.digest();
+      r.require(r.ok() && content_hash(art->kernel) == art->kernel_hash);
+    }
+    if (!r.at_end()) return corrupt<SynthArtifact>("synth");
+    return std::shared_ptr<const SynthArtifact>(std::move(art));
+  } catch (const std::exception& e) {
+    return Decoded::error(std::string("artifact decode: synth: ") + e.what());
+  }
+}
+
+// --- TechmapArtifact -------------------------------------------------------
+
+std::vector<std::uint8_t> ArtifactCodec<TechmapArtifact>::encode(const TechmapArtifact& a) {
+  ByteWriter w;
+  enc_header(w, kTag, kVersion);
+  w.boolean(a.ok).str(a.error).u8(static_cast<std::uint8_t>(a.fail_kind));
+  w.u64(a.stats.gates_in).u64(a.stats.luts_out).u32(a.stats.depth).u64(a.stats.cut_count);
+  if (a.ok) {
+    enc_lut_netlist(w, a.netlist);
+    w.digest(a.netlist_hash);
+  }
+  return w.take();
+}
+
+ArtifactCodec<TechmapArtifact>::Decoded ArtifactCodec<TechmapArtifact>::decode(
+    const std::uint8_t* data, std::size_t size) {
+  try {
+    ByteReader r(data, size);
+    dec_header(r, kTag, kVersion);
+    auto art = std::make_shared<TechmapArtifact>();
+    art->ok = r.boolean();
+    art->error = r.str();
+    art->fail_kind = dec_failure_kind(r);
+    art->stats.gates_in = r.u64();
+    art->stats.luts_out = r.u64();
+    art->stats.depth = r.u32();
+    art->stats.cut_count = r.u64();
+    if (r.ok() && art->ok) {
+      art->netlist = dec_lut_netlist(r);
+      art->netlist_hash = r.digest();
+      r.require(r.ok() && art->netlist.content_hash() == art->netlist_hash);
+    }
+    if (!r.at_end()) return corrupt<TechmapArtifact>("techmap");
+    return std::shared_ptr<const TechmapArtifact>(std::move(art));
+  } catch (const std::exception& e) {
+    return Decoded::error(std::string("artifact decode: techmap: ") + e.what());
+  }
+}
+
+// --- RocmArtifact ----------------------------------------------------------
+
+std::vector<std::uint8_t> ArtifactCodec<RocmArtifact>::encode(const RocmArtifact& a) {
+  ByteWriter w;
+  enc_header(w, kTag, kVersion);
+  w.u32(a.literals_before).u32(a.literals_after);
+  w.u64(a.tautology_calls).u64(a.memo_hits).u64(a.steps);
+  return w.take();
+}
+
+ArtifactCodec<RocmArtifact>::Decoded ArtifactCodec<RocmArtifact>::decode(
+    const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  dec_header(r, kTag, kVersion);
+  auto art = std::make_shared<RocmArtifact>();
+  art->literals_before = r.u32();
+  art->literals_after = r.u32();
+  art->tautology_calls = r.u64();
+  art->memo_hits = r.u64();
+  art->steps = r.u64();
+  if (!r.at_end()) return corrupt<RocmArtifact>("rocm");
+  return std::shared_ptr<const RocmArtifact>(std::move(art));
+}
+
+// --- PnrArtifact -----------------------------------------------------------
+
+std::vector<std::uint8_t> ArtifactCodec<PnrArtifact>::encode(const PnrArtifact& a) {
+  ByteWriter w;
+  enc_header(w, kTag, kVersion);
+  w.boolean(a.ok).str(a.error).u8(static_cast<std::uint8_t>(a.fail_kind));
+  if (a.ok) {
+    enc_pnr_result(w, a.result);
+    w.digest(a.result_hash);
+  }
+  return w.take();
+}
+
+ArtifactCodec<PnrArtifact>::Decoded ArtifactCodec<PnrArtifact>::decode(
+    const std::uint8_t* data, std::size_t size) {
+  try {
+    ByteReader r(data, size);
+    dec_header(r, kTag, kVersion);
+    auto art = std::make_shared<PnrArtifact>();
+    art->ok = r.boolean();
+    art->error = r.str();
+    art->fail_kind = dec_failure_kind(r);
+    if (r.ok() && art->ok) {
+      art->result = dec_pnr_result(r);
+      art->result_hash = r.digest();
+      r.require(r.ok() && content_hash(art->result) == art->result_hash);
+    }
+    if (!r.at_end()) return corrupt<PnrArtifact>("pnr");
+    return std::shared_ptr<const PnrArtifact>(std::move(art));
+  } catch (const std::exception& e) {
+    return Decoded::error(std::string("artifact decode: pnr: ") + e.what());
+  }
+}
+
+// --- BitstreamArtifact -----------------------------------------------------
+
+std::vector<std::uint8_t> ArtifactCodec<BitstreamArtifact>::encode(const BitstreamArtifact& a) {
+  ByteWriter w;
+  enc_header(w, kTag, kVersion);
+  w.u64(a.words.size());
+  for (const std::uint32_t word : a.words) w.u32(word);
+  return w.take();
+}
+
+ArtifactCodec<BitstreamArtifact>::Decoded ArtifactCodec<BitstreamArtifact>::decode(
+    const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  dec_header(r, kTag, kVersion);
+  auto art = std::make_shared<BitstreamArtifact>();
+  const std::uint64_t n = r.length(4);
+  art->words.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) art->words.push_back(r.u32());
+  if (!r.at_end()) return corrupt<BitstreamArtifact>("bitstream");
+  return std::shared_ptr<const BitstreamArtifact>(std::move(art));
+}
+
+// --- StubArtifact ----------------------------------------------------------
+
+std::vector<std::uint8_t> ArtifactCodec<StubArtifact>::encode(const StubArtifact& a) {
+  ByteWriter w;
+  enc_header(w, kTag, kVersion);
+  w.boolean(a.ok).str(a.error).u8(static_cast<std::uint8_t>(a.fail_kind));
+  w.u64(a.stub.words.size());
+  for (const std::uint32_t word : a.stub.words) w.u32(word);
+  w.u32(a.stub.patch_word);
+  return w.take();
+}
+
+ArtifactCodec<StubArtifact>::Decoded ArtifactCodec<StubArtifact>::decode(
+    const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  dec_header(r, kTag, kVersion);
+  auto art = std::make_shared<StubArtifact>();
+  art->ok = r.boolean();
+  art->error = r.str();
+  art->fail_kind = dec_failure_kind(r);
+  const std::uint64_t n = r.length(4);
+  art->stub.words.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) art->stub.words.push_back(r.u32());
+  art->stub.patch_word = r.u32();
+  if (!r.at_end()) return corrupt<StubArtifact>("stub");
+  return std::shared_ptr<const StubArtifact>(std::move(art));
+}
+
+}  // namespace warp::partition

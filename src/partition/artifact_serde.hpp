@@ -1,0 +1,105 @@
+// Versioned binary codecs for the partition pipeline's stage artifacts.
+//
+// Each artifact type has one ArtifactCodec<T> specialization with a stable
+// type tag and a format version. The encoded payload is self-describing —
+// it begins with (tag, version) so a decoder can reject a payload of the
+// wrong type or vintage without help from its container — and the decoder
+// is fully defensive: it reads through a bounds-checked ByteReader, range-
+// checks every enum and index, and reports corruption as a plain error
+// Status (never throws, never reads out of bounds, never fabricates a
+// plausible-but-wrong artifact; a valid payload must also be *exactly*
+// consumed). The on-disk store wraps payloads in its own envelope with a
+// length + checksum trailer (src/partition/disk_store.hpp), so codec-level
+// rejection is the second line of defense after the checksum.
+//
+// Fidelity contract: decode(encode(a)) is semantically identical to `a` —
+// content hashes match and downstream stages behave bit-identically.
+// Hash-consed structures (Dfg, GateNetlist) are restored verbatim via their
+// restore() hooks, NOT replayed through their folding constructors, so node
+// numbering survives the round trip. Growing an artifact struct means
+// bumping that codec's kVersion (old files then decode as a version
+// mismatch and fall back to recompute).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "partition/artifacts.hpp"
+
+namespace warp::partition {
+
+template <typename T>
+struct ArtifactCodec;  // only the specializations below exist
+
+template <typename T>
+struct ArtifactCodecBase {
+  using Decoded = common::Result<std::shared_ptr<const T>>;
+};
+
+template <>
+struct ArtifactCodec<FrontendArtifact> : ArtifactCodecBase<FrontendArtifact> {
+  static constexpr std::uint32_t kTag = 1;
+  static constexpr std::uint32_t kVersion = 1;
+  static std::vector<std::uint8_t> encode(const FrontendArtifact& a);
+  static Decoded decode(const std::uint8_t* data, std::size_t size);
+};
+
+template <>
+struct ArtifactCodec<DecompileArtifact> : ArtifactCodecBase<DecompileArtifact> {
+  static constexpr std::uint32_t kTag = 2;
+  static constexpr std::uint32_t kVersion = 1;
+  static std::vector<std::uint8_t> encode(const DecompileArtifact& a);
+  static Decoded decode(const std::uint8_t* data, std::size_t size);
+};
+
+template <>
+struct ArtifactCodec<SynthArtifact> : ArtifactCodecBase<SynthArtifact> {
+  static constexpr std::uint32_t kTag = 3;
+  static constexpr std::uint32_t kVersion = 1;
+  static std::vector<std::uint8_t> encode(const SynthArtifact& a);
+  static Decoded decode(const std::uint8_t* data, std::size_t size);
+};
+
+template <>
+struct ArtifactCodec<TechmapArtifact> : ArtifactCodecBase<TechmapArtifact> {
+  static constexpr std::uint32_t kTag = 4;
+  static constexpr std::uint32_t kVersion = 1;
+  static std::vector<std::uint8_t> encode(const TechmapArtifact& a);
+  static Decoded decode(const std::uint8_t* data, std::size_t size);
+};
+
+template <>
+struct ArtifactCodec<RocmArtifact> : ArtifactCodecBase<RocmArtifact> {
+  static constexpr std::uint32_t kTag = 5;
+  static constexpr std::uint32_t kVersion = 1;
+  static std::vector<std::uint8_t> encode(const RocmArtifact& a);
+  static Decoded decode(const std::uint8_t* data, std::size_t size);
+};
+
+template <>
+struct ArtifactCodec<PnrArtifact> : ArtifactCodecBase<PnrArtifact> {
+  static constexpr std::uint32_t kTag = 6;
+  static constexpr std::uint32_t kVersion = 1;
+  static std::vector<std::uint8_t> encode(const PnrArtifact& a);
+  static Decoded decode(const std::uint8_t* data, std::size_t size);
+};
+
+template <>
+struct ArtifactCodec<BitstreamArtifact> : ArtifactCodecBase<BitstreamArtifact> {
+  static constexpr std::uint32_t kTag = 7;
+  static constexpr std::uint32_t kVersion = 1;
+  static std::vector<std::uint8_t> encode(const BitstreamArtifact& a);
+  static Decoded decode(const std::uint8_t* data, std::size_t size);
+};
+
+template <>
+struct ArtifactCodec<StubArtifact> : ArtifactCodecBase<StubArtifact> {
+  static constexpr std::uint32_t kTag = 8;
+  static constexpr std::uint32_t kVersion = 1;
+  static std::vector<std::uint8_t> encode(const StubArtifact& a);
+  static Decoded decode(const std::uint8_t* data, std::size_t size);
+};
+
+}  // namespace warp::partition

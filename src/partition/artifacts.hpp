@@ -1,0 +1,107 @@
+// Typed stage artifacts of the partition pipeline.
+//
+// Artifacts are immutable once published (the caches hand out shared_ptr
+// <const T>). Stages that can reject their input store the rejection: a
+// cached failure short-circuits the same way a computed one does, with the
+// same error text — and carries a FailureKind so the cache can tell a
+// deterministic rejection (replayable forever) from a transient host-side
+// failure (must be retried). Metered unit counts ride along so virtual-time
+// charges can be replayed deterministically on hits.
+//
+// Every artifact also has a versioned binary serialization
+// (partition/artifact_serde.hpp) so the on-disk store can persist it across
+// processes; growing an artifact struct means bumping that codec's version.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decompile/cfg.hpp"
+#include "decompile/kernel_ir.hpp"
+#include "decompile/liveness.hpp"
+#include "fabric/wcla.hpp"
+#include "partition/cache_key.hpp"
+#include "pnr/pnr.hpp"
+#include "synth/hw_kernel.hpp"
+#include "techmap/techmap.hpp"
+#include "warp/stub_builder.hpp"
+
+namespace warp::partition {
+
+struct FrontendArtifact {
+  decompile::Cfg cfg;
+  // Built against `cfg` after it reaches its final address (the artifact
+  // lives behind a shared_ptr), hence the indirection; also makes the
+  // artifact non-copyable, so the reference can never dangle.
+  std::unique_ptr<decompile::Liveness> liveness;
+  std::uint64_t instrs = 0;  // metered: decode + CFG + liveness units
+};
+
+struct DecompileArtifact {
+  bool ok = false;
+  std::string error;               // rejection reason when !ok
+  FailureKind fail_kind = FailureKind::kNone;  // set iff !ok
+  decompile::KernelIR ir;          // valid when ok
+  common::Digest ir_hash;          // content hash of `ir`, valid when ok
+  std::uint64_t region_instrs = 0; // metered: symbolic-execution units
+};
+
+struct SynthArtifact {
+  bool ok = false;
+  std::string error;
+  FailureKind fail_kind = FailureKind::kNone;
+  synth::HwKernel kernel;       // valid when ok
+  common::Digest kernel_hash;   // content hash of `kernel`, valid when ok
+  std::uint64_t fabric_gates = 0;  // metered: bit-blast units (0 when !ok)
+};
+
+struct TechmapArtifact {
+  bool ok = false;
+  std::string error;
+  FailureKind fail_kind = FailureKind::kNone;
+  techmap::LutNetlist netlist;   // valid when ok
+  techmap::TechmapStats stats;   // metered: cut_count / luts_out
+  common::Digest netlist_hash;   // content hash of `netlist`, valid when ok
+};
+
+struct RocmArtifact {
+  unsigned literals_before = 0;
+  unsigned literals_after = 0;
+  std::uint64_t tautology_calls = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t steps = 0;  // metered: expand + tautology units over all LUTs
+};
+
+struct PnrArtifact {
+  bool ok = false;
+  std::string error;
+  FailureKind fail_kind = FailureKind::kNone;
+  pnr::PnrResult result;       // valid when ok
+  common::Digest result_hash;  // content hash of `result`, valid when ok
+};
+
+struct BitstreamArtifact {
+  std::vector<std::uint32_t> words;
+};
+
+struct StubArtifact {
+  bool ok = false;
+  std::string error;
+  FailureKind fail_kind = FailureKind::kNone;
+  warpsys::Stub stub;  // valid when ok
+};
+
+/// The failure classification the caches consult before replaying a cached
+/// rejection. Success (and can't-fail artifacts) report kNone.
+inline FailureKind failure_kind(const FrontendArtifact&) { return FailureKind::kNone; }
+inline FailureKind failure_kind(const RocmArtifact&) { return FailureKind::kNone; }
+inline FailureKind failure_kind(const BitstreamArtifact&) { return FailureKind::kNone; }
+inline FailureKind failure_kind(const DecompileArtifact& a) { return a.ok ? FailureKind::kNone : a.fail_kind; }
+inline FailureKind failure_kind(const SynthArtifact& a) { return a.ok ? FailureKind::kNone : a.fail_kind; }
+inline FailureKind failure_kind(const TechmapArtifact& a) { return a.ok ? FailureKind::kNone : a.fail_kind; }
+inline FailureKind failure_kind(const PnrArtifact& a) { return a.ok ? FailureKind::kNone : a.fail_kind; }
+inline FailureKind failure_kind(const StubArtifact& a) { return a.ok ? FailureKind::kNone : a.fail_kind; }
+
+}  // namespace warp::partition

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "common/strings.hpp"
 #include "decompile/decoder.hpp"
 #include "isa/isa.hpp"
 #include "logicopt/rocm.hpp"
+#include "partition/artifact_serde.hpp"
 
 namespace warp::partition {
 namespace {
@@ -14,6 +16,35 @@ namespace {
 using warpsys::DpmCostModel;
 using warpsys::PartitionOutcome;
 using warpsys::StageMetric;
+
+// Raised when a persistently injected fault downs a stage that has no
+// failure representation (frontend/rocm/bitstream artifacts cannot say
+// "failed"). Caught inside Pipeline::run — it surfaces as an unsuccessful
+// outcome (the software-fallback path), never as an exception to callers.
+struct InjectedStageFault : std::runtime_error {
+  explicit InjectedStageFault(const std::string& stage)
+      : std::runtime_error("injected stage fault: " + stage) {}
+};
+
+// The transient failure artifact an exhausted retry budget publishes for
+// stages that *can* represent failure. Marked kTransient so the cache
+// retries it instead of replaying it forever.
+template <typename T>
+std::shared_ptr<const T> injected_failure() {
+  if constexpr (requires(T t) {
+                  t.ok;
+                  t.error;
+                  t.fail_kind;
+                }) {
+    auto art = std::make_shared<T>();
+    art->ok = false;
+    art->error = "injected stage fault";
+    art->fail_kind = FailureKind::kTransient;
+    return art;
+  } else {
+    return nullptr;
+  }
+}
 
 // Static cycle estimate of the loop body [target, branch] for scoring.
 std::uint64_t body_cycle_estimate(const decompile::Cfg& cfg, std::uint32_t target_pc,
@@ -54,8 +85,9 @@ common::Digest binary_content_hash(const std::vector<std::uint32_t>& binary_word
   return h.finish();
 }
 
-Pipeline::Pipeline(const warpsys::DpmOptions& options, ArtifactCache* cache)
-    : options_(options), cache_(cache) {
+Pipeline::Pipeline(const warpsys::DpmOptions& options, ArtifactCache* cache,
+                   common::FaultInjector* fault)
+    : options_(options), cache_(cache), fault_(fault) {
   {
     common::Hasher h;
     h.u32(options_.extract.max_streams).u32(options_.extract.max_burst);
@@ -107,6 +139,21 @@ std::shared_ptr<const T> Pipeline::stage(const char* name, const common::Digest&
   const auto start = std::chrono::steady_clock::now();
   ++metric(name).runs;
   std::shared_ptr<const T> artifact;
+  // Host-side stage failures are retried within a bounded budget. Retries
+  // burn host wall-clock only: the virtual-time charge is derived from the
+  // artifact's metered counts, and a transient schedule (fault cap below the
+  // budget) always converges to the fault-free artifact — so simulated
+  // results are bit-identical with or without injection, just slower.
+  auto compute_with_faults = [&]() -> std::shared_ptr<const T> {
+    if (fault_ == nullptr) return compute();
+    const std::string site = std::string("stage.") + name;
+    for (int attempt = 0; attempt < kStageRetries; ++attempt) {
+      if (!fault_->probe(site, common::FaultKind::kStageFail)) return compute();
+    }
+    auto failed = injected_failure<T>();
+    if (!failed) throw InjectedStageFault(name);
+    return failed;
+  };
   if (cache_ != nullptr) {
     const CacheKey key{name, input, config};
     artifact = cache_->find<T>(key);
@@ -115,11 +162,11 @@ std::shared_ptr<const T> Pipeline::stage(const char* name, const common::Digest&
       ++run_hits_;
     } else {
       ++run_misses_;
-      artifact = compute();
-      cache_->put<T>(key, artifact);
+      artifact = compute_with_faults();
+      cache_->put<T>(key, artifact, failure_kind(*artifact));
     }
   } else {
-    artifact = compute();
+    artifact = compute_with_faults();
   }
   // Re-resolve the metric: metrics_ may have grown (and reallocated) while
   // compute() ran.
@@ -158,6 +205,7 @@ std::shared_ptr<const DecompileArtifact> Pipeline::run_decompile(
       art->ir_hash = content_hash(art->ir);
     } else {
       art->error = ir.message();
+      art->fail_kind = FailureKind::kDeterministic;
     }
     return art;
   });
@@ -174,6 +222,7 @@ std::shared_ptr<const SynthArtifact> Pipeline::run_synth(const DecompileArtifact
       art->fabric_gates = art->kernel.fabric.size();
     } else {
       art->error = kernel.message();
+      art->fail_kind = FailureKind::kDeterministic;
     }
     return art;
   });
@@ -189,6 +238,7 @@ std::shared_ptr<const TechmapArtifact> Pipeline::run_techmap(const SynthArtifact
       art->netlist_hash = art->netlist.content_hash();
     } else {
       art->error = mapped.message();
+      art->fail_kind = FailureKind::kDeterministic;
     }
     return art;
   });
@@ -222,6 +272,7 @@ std::shared_ptr<const PnrArtifact> Pipeline::run_pnr(const TechmapArtifact& mapp
       art->result_hash = content_hash(art->result);
     } else {
       art->error = result.message();
+      art->fail_kind = FailureKind::kDeterministic;
     }
     return art;
   });
@@ -263,6 +314,7 @@ std::shared_ptr<const StubArtifact> Pipeline::run_stub(const DecompileArtifact& 
       art->stub = std::move(stub).value();
     } else {
       art->error = stub.message();
+      art->fail_kind = FailureKind::kDeterministic;
     }
     return art;
   });
@@ -278,7 +330,7 @@ PartitionOutcome Pipeline::run(const std::vector<std::uint32_t>& binary_words,
 
   PartitionOutcome outcome;
   const DpmCostModel& cost = options_.cost;
-
+  try {
   // Front end: decode, CFG, dominators, liveness over the whole binary.
   const common::Digest binary_hash = binary_content_hash(binary_words);
   const auto frontend = run_frontend(binary_words, binary_hash);
@@ -397,6 +449,14 @@ PartitionOutcome Pipeline::run(const std::vector<std::uint32_t>& binary_words,
   }
 
   if (scored.empty()) outcome.detail = "no profiled loop candidates";
+  } catch (const InjectedStageFault& e) {
+    // A stage with no failure representation went down persistently. The
+    // transparency contract still holds: report an unsuccessful partition
+    // (the caller falls back to pure software execution).
+    outcome.success = false;
+    outcome.detail = e.what();
+    outcome.attempts.push_back(e.what());
+  }
   outcome.dpm_cycles = static_cast<std::uint64_t>(cycles_);
   outcome.dpm_seconds = cycles_ / (cost.clock_mhz * 1e6);
   outcome.stage_metrics = std::move(metrics_);

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.hpp"
+#include "partition/artifacts.hpp"
 #include "partition/cache.hpp"
 #include "warp/dpm.hpp"
 
@@ -51,79 +53,23 @@ inline constexpr const char* kStageStub = "stub";
 /// All stage names in flow order (for reporting loops).
 const std::vector<std::string>& stage_names();
 
-// --- Typed stage artifacts -------------------------------------------------
-//
-// Artifacts are immutable once published (the cache hands out shared_ptr
-// <const T>). Stages that can reject their input store the rejection: a
-// cached failure short-circuits the same way a computed one does, with the
-// same error text. Metered unit counts ride along so virtual-time charges
-// can be replayed deterministically on hits.
-
-struct FrontendArtifact {
-  decompile::Cfg cfg;
-  // Built against `cfg` after it reaches its final address (the artifact
-  // lives behind a shared_ptr), hence the indirection; also makes the
-  // artifact non-copyable, so the reference can never dangle.
-  std::unique_ptr<decompile::Liveness> liveness;
-  std::uint64_t instrs = 0;  // metered: decode + CFG + liveness units
-};
-
-struct DecompileArtifact {
-  bool ok = false;
-  std::string error;               // rejection reason when !ok
-  decompile::KernelIR ir;          // valid when ok
-  common::Digest ir_hash;          // content hash of `ir`, valid when ok
-  std::uint64_t region_instrs = 0; // metered: symbolic-execution units
-};
-
-struct SynthArtifact {
-  bool ok = false;
-  std::string error;
-  synth::HwKernel kernel;       // valid when ok
-  common::Digest kernel_hash;   // content hash of `kernel`, valid when ok
-  std::uint64_t fabric_gates = 0;  // metered: bit-blast units (0 when !ok)
-};
-
-struct TechmapArtifact {
-  bool ok = false;
-  std::string error;
-  techmap::LutNetlist netlist;   // valid when ok
-  techmap::TechmapStats stats;   // metered: cut_count / luts_out
-  common::Digest netlist_hash;   // content hash of `netlist`, valid when ok
-};
-
-struct RocmArtifact {
-  unsigned literals_before = 0;
-  unsigned literals_after = 0;
-  std::uint64_t tautology_calls = 0;
-  std::uint64_t memo_hits = 0;
-  std::uint64_t steps = 0;  // metered: expand + tautology units over all LUTs
-};
-
-struct PnrArtifact {
-  bool ok = false;
-  std::string error;
-  pnr::PnrResult result;       // valid when ok
-  common::Digest result_hash;  // content hash of `result`, valid when ok
-};
-
-struct BitstreamArtifact {
-  std::vector<std::uint32_t> words;
-};
-
-struct StubArtifact {
-  bool ok = false;
-  std::string error;
-  warpsys::Stub stub;  // valid when ok
-};
+// Typed stage artifacts (FrontendArtifact ... StubArtifact) live in
+// partition/artifacts.hpp; their binary codecs in partition/artifact_serde.hpp.
 
 // --- The pipeline ----------------------------------------------------------
 
 class Pipeline {
  public:
-  /// `cache` may be null (every stage computes). The options object is
-  /// copied; per-stage config hashes are derived once here.
-  Pipeline(const warpsys::DpmOptions& options, ArtifactCache* cache = nullptr);
+  /// Bounded retry budget per stage when a fault injector reports transient
+  /// stage failures. One larger than the default FaultConfig::max_consecutive
+  /// so a transient-then-success schedule always converges inside the budget.
+  static constexpr int kStageRetries = 4;
+
+  /// `cache` may be null (every stage computes). `fault` may be null (no
+  /// injection). The options object is copied; per-stage config hashes are
+  /// derived once here.
+  Pipeline(const warpsys::DpmOptions& options, ArtifactCache* cache = nullptr,
+           common::FaultInjector* fault = nullptr);
 
   /// Full candidate-scored ROCPART flow: behaviorally identical to the
   /// historical warpsys::partition(), plus per-stage metrics and cache
@@ -164,6 +110,7 @@ class Pipeline {
 
   warpsys::DpmOptions options_;
   ArtifactCache* cache_ = nullptr;
+  common::FaultInjector* fault_ = nullptr;
 
   // Per-stage config hashes, fixed at construction.
   common::Digest extract_config_;

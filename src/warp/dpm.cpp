@@ -11,8 +11,8 @@ namespace warp::warpsys {
 PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
                            const std::vector<profiler::LoopCandidate>& candidates,
                            std::uint32_t wcla_base, const DpmOptions& options,
-                           partition::ArtifactCache* cache) {
-  partition::Pipeline pipeline(options, cache);
+                           partition::ArtifactCache* cache, common::FaultInjector* fault) {
+  partition::Pipeline pipeline(options, cache, fault);
   return pipeline.run(binary_words, candidates, wcla_base);
 }
 

@@ -31,6 +31,10 @@
 #include "techmap/techmap.hpp"
 #include "warp/stub_builder.hpp"
 
+namespace warp::common {
+class FaultInjector;  // deterministic fault probes (common/fault_injector.hpp)
+}  // namespace warp::common
+
 namespace warp::partition {
 class ArtifactCache;  // content-addressed stage cache (partition/cache.hpp)
 }  // namespace warp::partition
@@ -136,9 +140,16 @@ struct PartitionOutcome {
 /// cache itself is internally locked); the multiprocessor engine still
 /// serializes the jobs themselves: the shared DPM is a single server, and
 /// its queue order (virtual time) is part of the model.
+///
+/// `fault` (optional) threads a deterministic common::FaultInjector through
+/// every stage. Transient fault schedules are absorbed by bounded stage
+/// retries (bit-identical results, host-only slowdown); persistent ones
+/// surface as an unsuccessful outcome — never as an exception — which is
+/// the paper's fall-back-to-software path.
 PartitionOutcome partition(const std::vector<std::uint32_t>& binary_words,
                            const std::vector<profiler::LoopCandidate>& candidates,
                            std::uint32_t wcla_base, const DpmOptions& options,
-                           partition::ArtifactCache* cache = nullptr);
+                           partition::ArtifactCache* cache = nullptr,
+                           common::FaultInjector* fault = nullptr);
 
 }  // namespace warp::warpsys

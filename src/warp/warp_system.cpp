@@ -62,9 +62,10 @@ RunStats WarpSystem::finish_stats() const {
 
 common::Result<RunStats> WarpSystem::run_software() { return run_internal(true); }
 
-const PartitionOutcome& WarpSystem::warp(partition::ArtifactCache* cache) {
+const PartitionOutcome& WarpSystem::warp(partition::ArtifactCache* cache,
+                                         common::FaultInjector* fault) {
   outcome_ = partition(program_.words, profiler_.candidates(),
-                       hwsim::kWclaBase, config_.dpm, cache);
+                       hwsim::kWclaBase, config_.dpm, cache, fault);
   if (outcome_->success) {
     // Write the stub into free instruction memory and patch the loop header
     // (through the second port of the instruction BRAM, like the real DPM).
@@ -139,9 +140,9 @@ bool profile_phase(WarpSystem& system, MultiWarpEntry& entry) {
 // cache (may be null); safe here because every engine serializes DPM jobs
 // on a single thread, and the cache locks internally regardless.
 bool dpm_phase(WarpSystem& system, MultiWarpEntry& entry,
-               partition::ArtifactCache* cache) {
+               partition::ArtifactCache* cache, common::FaultInjector* fault) {
   try {
-    const PartitionOutcome& outcome = system.warp(cache);
+    const PartitionOutcome& outcome = system.warp(cache, fault);
     entry.detail = outcome.detail;
     entry.dpm_seconds = outcome.dpm_seconds;
     return outcome.success;
@@ -254,7 +255,7 @@ std::vector<MultiWarpEntry> run_multiprocessor_serial(
   DpmClock clock{options.policy};
   for (const std::size_t i : service_order(options, progress)) {
     entries[i].dpm_wait_seconds = clock.start(progress[i].request_seconds);
-    progress[i].partitioned = dpm_phase(*systems[i], entries[i], options.cache);
+    progress[i].partitioned = dpm_phase(*systems[i], entries[i], options.cache, options.fault);
     clock.finish(entries[i].dpm_seconds);
   }
 
@@ -322,7 +323,7 @@ std::vector<MultiWarpEntry> run_multiprocessor_pipelined(
     if (progress[i].stage == SystemProgress::Stage::kNoJob) continue;
     const double wait = clock.start(progress[i].request_seconds);
     lock.unlock();
-    const bool partitioned = dpm_phase(*systems[i], entries[i], options.cache);
+    const bool partitioned = dpm_phase(*systems[i], entries[i], options.cache, options.fault);
     lock.lock();
     entries[i].dpm_wait_seconds = wait;
     clock.finish(entries[i].dpm_seconds);
@@ -363,7 +364,7 @@ std::vector<MultiWarpEntry> run_multiprocessor_batched(
   DpmClock clock{options.policy};
   for (const std::size_t i : service_order(options, progress)) {
     entries[i].dpm_wait_seconds = clock.start(progress[i].request_seconds);
-    progress[i].partitioned = dpm_phase(*systems[i], entries[i], options.cache);
+    progress[i].partitioned = dpm_phase(*systems[i], entries[i], options.cache, options.fault);
     clock.finish(entries[i].dpm_seconds);
   }
 

@@ -70,8 +70,11 @@ class WarpSystem {
   /// Invoke the DPM on the collected profile; patch + configure on success.
   /// `cache` (optional) is a shared partition::ArtifactCache consulted by
   /// the staged pipeline — a host-side optimization that never changes the
-  /// outcome (see dpm.hpp).
-  const PartitionOutcome& warp(partition::ArtifactCache* cache = nullptr);
+  /// outcome (see dpm.hpp). `fault` (optional) is a shared deterministic
+  /// fault injector; an unrecoverable injected failure simply leaves the
+  /// system unwarped (software fallback).
+  const PartitionOutcome& warp(partition::ArtifactCache* cache = nullptr,
+                               common::FaultInjector* fault = nullptr);
 
   /// Run the (possibly patched) binary. Resets data memory first.
   common::Result<RunStats> run_warped();
@@ -152,6 +155,11 @@ struct MultiWarpOptions {
   /// bit-identical to a cache-less run under any thread count and policy.
   /// Not owned; may be null (no caching).
   partition::ArtifactCache* cache = nullptr;
+  /// Shared deterministic fault injector threaded through every DPM job's
+  /// pipeline stages (common/fault_injector.hpp). Transient schedules are
+  /// absorbed by stage retries (bit-identical entries, host-only slowdown);
+  /// persistent ones leave systems unwarped. Not owned; may be null.
+  common::FaultInjector* fault = nullptr;
 };
 
 /// Run N workloads through one shared DPM (Figure 4). Each system is

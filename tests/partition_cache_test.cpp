@@ -5,7 +5,9 @@
 // kernels actually resolve their partitioning stages from the cache.
 #include <gtest/gtest.h>
 
+#include "common/hash.hpp"
 #include "experiments/harness.hpp"
+#include "partition/artifact_serde.hpp"
 #include "partition/cache.hpp"
 #include "partition/pipeline.hpp"
 
@@ -130,6 +132,77 @@ TEST(PartitionCache, PerStageVirtualTimesBitIdentical) {
   ASSERT_NE(replica, nullptr);
   EXPECT_GT(replica->cache_hits, 0u);
   EXPECT_EQ(replica->cache_misses, 0u);
+}
+
+partition::CacheKey salted_key(const char* stage, std::uint32_t salt) {
+  partition::CacheKey key;
+  key.stage = stage;
+  common::Hasher h;
+  h.u32(salt);
+  key.input = h.finish();
+  key.config = key.input;
+  return key;
+}
+
+std::shared_ptr<const partition::DecompileArtifact> rejection(const char* why) {
+  auto artifact = std::make_shared<partition::DecompileArtifact>();
+  artifact->ok = false;
+  artifact->error = why;
+  artifact->fail_kind = partition::FailureKind::kDeterministic;
+  return artifact;
+}
+
+TEST(PartitionCache, EntryCapEvictsLeastRecentlyUsed) {
+  partition::ArtifactCache cache(partition::ArtifactCacheOptions{.max_entries = 2});
+  const auto k0 = salted_key("decompile", 0);
+  const auto k1 = salted_key("decompile", 1);
+  const auto k2 = salted_key("decompile", 2);
+  cache.put<partition::DecompileArtifact>(k0, rejection("a"));
+  cache.put<partition::DecompileArtifact>(k1, rejection("b"));
+  // Touch k0 so k1 is the least recently used, then overflow the cap.
+  ASSERT_NE(cache.find<partition::DecompileArtifact>(k0), nullptr);
+  cache.put<partition::DecompileArtifact>(k2, rejection("c"));
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.total_evictions(), 1u);
+  EXPECT_EQ(cache.find<partition::DecompileArtifact>(k1), nullptr) << "LRU evicted";
+  EXPECT_NE(cache.find<partition::DecompileArtifact>(k0), nullptr) << "touched survives";
+  EXPECT_NE(cache.find<partition::DecompileArtifact>(k2), nullptr) << "newest survives";
+}
+
+TEST(PartitionCache, ByteCapTracksEncodedSizesAndEvicts) {
+  // Each deterministic-rejection artifact encodes to a few dozen bytes; a
+  // small byte budget holds only some of them.
+  partition::ArtifactCache cache(partition::ArtifactCacheOptions{.max_bytes = 160});
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    cache.put<partition::DecompileArtifact>(salted_key("decompile", i),
+                                            rejection("non-affine address"));
+  }
+  EXPECT_GT(cache.total_bytes(), 0u);
+  EXPECT_LE(cache.total_bytes(), 160u);
+  EXPECT_GT(cache.total_evictions(), 0u);
+  EXPECT_LT(cache.size(), 8u);
+  // The newest entry always survives (the bound never evicts what was just
+  // inserted, so a single oversized artifact still caches).
+  EXPECT_NE(cache.find<partition::DecompileArtifact>(salted_key("decompile", 7)),
+            nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.at("decompile").evictions, cache.total_evictions());
+}
+
+TEST(PartitionCache, BoundedCacheStaysBitIdenticalEndToEnd) {
+  MultiWarpOptions serial_off;
+  serial_off.parallel = false;
+  const auto reference = run_mix(kMix, serial_off).entries;
+
+  // A cap small enough to evict mid-run: correctness must not depend on
+  // residency, only host time does.
+  partition::ArtifactCache cache(partition::ArtifactCacheOptions{.max_entries = 3});
+  MultiWarpOptions serial_on = serial_off;
+  serial_on.cache = &cache;
+  EXPECT_EQ(run_mix(kMix, serial_on).entries, reference) << "bounded cold";
+  EXPECT_EQ(run_mix(kMix, serial_on).entries, reference) << "bounded warm";
+  EXPECT_LE(cache.size(), 3u);
 }
 
 TEST(PartitionCache, FailedPartitionsAreCachedIdentically) {
