@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fabric.dir/bench/ablation_fabric.cpp.o"
+  "CMakeFiles/ablation_fabric.dir/bench/ablation_fabric.cpp.o.d"
+  "ablation_fabric"
+  "ablation_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

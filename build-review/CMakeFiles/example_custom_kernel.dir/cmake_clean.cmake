@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_kernel.dir/examples/custom_kernel.cpp.o"
+  "CMakeFiles/example_custom_kernel.dir/examples/custom_kernel.cpp.o.d"
+  "example_custom_kernel"
+  "example_custom_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

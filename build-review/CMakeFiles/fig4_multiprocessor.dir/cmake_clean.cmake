@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_multiprocessor.dir/bench/fig4_multiprocessor.cpp.o"
+  "CMakeFiles/fig4_multiprocessor.dir/bench/fig4_multiprocessor.cpp.o.d"
+  "fig4_multiprocessor"
+  "fig4_multiprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

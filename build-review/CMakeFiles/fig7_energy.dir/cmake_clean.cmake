@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_energy.dir/bench/fig7_energy.cpp.o"
+  "CMakeFiles/fig7_energy.dir/bench/fig7_energy.cpp.o.d"
+  "fig7_energy"
+  "fig7_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

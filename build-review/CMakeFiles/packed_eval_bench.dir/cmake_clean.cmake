@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_eval_bench.dir/bench/packed_eval_bench.cpp.o"
+  "CMakeFiles/packed_eval_bench.dir/bench/packed_eval_bench.cpp.o.d"
+  "packed_eval_bench"
+  "packed_eval_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_eval_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pnr_bench.dir/bench/pnr_bench.cpp.o"
+  "CMakeFiles/pnr_bench.dir/bench/pnr_bench.cpp.o.d"
+  "pnr_bench"
+  "pnr_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pnr_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

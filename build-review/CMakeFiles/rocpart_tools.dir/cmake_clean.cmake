@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocpart_tools.dir/bench/rocpart_tools.cpp.o"
+  "CMakeFiles/rocpart_tools.dir/bench/rocpart_tools.cpp.o.d"
+  "rocpart_tools"
+  "rocpart_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocpart_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

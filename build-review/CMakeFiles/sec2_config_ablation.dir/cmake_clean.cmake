@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_config_ablation.dir/bench/sec2_config_ablation.cpp.o"
+  "CMakeFiles/sec2_config_ablation.dir/bench/sec2_config_ablation.cpp.o.d"
+  "sec2_config_ablation"
+  "sec2_config_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_config_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

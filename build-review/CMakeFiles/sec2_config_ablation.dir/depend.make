@@ -1,0 +1,2 @@
+# Empty dependencies file for sec2_config_ablation.
+# This may be replaced when dependencies are built.

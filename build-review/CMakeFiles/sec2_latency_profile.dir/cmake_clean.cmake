@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_latency_profile.dir/bench/sec2_latency_profile.cpp.o"
+  "CMakeFiles/sec2_latency_profile.dir/bench/sec2_latency_profile.cpp.o.d"
+  "sec2_latency_profile"
+  "sec2_latency_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_latency_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

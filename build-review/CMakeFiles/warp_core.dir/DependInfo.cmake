@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arm/arm_model.cpp" "CMakeFiles/warp_core.dir/src/arm/arm_model.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/arm/arm_model.cpp.o.d"
+  "/root/repo/src/common/fault_injector.cpp" "CMakeFiles/warp_core.dir/src/common/fault_injector.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/common/fault_injector.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "CMakeFiles/warp_core.dir/src/common/strings.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/common/strings.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/warp_core.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/decompile/cfg.cpp" "CMakeFiles/warp_core.dir/src/decompile/cfg.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/decompile/cfg.cpp.o.d"
+  "/root/repo/src/decompile/decoder.cpp" "CMakeFiles/warp_core.dir/src/decompile/decoder.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/decompile/decoder.cpp.o.d"
+  "/root/repo/src/decompile/extract.cpp" "CMakeFiles/warp_core.dir/src/decompile/extract.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/decompile/extract.cpp.o.d"
+  "/root/repo/src/decompile/kernel_ir.cpp" "CMakeFiles/warp_core.dir/src/decompile/kernel_ir.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/decompile/kernel_ir.cpp.o.d"
+  "/root/repo/src/decompile/liveness.cpp" "CMakeFiles/warp_core.dir/src/decompile/liveness.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/decompile/liveness.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "CMakeFiles/warp_core.dir/src/energy/power_model.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/energy/power_model.cpp.o.d"
+  "/root/repo/src/experiments/harness.cpp" "CMakeFiles/warp_core.dir/src/experiments/harness.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/experiments/harness.cpp.o.d"
+  "/root/repo/src/fabric/wcla.cpp" "CMakeFiles/warp_core.dir/src/fabric/wcla.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/fabric/wcla.cpp.o.d"
+  "/root/repo/src/hwsim/executor.cpp" "CMakeFiles/warp_core.dir/src/hwsim/executor.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/hwsim/executor.cpp.o.d"
+  "/root/repo/src/hwsim/packed_eval.cpp" "CMakeFiles/warp_core.dir/src/hwsim/packed_eval.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/hwsim/packed_eval.cpp.o.d"
+  "/root/repo/src/hwsim/wcla_device.cpp" "CMakeFiles/warp_core.dir/src/hwsim/wcla_device.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/hwsim/wcla_device.cpp.o.d"
+  "/root/repo/src/isa/assembler.cpp" "CMakeFiles/warp_core.dir/src/isa/assembler.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "CMakeFiles/warp_core.dir/src/isa/isa.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/isa/isa.cpp.o.d"
+  "/root/repo/src/logicopt/rocm.cpp" "CMakeFiles/warp_core.dir/src/logicopt/rocm.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/logicopt/rocm.cpp.o.d"
+  "/root/repo/src/partition/artifact_serde.cpp" "CMakeFiles/warp_core.dir/src/partition/artifact_serde.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/partition/artifact_serde.cpp.o.d"
+  "/root/repo/src/partition/disk_store.cpp" "CMakeFiles/warp_core.dir/src/partition/disk_store.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/partition/disk_store.cpp.o.d"
+  "/root/repo/src/partition/pipeline.cpp" "CMakeFiles/warp_core.dir/src/partition/pipeline.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/partition/pipeline.cpp.o.d"
+  "/root/repo/src/pnr/place.cpp" "CMakeFiles/warp_core.dir/src/pnr/place.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/pnr/place.cpp.o.d"
+  "/root/repo/src/pnr/route.cpp" "CMakeFiles/warp_core.dir/src/pnr/route.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/pnr/route.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "CMakeFiles/warp_core.dir/src/profiler/profiler.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/profiler/profiler.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "CMakeFiles/warp_core.dir/src/sim/core.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/sim/core.cpp.o.d"
+  "/root/repo/src/synth/bitblast.cpp" "CMakeFiles/warp_core.dir/src/synth/bitblast.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/synth/bitblast.cpp.o.d"
+  "/root/repo/src/synth/csd.cpp" "CMakeFiles/warp_core.dir/src/synth/csd.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/synth/csd.cpp.o.d"
+  "/root/repo/src/synth/netlist.cpp" "CMakeFiles/warp_core.dir/src/synth/netlist.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/synth/netlist.cpp.o.d"
+  "/root/repo/src/techmap/techmap.cpp" "CMakeFiles/warp_core.dir/src/techmap/techmap.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/techmap/techmap.cpp.o.d"
+  "/root/repo/src/warp/dpm.cpp" "CMakeFiles/warp_core.dir/src/warp/dpm.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/warp/dpm.cpp.o.d"
+  "/root/repo/src/warp/stub_builder.cpp" "CMakeFiles/warp_core.dir/src/warp/stub_builder.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/warp/stub_builder.cpp.o.d"
+  "/root/repo/src/warp/warp_system.cpp" "CMakeFiles/warp_core.dir/src/warp/warp_system.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/warp/warp_system.cpp.o.d"
+  "/root/repo/src/workloads/bitmnp.cpp" "CMakeFiles/warp_core.dir/src/workloads/bitmnp.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/workloads/bitmnp.cpp.o.d"
+  "/root/repo/src/workloads/brev.cpp" "CMakeFiles/warp_core.dir/src/workloads/brev.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/workloads/brev.cpp.o.d"
+  "/root/repo/src/workloads/canrdr.cpp" "CMakeFiles/warp_core.dir/src/workloads/canrdr.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/workloads/canrdr.cpp.o.d"
+  "/root/repo/src/workloads/crc.cpp" "CMakeFiles/warp_core.dir/src/workloads/crc.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/workloads/crc.cpp.o.d"
+  "/root/repo/src/workloads/fir.cpp" "CMakeFiles/warp_core.dir/src/workloads/fir.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/workloads/fir.cpp.o.d"
+  "/root/repo/src/workloads/g3fax.cpp" "CMakeFiles/warp_core.dir/src/workloads/g3fax.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/workloads/g3fax.cpp.o.d"
+  "/root/repo/src/workloads/idct.cpp" "CMakeFiles/warp_core.dir/src/workloads/idct.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/workloads/idct.cpp.o.d"
+  "/root/repo/src/workloads/matmul.cpp" "CMakeFiles/warp_core.dir/src/workloads/matmul.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/workloads/matmul.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "CMakeFiles/warp_core.dir/src/workloads/registry.cpp.o" "gcc" "CMakeFiles/warp_core.dir/src/workloads/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwarp_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artifact_hash_test.dir/artifact_hash_test.cpp.o"
+  "CMakeFiles/artifact_hash_test.dir/artifact_hash_test.cpp.o.d"
+  "artifact_hash_test"
+  "artifact_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artifact_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

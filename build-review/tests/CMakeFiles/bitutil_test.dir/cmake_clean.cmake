@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitutil_test.dir/bitutil_test.cpp.o"
+  "CMakeFiles/bitutil_test.dir/bitutil_test.cpp.o.d"
+  "bitutil_test"
+  "bitutil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitutil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

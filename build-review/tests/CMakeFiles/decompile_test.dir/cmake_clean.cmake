@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompile_test.dir/decompile_test.cpp.o"
+  "CMakeFiles/decompile_test.dir/decompile_test.cpp.o.d"
+  "decompile_test"
+  "decompile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logicopt_test.dir/logicopt_test.cpp.o"
+  "CMakeFiles/logicopt_test.dir/logicopt_test.cpp.o.d"
+  "logicopt_test"
+  "logicopt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logicopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiwarp_test.dir/multiwarp_test.cpp.o"
+  "CMakeFiles/multiwarp_test.dir/multiwarp_test.cpp.o.d"
+  "multiwarp_test"
+  "multiwarp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiwarp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

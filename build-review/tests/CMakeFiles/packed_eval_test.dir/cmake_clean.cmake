@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_eval_test.dir/packed_eval_test.cpp.o"
+  "CMakeFiles/packed_eval_test.dir/packed_eval_test.cpp.o.d"
+  "packed_eval_test"
+  "packed_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

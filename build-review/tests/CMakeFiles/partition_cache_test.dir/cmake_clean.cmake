@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_cache_test.dir/partition_cache_test.cpp.o"
+  "CMakeFiles/partition_cache_test.dir/partition_cache_test.cpp.o.d"
+  "partition_cache_test"
+  "partition_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stub_dfg_test.dir/stub_dfg_test.cpp.o"
+  "CMakeFiles/stub_dfg_test.dir/stub_dfg_test.cpp.o.d"
+  "stub_dfg_test"
+  "stub_dfg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stub_dfg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

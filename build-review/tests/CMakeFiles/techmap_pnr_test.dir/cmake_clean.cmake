@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/techmap_pnr_test.dir/techmap_pnr_test.cpp.o"
+  "CMakeFiles/techmap_pnr_test.dir/techmap_pnr_test.cpp.o.d"
+  "techmap_pnr_test"
+  "techmap_pnr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/techmap_pnr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
