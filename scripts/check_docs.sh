@@ -2,7 +2,9 @@
 # Documentation checks, run by the CI docs job and locally:
 #   1. every src/* subsystem with more than two files must have its own
 #      README.md or an entry in the top-level README's subsystem map;
-#   2. every relative markdown link in tracked *.md files must resolve.
+#   2. every relative markdown link in tracked *.md files must resolve;
+#   3. every tracked BENCH_*.json must have its schema documented in
+#      docs/benchmarks.md.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -37,6 +39,15 @@ while IFS= read -r md; do
     fi
   done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$md" | sed -E 's/^\[[^]]*\]\(//; s/\)$//')
 done < <(git ls-files -c -o --exclude-standard '*.md')
+
+# --- 3. tracked benchmark JSON schemas ------------------------------------
+while IFS= read -r bench; do
+  name=$(basename "$bench")
+  if ! grep -q "$name" docs/benchmarks.md; then
+    echo "FAIL: $name is tracked but not documented in docs/benchmarks.md"
+    fail=1
+  fi
+done < <(git ls-files 'BENCH_*.json')
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check failed"

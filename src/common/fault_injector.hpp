@@ -4,8 +4,9 @@
 // paper) is that a failure anywhere in the on-chip CAD flow leaves the
 // binary executing in software with no observable difference beyond lost
 // speedup. To test that contract end-to-end, the FaultInjector is threaded
-// through the persistent artifact store and every partition-pipeline stage
-// as named probe *sites*. A probe asks "does fault kind K fire here?", and
+// through the persistent artifact store, every partition-pipeline stage and
+// the warpd socket front end ("serve.accept"/"serve.read"/"serve.write",
+// kIoError — see serve/server.hpp) as named probe *sites*. A probe asks "does fault kind K fire here?", and
 // the answer is a pure function of (seed, site, per-site occurrence count)
 // — so a fault schedule is reproducible from its seed alone, across runs
 // and platforms.

@@ -302,7 +302,12 @@ std::optional<std::vector<std::uint8_t>> DiskArtifactStore::get(const CacheKey& 
     return std::nullopt;
   }
   ++stats_.hits;
-  note_access_locked(name, bytes->size());
+  // The read above ran unlocked, so the LRU cap may have evicted this entry
+  // meanwhile (file unlinked, index entry dropped). The bytes already read
+  // are still valid to serve, but re-indexing the name would create a ghost
+  // entry with no backing file — miscounting files/bytes and making the cap
+  // evict live artifacts to pay for it.
+  if (index_.find(name) != index_.end()) note_access_locked(name, bytes->size());
   return payload;
 }
 

@@ -1,0 +1,249 @@
+#include "serve/protocol.hpp"
+
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace warp::serve::protocol {
+
+namespace {
+
+using common::Result;
+
+bool parse_u64(std::string_view value, std::uint64_t& out) {
+  long long parsed = 0;
+  if (!common::parse_int(value, parsed) || parsed < 0) return false;
+  out = static_cast<std::uint64_t>(parsed);
+  return true;
+}
+
+bool parse_bounded(std::string_view value, unsigned lo, unsigned hi, unsigned& out) {
+  std::uint64_t parsed = 0;
+  if (!parse_u64(value, parsed) || parsed < lo || parsed > hi) return false;
+  out = static_cast<unsigned>(parsed);
+  return true;
+}
+
+// Free-text fields ride on a line protocol; keep them one line.
+std::string sanitize(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+bool parse_double(std::string_view value, double& out) {
+  const std::string token(value);
+  if (token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+}  // namespace
+
+Result<Request> parse_request(std::string_view line) {
+  using R = Result<Request>;
+  const auto tokens = common::split(line, " \t");
+  if (tokens.empty()) return R::error("empty request");
+  if (tokens[0] != "warp") {
+    return R::error("unknown verb: " + std::string(tokens[0].substr(0, 32)));
+  }
+
+  Request request;
+  bool have_id = false;
+  bool have_workload = false;
+  // Duplicate detection without allocation: one flag per known key.
+  bool seen_seq = false, seen_width = false, seen_cand = false, seen_csd = false;
+  for (std::size_t t = 1; t < tokens.size(); ++t) {
+    const std::string_view token = tokens[t];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return R::error("malformed field: " + std::string(token.substr(0, 32)));
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (value.empty()) return R::error("empty value for " + std::string(key));
+    if (key == "id") {
+      if (have_id) return R::error("duplicate id");
+      if (!parse_u64(value, request.id)) return R::error("bad id");
+      have_id = true;
+    } else if (key == "workload") {
+      if (have_workload) return R::error("duplicate workload");
+      request.workload = std::string(value);
+      have_workload = true;
+    } else if (key == "seq") {
+      if (seen_seq) return R::error("duplicate seq");
+      std::uint64_t seq = 0;
+      if (!parse_u64(value, seq)) return R::error("bad seq");
+      request.seq = seq;
+      seen_seq = true;
+    } else if (key == "packed_width") {
+      if (seen_width) return R::error("duplicate packed_width");
+      unsigned width = 0;
+      if (!parse_bounded(value, 0, 4, width) || width == 3) {
+        return R::error("bad packed_width (want 0, 1, 2 or 4)");
+      }
+      request.overrides.packed_width = width;
+      seen_width = true;
+    } else if (key == "max_candidates") {
+      if (seen_cand) return R::error("duplicate max_candidates");
+      unsigned candidates = 0;
+      if (!parse_bounded(value, 1, 64, candidates)) {
+        return R::error("bad max_candidates (want 1..64)");
+      }
+      request.overrides.max_candidates = candidates;
+      seen_cand = true;
+    } else if (key == "csd_max_terms") {
+      if (seen_csd) return R::error("duplicate csd_max_terms");
+      unsigned terms = 0;
+      if (!parse_bounded(value, 0, 16, terms)) {
+        return R::error("bad csd_max_terms (want 0..16)");
+      }
+      request.overrides.csd_max_terms = terms;
+      seen_csd = true;
+    } else {
+      return R::error("unknown key: " + std::string(key.substr(0, 32)));
+    }
+  }
+  if (!have_id) return R::error("missing id");
+  if (!have_workload) return R::error("missing workload");
+  return request;
+}
+
+std::string encode_request(const Request& request) {
+  std::string line = common::format("warp id=%llu workload=%s",
+                                    static_cast<unsigned long long>(request.id),
+                                    request.workload.c_str());
+  if (request.seq) {
+    line += common::format(" seq=%llu", static_cast<unsigned long long>(*request.seq));
+  }
+  if (request.overrides.packed_width) {
+    line += common::format(" packed_width=%u", *request.overrides.packed_width);
+  }
+  if (request.overrides.max_candidates) {
+    line += common::format(" max_candidates=%u", *request.overrides.max_candidates);
+  }
+  if (request.overrides.csd_max_terms) {
+    line += common::format(" csd_max_terms=%u", *request.overrides.csd_max_terms);
+  }
+  return line;
+}
+
+Reply make_ok_reply(std::uint64_t id, const warpsys::MultiWarpEntry& entry) {
+  Reply reply;
+  reply.ok = true;
+  reply.id = id;
+  reply.workload = entry.name;
+  reply.warped = entry.warped;
+  reply.sw_seconds = entry.sw_seconds;
+  reply.warped_seconds = entry.warped_seconds;
+  reply.speedup = entry.speedup;
+  reply.dpm_seconds = entry.dpm_seconds;
+  reply.dpm_wait_seconds = entry.dpm_wait_seconds;
+  reply.detail = entry.detail;
+  return reply;
+}
+
+Reply make_error_reply(std::uint64_t id, std::string message) {
+  Reply reply;
+  reply.ok = false;
+  reply.id = id;
+  reply.detail = std::move(message);
+  return reply;
+}
+
+std::string encode_reply(const Reply& reply) {
+  if (!reply.ok) {
+    return common::format("err id=%llu msg=%s",
+                          static_cast<unsigned long long>(reply.id),
+                          sanitize(reply.detail).c_str());
+  }
+  return common::format(
+      "ok id=%llu workload=%s warped=%d sw_s=%.17g warped_s=%.17g speedup=%.17g "
+      "dpm_s=%.17g wait_s=%.17g detail=%s",
+      static_cast<unsigned long long>(reply.id), reply.workload.c_str(),
+      reply.warped ? 1 : 0, reply.sw_seconds, reply.warped_seconds, reply.speedup,
+      reply.dpm_seconds, reply.dpm_wait_seconds, sanitize(reply.detail).c_str());
+}
+
+Result<Reply> parse_reply(std::string_view line) {
+  using R = Result<Reply>;
+  Reply reply;
+  std::string_view tail;  // the final free-text field's marker + content
+  if (common::starts_with(line, "ok ")) {
+    reply.ok = true;
+    const std::size_t pos = line.find(" detail=");
+    if (pos == std::string_view::npos) return R::error("ok reply without detail=");
+    reply.detail = std::string(line.substr(pos + 8));
+    tail = line.substr(3, pos - 3);
+  } else if (common::starts_with(line, "err ")) {
+    reply.ok = false;
+    const std::size_t pos = line.find(" msg=");
+    if (pos == std::string_view::npos) return R::error("err reply without msg=");
+    reply.detail = std::string(line.substr(pos + 5));
+    tail = line.substr(4, pos - 4);
+  } else {
+    return R::error("unknown reply verb");
+  }
+
+  bool have_id = false;
+  // The ok payload: every field must appear exactly once.
+  bool have_workload = false, have_warped = false, have_sw = false, have_warped_s = false,
+       have_speedup = false, have_dpm = false, have_wait = false;
+  for (const std::string_view token : common::split(tail, " \t")) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) return R::error("malformed reply field");
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "id" && !have_id) {
+      if (!parse_u64(value, reply.id)) return R::error("bad reply id");
+      have_id = true;
+    } else if (reply.ok && key == "workload" && !have_workload) {
+      reply.workload = std::string(value);
+      have_workload = true;
+    } else if (reply.ok && key == "warped" && !have_warped) {
+      if (value != "0" && value != "1") return R::error("bad warped flag");
+      reply.warped = value == "1";
+      have_warped = true;
+    } else if (reply.ok && key == "sw_s" && !have_sw) {
+      if (!parse_double(value, reply.sw_seconds)) return R::error("bad sw_s");
+      have_sw = true;
+    } else if (reply.ok && key == "warped_s" && !have_warped_s) {
+      if (!parse_double(value, reply.warped_seconds)) return R::error("bad warped_s");
+      have_warped_s = true;
+    } else if (reply.ok && key == "speedup" && !have_speedup) {
+      if (!parse_double(value, reply.speedup)) return R::error("bad speedup");
+      have_speedup = true;
+    } else if (reply.ok && key == "dpm_s" && !have_dpm) {
+      if (!parse_double(value, reply.dpm_seconds)) return R::error("bad dpm_s");
+      have_dpm = true;
+    } else if (reply.ok && key == "wait_s" && !have_wait) {
+      if (!parse_double(value, reply.dpm_wait_seconds)) return R::error("bad wait_s");
+      have_wait = true;
+    } else {
+      return R::error("unknown or repeated reply key: " + std::string(key.substr(0, 32)));
+    }
+  }
+  if (!have_id) return R::error("reply missing id");
+  if (reply.ok && !(have_workload && have_warped && have_sw && have_warped_s &&
+                    have_speedup && have_dpm && have_wait)) {
+    return R::error("ok reply missing fields");
+  }
+  return reply;
+}
+
+warpsys::MultiWarpEntry entry_of(const Reply& reply) {
+  warpsys::MultiWarpEntry entry;
+  entry.name = reply.workload;
+  entry.detail = reply.detail;
+  entry.sw_seconds = reply.sw_seconds;
+  entry.warped_seconds = reply.warped_seconds;
+  entry.speedup = reply.speedup;
+  entry.dpm_seconds = reply.dpm_seconds;
+  entry.dpm_wait_seconds = reply.dpm_wait_seconds;
+  entry.warped = reply.warped;
+  return entry;
+}
+
+}  // namespace warp::serve::protocol

@@ -1,0 +1,353 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace warp::serve {
+
+namespace {
+
+common::Status errno_status(const std::string& what) {
+  return common::Status::error(what + ": " + std::strerror(errno));
+}
+
+// Bind `path` into a sockaddr_un; false if it does not fit.
+bool make_addr(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(SocketServerOptions options) : options_(std::move(options)) {
+  engine_ = std::make_unique<Warpd>(options_.engine);
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+bool SocketServer::probe(const char* site) {
+  return options_.fault != nullptr && options_.fault->probe(site, common::FaultKind::kIoError);
+}
+
+void SocketServer::backoff(int attempt) {
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::uint64_t>(options_.retry_backoff_us)
+                                << std::min(attempt, 10)));
+}
+
+common::Status SocketServer::start() {
+  sockaddr_un addr{};
+  if (!make_addr(options_.path, addr)) {
+    return common::Status::error("bad socket path: " + options_.path);
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return errno_status("socket");
+  ::unlink(options_.path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const common::Status status = errno_status("bind " + options_.path);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const common::Status status = errno_status("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_main(); });
+  return common::Status::ok();
+}
+
+void SocketServer::accept_main() {
+  while (!closing_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (closing_.load()) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+
+    int fd = -1;
+    for (int attempt = 0; attempt < options_.io_retries; ++attempt) {
+      if (probe("serve.accept")) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.accept_faults;
+        }
+        backoff(attempt);
+        continue;
+      }
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0 || errno != EINTR) break;
+    }
+    if (fd < 0) {
+      // Budget exhausted (persistent accept fault) or a real accept error:
+      // the pending connection stays unserved; keep the server alive.
+      backoff(options_.io_retries);
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.connections;
+    connections_.push_back(conn);
+    threads_.emplace_back([this, conn] { connection_main(conn); });
+  }
+}
+
+void SocketServer::connection_main(std::shared_ptr<Connection> conn) {
+  std::string inbuf;
+  bool discarding = false;  // inside an oversized line, waiting for its end
+  char buf[4096];
+  for (;;) {
+    ssize_t n = -1;
+    for (int attempt = 0; attempt < options_.io_retries; ++attempt) {
+      if (probe("serve.read")) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.read_faults;
+        }
+        backoff(attempt);
+        continue;
+      }
+      n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n >= 0 || errno != EINTR) break;
+    }
+    if (n < 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.read_failures;
+      break;
+    }
+    if (n == 0) break;  // client EOF
+    inbuf.append(buf, static_cast<std::size_t>(n));
+
+    for (;;) {
+      const std::size_t newline = inbuf.find('\n');
+      if (newline == std::string::npos) {
+        if (inbuf.size() > options_.max_line_bytes && !discarding) {
+          // The line is already over budget with no end in sight: answer
+          // now and drop bytes until the newline finally arrives.
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.oversized_lines;
+          }
+          write_line(*conn, protocol::encode_reply(
+                                protocol::make_error_reply(0, "oversized request line")));
+          discarding = true;
+        }
+        if (discarding) inbuf.clear();
+        break;
+      }
+      std::string line = inbuf.substr(0, newline);
+      inbuf.erase(0, newline + 1);
+      if (discarding) {
+        discarding = false;  // the tail of the oversized line; already answered
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.size() > options_.max_line_bytes) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.oversized_lines;
+        }
+        write_line(*conn, protocol::encode_reply(
+                              protocol::make_error_reply(0, "oversized request line")));
+        continue;
+      }
+      handle_line(conn, line);
+    }
+  }
+
+  // Serve every in-flight session's reply before closing our side.
+  {
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    conn->idle.wait(lock, [&] { return conn->outstanding == 0; });
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void SocketServer::handle_line(const std::shared_ptr<Connection>& conn,
+                               std::string_view line) {
+  if (line.empty()) return;
+  if (line == "ping") {
+    write_line(*conn, "pong");
+    return;
+  }
+  auto parsed = protocol::parse_request(line);
+  if (!parsed) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.parse_errors;
+    }
+    write_line(*conn, protocol::encode_reply(protocol::make_error_reply(0, parsed.message())));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    ++conn->outstanding;
+  }
+  engine_->submit(parsed.value(), [this, conn](const SessionOutcome& outcome) {
+    const protocol::Reply reply = outcome.error.empty()
+                                      ? protocol::make_ok_reply(outcome.id, outcome.entry)
+                                      : protocol::make_error_reply(outcome.id, outcome.error);
+    write_line(*conn, protocol::encode_reply(reply));
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    --conn->outstanding;
+    conn->idle.notify_all();
+  });
+}
+
+bool SocketServer::write_line(Connection& conn, const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn.mutex);
+  if (conn.dead) return false;
+  const std::string out = line + "\n";
+  std::size_t off = 0;
+  for (int attempt = 0; attempt < options_.io_retries; ++attempt) {
+    if (probe("serve.write")) {
+      {
+        std::lock_guard<std::mutex> stats_lock(mutex_);
+        ++stats_.write_faults;
+      }
+      backoff(attempt);
+      continue;
+    }
+    bool io_error = false;
+    while (off < out.size()) {
+      const ssize_t n = ::send(conn.fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      io_error = true;
+      break;
+    }
+    if (!io_error) {
+      std::lock_guard<std::mutex> stats_lock(mutex_);
+      ++stats_.replies;
+      return true;
+    }
+    backoff(attempt);
+  }
+  // Budget exhausted: mute the connection (sessions still complete
+  // server-side); the client observes a half-open stream, never a crash.
+  conn.dead = true;
+  std::lock_guard<std::mutex> stats_lock(mutex_);
+  ++stats_.write_failures;
+  return false;
+}
+
+void SocketServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  closing_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (started_) ::unlink(options_.path.c_str());
+  }
+  // Finish every admitted session; callbacks write the remaining replies.
+  engine_->stop();
+  std::vector<std::shared_ptr<Connection>> connections;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections = connections_;
+    threads = std::move(threads_);
+  }
+  for (const auto& conn : connections) ::shutdown(conn->fd, SHUT_RDWR);
+  for (std::thread& t : threads) t.join();
+  for (const auto& conn : connections) ::close(conn->fd);
+  std::lock_guard<std::mutex> lock(mutex_);
+  connections_.clear();
+}
+
+SocketServerStats SocketServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Client::~Client() { close(); }
+
+common::Status Client::connect(const std::string& path) {
+  sockaddr_un addr{};
+  if (!make_addr(path, addr)) return common::Status::error("bad socket path: " + path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return errno_status("socket");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const common::Status status = errno_status("connect " + path);
+    close();
+    return status;
+  }
+  return common::Status::ok();
+}
+
+common::Status Client::send_line(const std::string& line) { return send_raw(line + "\n"); }
+
+common::Status Client::send_raw(const std::string& bytes) {
+  if (fd_ < 0) return common::Status::error("not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return errno_status("send");
+  }
+  return common::Status::ok();
+}
+
+common::Result<std::string> Client::read_line() {
+  using R = common::Result<std::string>;
+  if (fd_ < 0) return R::error("not connected");
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return R::error("connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return R::error(std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void Client::shutdown_send() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace warp::serve

@@ -1,0 +1,141 @@
+// Unix-domain socket front end for the warpd engine.
+//
+// One listener thread accepts connections; one reader thread per connection
+// frames '\n'-delimited request lines (protocol.hpp), submits them to the
+// shared Warpd engine and writes each session's reply line when its
+// callback fires. Replies are written in completion order — clients
+// correlate by the echoed id. Malformed, oversized and unknown-workload
+// lines are answered with "err" replies; nothing a client sends can crash
+// or stop the server (fuzz-gated by tests/warpd_proto_test.cpp).
+//
+// Fault injection: the sites "serve.accept", "serve.read" and
+// "serve.write" (kIoError) model a flaky front end. Every site is wrapped
+// in the store's bounded retry-with-backoff discipline, so a transient
+// schedule (max_consecutive < io_retries) is absorbed invisibly — sessions
+// complete bit-identically. A persistent fault degrades cleanly, never
+// fatally: accept never admits the connection (clients see a hang, the
+// server keeps serving others and shuts down cleanly), a dead read drops
+// the rest of the connection's input after in-flight sessions finish, and
+// a dead write drops that connection's remaining replies while sessions
+// still complete server-side.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault_injector.hpp"
+#include "serve/warpd.hpp"
+
+namespace warp::serve {
+
+struct SocketServerOptions {
+  /// Filesystem path of the listening socket; unlinked and rebound by
+  /// start(). Must fit sockaddr_un (~107 bytes).
+  std::string path;
+  WarpdOptions engine;
+  /// Attempts per accept/read/write step under fault injection; must exceed
+  /// the FaultConfig max_consecutive cap for transient schedules to
+  /// converge (mirrors DiskStoreOptions::io_retries).
+  int io_retries = 4;
+  unsigned retry_backoff_us = 50;
+  std::size_t max_line_bytes = protocol::kMaxLineBytes;
+  /// Injector for the serve.* sites (not owned; may be null). May be the
+  /// same injector as engine.fault or a different one.
+  common::FaultInjector* fault = nullptr;
+};
+
+struct SocketServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;        // well-formed request lines submitted
+  std::uint64_t replies = 0;         // reply/pong lines fully written
+  std::uint64_t parse_errors = 0;    // lines answered with an err reply
+  std::uint64_t oversized_lines = 0;
+  std::uint64_t accept_faults = 0;   // injected accept failures absorbed
+  std::uint64_t read_faults = 0;     // injected read failures absorbed
+  std::uint64_t write_faults = 0;    // injected write failures absorbed
+  std::uint64_t read_failures = 0;   // read budget exhausted: input dropped
+  std::uint64_t write_failures = 0;  // write budget exhausted: conn muted
+};
+
+class SocketServer {
+ public:
+  explicit SocketServer(SocketServerOptions options);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind + listen + start accepting. Error if the socket cannot be bound.
+  common::Status start();
+
+  /// Stop accepting, finish every admitted session (Warpd::stop), write the
+  /// remaining replies, close all connections and join every thread.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  Warpd& engine() { return *engine_; }
+  SocketServerStats stats() const;
+  const SocketServerOptions& options() const { return options_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex mutex;              // guards writes, `dead` and `outstanding`
+    std::condition_variable idle;  // outstanding -> 0
+    bool dead = false;             // write side failed; drop future replies
+    std::uint64_t outstanding = 0; // submitted sessions awaiting their reply
+  };
+
+  void accept_main();
+  void connection_main(std::shared_ptr<Connection> conn);
+  void handle_line(const std::shared_ptr<Connection>& conn, std::string_view line);
+  /// Serialize + write one line (appending '\n') with the retry discipline.
+  bool write_line(Connection& conn, const std::string& line);
+  bool probe(const char* site);
+  void backoff(int attempt);
+
+  SocketServerOptions options_;
+  std::unique_ptr<Warpd> engine_;
+  int listen_fd_ = -1;
+  std::atomic<bool> closing_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex mutex_;  // guards stats_, connections_, threads_
+  SocketServerStats stats_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> threads_;  // reader threads
+  std::thread accept_thread_;
+};
+
+/// Minimal blocking line-oriented client, for tests and the bench driver.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  common::Status connect(const std::string& path);
+  /// Write `line` + '\n'.
+  common::Status send_line(const std::string& line);
+  /// Write raw bytes with no framing added (tests send partial lines).
+  common::Status send_raw(const std::string& bytes);
+  /// Next '\n'-delimited line, newline stripped. Error on EOF/failure.
+  common::Result<std::string> read_line();
+  /// Half-close: no more sends; the server still writes pending replies.
+  void shutdown_send();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace warp::serve

@@ -1,0 +1,405 @@
+#include "serve/warpd.hpp"
+
+#include <algorithm>
+
+#include "workloads/workload.hpp"
+
+namespace warp::serve {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Admission-time checks that do not depend on engine state. Parsed requests
+// already satisfy these; in-process callers can construct Request directly,
+// so re-check here.
+std::string validate_request(const protocol::Request& request) {
+  if (workloads::find_workload(request.workload) == nullptr) {
+    return "unknown workload: " + request.workload;
+  }
+  const protocol::RequestOverrides& o = request.overrides;
+  if (o.packed_width && *o.packed_width != 0 && *o.packed_width != 1 &&
+      *o.packed_width != 2 && *o.packed_width != 4) {
+    return "bad packed_width (want 0, 1, 2 or 4)";
+  }
+  if (o.max_candidates && (*o.max_candidates < 1 || *o.max_candidates > 64)) {
+    return "bad max_candidates (want 1..64)";
+  }
+  if (o.csd_max_terms && *o.csd_max_terms > 16) {
+    return "bad csd_max_terms (want 0..16)";
+  }
+  return {};
+}
+
+struct BuiltSession {
+  std::unique_ptr<warpsys::WarpSystem> system;
+  common::Digest kernel_hash;
+};
+
+// Assemble the session's WarpSystem with the request's overrides applied,
+// and compute the kernel content hash that decides shard ownership: the
+// program words plus the overridable knobs that change what the DPM
+// computes. Host-only knobs (packed_width) stay out — they never change
+// artifacts, so they must not split a kernel across shards.
+common::Result<BuiltSession> build_session(const protocol::Request& request,
+                                           const experiments::HarnessOptions& base) {
+  using R = common::Result<BuiltSession>;
+  experiments::HarnessOptions options = base;
+  options.cache = nullptr;  // the engine passes its shared cache per DPM call
+  const protocol::RequestOverrides& o = request.overrides;
+  if (o.packed_width) options.system.packed.width = *o.packed_width;
+  if (o.max_candidates) options.system.dpm.max_candidates = *o.max_candidates;
+  if (o.csd_max_terms) options.system.dpm.synth.csd_max_terms = *o.csd_max_terms;
+  auto systems = experiments::build_warp_systems({request.workload}, options);
+  if (!systems) return R::error(systems.message());
+  BuiltSession built;
+  built.system = std::move(std::move(systems).value()[0]);
+  common::Hasher hasher;
+  const std::vector<std::uint32_t>& words = built.system->program().words;
+  hasher.u64(words.size());
+  for (const std::uint32_t word : words) hasher.u32(word);
+  const auto& dpm = built.system->config().dpm;
+  hasher.u32(dpm.max_candidates);
+  hasher.u32(dpm.synth.csd_max_terms);
+  built.kernel_hash = hasher.finish();
+  return built;
+}
+
+}  // namespace
+
+ShardRing::ShardRing(unsigned shards, unsigned points_per_shard)
+    : shards_(std::max(1u, shards)) {
+  points_.reserve(static_cast<std::size_t>(shards_) * points_per_shard);
+  for (unsigned shard = 0; shard < shards_; ++shard) {
+    for (unsigned point = 0; point < points_per_shard; ++point) {
+      common::Hasher hasher;
+      hasher.str("warpd.ring").u32(shard).u32(point);
+      points_.emplace_back(hasher.finish().lo, shard);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+unsigned ShardRing::owner(const common::Digest& key) const {
+  if (shards_ == 1 || points_.empty()) return 0;
+  const std::uint64_t position = key.lo;
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(position, 0u));
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+Warpd::Warpd(WarpdOptions options)
+    : options_(std::move(options)),
+      n_shards_(std::max(1u, options_.shards)),
+      n_workers_(options_.workers ? options_.workers : std::thread::hardware_concurrency()),
+      ring_(n_shards_, std::max(1u, options_.ring_points_per_shard)) {
+  if (n_workers_ == 0) n_workers_ = 1;
+  shard_queues_.resize(n_shards_);
+  stats_.shards.resize(n_shards_);
+  for (unsigned s = 0; s < n_shards_; ++s) {
+    shard_cvs_.push_back(std::make_unique<std::condition_variable>());
+  }
+  threads_.reserve(1 + n_shards_ + n_workers_);
+  threads_.emplace_back([this] { sequencer_main(); });
+  for (unsigned s = 0; s < n_shards_; ++s) {
+    threads_.emplace_back([this, s] { shard_main(s); });
+  }
+  for (unsigned w = 0; w < n_workers_; ++w) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+Warpd::~Warpd() { stop(); }
+
+void Warpd::submit(const protocol::Request& request, Callback done) {
+  std::string err = validate_request(request);
+  std::unique_lock lock(mutex_);
+  if (err.empty() && stopping_) err = "server is stopping";
+  if (err.empty()) {
+    if (request.seq) {
+      if (seq_mode_ == SeqMode::kImplicit) {
+        err = "seq on a stream that started without seq";
+      } else if (*request.seq < next_seq_) {
+        err = "seq already served";
+      } else if (!used_seqs_.insert(*request.seq).second) {
+        err = "duplicate seq";
+      } else {
+        seq_mode_ = SeqMode::kExplicit;
+      }
+    } else {
+      if (seq_mode_ == SeqMode::kExplicit) {
+        err = "missing seq on a stream that started with seq";
+      } else {
+        seq_mode_ = SeqMode::kImplicit;
+      }
+    }
+  }
+  if (!err.empty()) {
+    ++stats_.rejected;
+    lock.unlock();
+    SessionOutcome out;
+    out.id = request.id;
+    out.error = std::move(err);
+    if (done) done(out);
+    return;
+  }
+  auto session = std::make_unique<Session>();
+  Session& s = *session;
+  s.request = request;
+  s.done = std::move(done);
+  s.admitted = std::chrono::steady_clock::now();
+  s.index = sessions_.size();
+  s.seq = request.seq ? *request.seq : static_cast<std::uint64_t>(s.index);
+  s.entry.name = request.workload;
+  pending_waits_[s.seq] = &s;
+  sessions_.push_back(std::move(session));
+  ++stats_.admitted;
+  worker_cv_.notify_one();
+}
+
+void Warpd::drain() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [&] { return stats_.completed == stats_.admitted; });
+}
+
+void Warpd::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+    worker_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+}
+
+WarpdStats Warpd::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WarpdStats stats = stats_;
+  stats.latencies_ms.clear();
+  stats.latencies_ms.reserve(latencies_by_seq_.size());
+  for (const auto& [seq, latency] : latencies_by_seq_) stats.latencies_ms.push_back(latency);
+  return stats;
+}
+
+void Warpd::worker_main() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    worker_cv_.wait(lock, [&] { return next_claim_ < sessions_.size() || stopping_; });
+    if (next_claim_ >= sessions_.size()) {
+      if (stopping_) break;
+      continue;
+    }
+    Session& s = *sessions_[next_claim_++];
+    lock.unlock();
+
+    // Build + profiled run, outside the lock; no other thread knows this
+    // session yet.
+    common::Digest kernel_hash{};
+    auto built = build_session(s.request, options_.base);
+    if (built) {
+      BuiltSession b = std::move(built).value();
+      s.system = std::move(b.system);
+      kernel_hash = b.kernel_hash;
+      s.has_job = warpsys::profile_phase(*s.system, s.entry);
+    } else {
+      s.entry.detail = built.message();
+    }
+
+    lock.lock();
+    if (s.has_job) {
+      s.shard = ring_.owner(kernel_hash);
+      if (kernels_seen_.insert({kernel_hash.hi, kernel_hash.lo}).second) {
+        ++stats_.unique_kernels;
+      }
+      shard_queues_[s.shard].insert({s.seq, s.index});
+      shard_cvs_[s.shard]->notify_one();
+      grant_cv_.wait(lock, [&] { return s.dpm_done; });
+    } else {
+      s.dpm_done = true;
+      seq_cv_.notify_all();
+    }
+    const bool has_job = s.has_job;
+    const bool partitioned = s.partitioned;
+    lock.unlock();
+    if (has_job) warpsys::warped_phase(*s.system, s.entry, partitioned);
+    lock.lock();
+    s.runs_done = true;
+    auto delivery = try_finalize_locked(s);
+    if (delivery) {
+      lock.unlock();
+      deliver(std::move(delivery));
+      lock.lock();
+    }
+  }
+  // Exiting with the lock held: the last worker out releases the shard and
+  // sequencer threads (their queues are final once no worker can enqueue).
+  if (++workers_exited_ == n_workers_) {
+    for (auto& cv : shard_cvs_) cv->notify_all();
+    seq_cv_.notify_all();
+  }
+}
+
+void Warpd::shard_main(unsigned shard) {
+  std::unique_lock lock(mutex_);
+  auto& queue = shard_queues_[shard];
+  std::condition_variable& cv = *shard_cvs_[shard];
+  for (;;) {
+    cv.wait(lock, [&] {
+      return !queue.empty() || (stopping_ && workers_exited_ == n_workers_);
+    });
+    if (queue.empty()) break;
+    // Pop the owned job with the lowest virtual admission slot. Repeats of
+    // one kernel are owned by this shard and thus serialized here — the
+    // first occurrence computes, later ones resolve from the shared cache.
+    const std::size_t index = queue.begin()->second;
+    queue.erase(queue.begin());
+    Session& s = *sessions_[index];
+    lock.unlock();
+    const auto start = std::chrono::steady_clock::now();
+    const bool partitioned =
+        warpsys::dpm_phase(*s.system, s.entry, options_.cache, options_.fault);
+    const double busy_ms = ms_since(start);
+    lock.lock();
+    s.partitioned = partitioned;
+    s.dpm_done = true;
+    stats_.shards[shard].jobs += 1;
+    stats_.shards[shard].busy_ms += busy_ms;
+    grant_cv_.notify_all();
+    seq_cv_.notify_all();
+  }
+}
+
+void Warpd::sequencer_main() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    seq_cv_.wait(lock, [&] {
+      const bool collapse = stopping_ && workers_exited_ == n_workers_;
+      if (pending_waits_.empty()) return collapse;
+      const auto& head = *pending_waits_.begin();
+      return head.second->dpm_done && (head.first == next_seq_ || collapse);
+    });
+    if (pending_waits_.empty()) break;
+    Session& s = *pending_waits_.begin()->second;
+    pending_waits_.erase(pending_waits_.begin());
+    if (s.has_job) {
+      // The one place virtual DPM time advances: strictly in seq order,
+      // with run_multiprocessor's arithmetic (DpmVirtualClock).
+      s.entry.dpm_wait_seconds = clock_.start(s.entry.sw_seconds);
+      clock_.finish(s.entry.dpm_seconds);
+    }
+    next_seq_ = s.seq + 1;
+    s.wait_done = true;
+    auto delivery = try_finalize_locked(s);
+    if (delivery) {
+      lock.unlock();
+      deliver(std::move(delivery));
+      lock.lock();
+    }
+  }
+}
+
+std::optional<Warpd::Delivery> Warpd::try_finalize_locked(Session& s) {
+  if (s.finalized || !s.runs_done || !s.wait_done) return std::nullopt;
+  s.finalized = true;
+  SessionOutcome out;
+  out.id = s.request.id;
+  out.seq = s.seq;
+  out.entry = s.entry;
+  out.shard = s.shard;
+  out.latency_ms = ms_since(s.admitted);
+  latencies_by_seq_[s.seq] = out.latency_ms;
+  ++stats_.completed;
+  s.system.reset();  // bound live memory to in-flight sessions
+  done_cv_.notify_all();
+  return Delivery{std::move(s.done), std::move(out)};
+}
+
+void Warpd::deliver(std::optional<Delivery> delivery) {
+  if (delivery && delivery->first) delivery->first(delivery->second);
+}
+
+std::vector<SessionOutcome> run_serial(const std::vector<protocol::Request>& requests,
+                                       const WarpdOptions& options) {
+  const ShardRing ring(std::max(1u, options.shards),
+                       std::max(1u, options.ring_points_per_shard));
+  struct Row {
+    bool accepted = false;
+    bool has_job = false;
+  };
+  std::vector<SessionOutcome> outcomes(requests.size());
+  std::vector<Row> rows(requests.size());
+
+  // Admission mirrors Warpd::submit: same rejections, same seq assignment.
+  enum class SeqMode { kUnset, kImplicit, kExplicit };
+  SeqMode mode = SeqMode::kUnset;
+  std::set<std::uint64_t> used_seqs;
+  std::uint64_t implicit_seq = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const protocol::Request& request = requests[i];
+    SessionOutcome& out = outcomes[i];
+    out.id = request.id;
+    std::string err = validate_request(request);
+    if (err.empty()) {
+      if (request.seq) {
+        if (mode == SeqMode::kImplicit) {
+          err = "seq on a stream that started without seq";
+        } else if (!used_seqs.insert(*request.seq).second) {
+          err = "duplicate seq";
+        } else {
+          mode = SeqMode::kExplicit;
+        }
+      } else {
+        if (mode == SeqMode::kExplicit) {
+          err = "missing seq on a stream that started with seq";
+        } else {
+          mode = SeqMode::kImplicit;
+        }
+      }
+    }
+    if (!err.empty()) {
+      out.error = std::move(err);
+      continue;
+    }
+    rows[i].accepted = true;
+    out.seq = request.seq ? *request.seq : implicit_seq++;
+    out.entry.name = request.workload;
+
+    const auto admitted = std::chrono::steady_clock::now();
+    auto built = build_session(request, options.base);
+    if (built) {
+      BuiltSession b = std::move(built).value();
+      out.shard = ring.owner(b.kernel_hash);
+      rows[i].has_job = warpsys::profile_phase(*b.system, out.entry);
+      if (rows[i].has_job) {
+        const bool partitioned =
+            warpsys::dpm_phase(*b.system, out.entry, options.cache, options.fault);
+        warpsys::warped_phase(*b.system, out.entry, partitioned);
+      }
+    } else {
+      out.entry.detail = built.message();
+    }
+    out.latency_ms = ms_since(admitted);
+  }
+
+  // Virtual DPM accounting in seq order — the engine's exact arithmetic.
+  std::map<std::uint64_t, std::size_t> by_seq;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (rows[i].accepted) by_seq[outcomes[i].seq] = i;
+  }
+  warpsys::DpmVirtualClock clock;
+  for (const auto& [seq, i] : by_seq) {
+    if (!rows[i].has_job) continue;
+    outcomes[i].entry.dpm_wait_seconds = clock.start(outcomes[i].entry.sw_seconds);
+    clock.finish(outcomes[i].entry.dpm_seconds);
+  }
+  return outcomes;
+}
+
+}  // namespace warp::serve

@@ -1,0 +1,220 @@
+// warpd: a multi-session warp serving engine on the shared DPM.
+//
+// One admitted request = one warp session: a fresh WarpSystem is built for
+// the named workload (with the request's config overrides), pushed through
+// the profile -> DPM -> warped phases of warp_system.hpp, and reported as a
+// MultiWarpEntry — exactly the Figure-4 methodology, but request-driven and
+// long-running instead of batch.
+//
+// Host architecture (all host-side; none of it changes simulated numbers):
+//
+//   workers    claim admitted sessions in admission order; each builds the
+//              system, runs the profiled software run, files the DPM job,
+//              blocks until its grant, then runs the warped re-run;
+//   shards     N scheduler threads own disjoint slices of the DPM queue.
+//              Ownership is consistent-hashed by *kernel content hash*
+//              (program words + the DPM-relevant config knobs), so every
+//              repeat of a kernel lands on the same shard and is served
+//              after its first occurrence — the sharding invariant that
+//              makes repeats guaranteed cache hits. Each shard pops its own
+//              queue in ascending virtual admission order;
+//   sequencer  one thread owns the *virtual* DPM accounting: it walks
+//              sessions in seq order through a DpmVirtualClock (round
+//              robin), assigning each session's dpm_wait_seconds with the
+//              identical arithmetic of run_multiprocessor.
+//
+// Determinism contract: the virtual DPM stays a single-server queue served
+// in seq order, whatever the shard/worker counts — shards parallelize the
+// *host* CAD work only. Result tables are therefore bit-identical across
+// shard counts, worker counts, repeats, cache states and the serial
+// reference engine (run_serial), which tests/warpd_test.cpp gates.
+//
+// Virtual admission order ("seq"): a request may carry an explicit seq —
+// its slot in the shared DPM's virtual queue — so that multiple client
+// connections splitting one logical stream yield the same table no matter
+// how their lines interleave on the host. A stream either tags every
+// request (explicit mode: seqs must be unique and dense from 0; a gap
+// stalls *reporting* of later sessions until it arrives, and stop()
+// collapses any gap that never does) or none (implicit mode: seq =
+// admission order). The mode is locked by the first admitted request.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injector.hpp"
+#include "common/hash.hpp"
+#include "experiments/harness.hpp"
+#include "partition/cache.hpp"
+#include "serve/protocol.hpp"
+#include "warp/warp_system.hpp"
+
+namespace warp::serve {
+
+/// Consistent-hash ring mapping kernel content hashes to shard owners.
+/// Each shard contributes `points_per_shard` ring points; a key is owned by
+/// the first point at or after it (wrapping). Adding a shard therefore only
+/// moves the keys adjacent to its new points — and for a fixed shard count
+/// the mapping is a pure function of the key, identical on every host.
+class ShardRing {
+ public:
+  ShardRing(unsigned shards, unsigned points_per_shard = 16);
+  unsigned owner(const common::Digest& key) const;
+  unsigned shards() const { return shards_; }
+
+ private:
+  unsigned shards_;
+  std::vector<std::pair<std::uint64_t, unsigned>> points_;  // sorted by .first
+};
+
+struct WarpdOptions {
+  /// DPM scheduler (shard) threads; clamped to >= 1.
+  unsigned shards = 1;
+  /// Session worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned workers = 0;
+  unsigned ring_points_per_shard = 16;
+  /// Shared artifact cache consulted by every DPM job (not owned; may be
+  /// null). Typically has a DiskArtifactStore attached — that is what makes
+  /// repeat kernels disk hits across server restarts.
+  partition::ArtifactCache* cache = nullptr;
+  /// Shared deterministic fault injector for the pipeline/store sites (not
+  /// owned; may be null). Socket-layer sites live in server.hpp.
+  common::FaultInjector* fault = nullptr;
+  /// Per-session template (cpu config, system config, ...). Its `cache`
+  /// member is ignored — the engine passes `cache` above per DPM call.
+  experiments::HarnessOptions base;
+};
+
+/// What one session resolved to. `error` nonempty means the request was
+/// rejected at admission (unknown workload, bad override, seq conflict) and
+/// the entry is meaningless; otherwise the entry is the session's result
+/// table row (software fallback included — a failed CAD flow is a completed
+/// session with warped=false, never an error).
+struct SessionOutcome {
+  std::uint64_t id = 0;
+  std::uint64_t seq = 0;
+  std::string error;
+  warpsys::MultiWarpEntry entry;
+  unsigned shard = 0;       // owner shard of the session's kernel
+  double latency_ms = 0.0;  // host admission -> completion
+};
+
+struct ShardStats {
+  std::uint64_t jobs = 0;    // DPM services executed by this shard
+  double busy_ms = 0.0;      // host wall clock spent in them
+};
+
+struct WarpdStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t unique_kernels = 0;  // distinct kernel content hashes seen
+  std::vector<ShardStats> shards;
+  std::vector<double> latencies_ms;  // completed sessions, in seq order
+};
+
+class Warpd {
+ public:
+  using Callback = std::function<void(const SessionOutcome&)>;
+
+  explicit Warpd(WarpdOptions options);
+  ~Warpd();
+  Warpd(const Warpd&) = delete;
+  Warpd& operator=(const Warpd&) = delete;
+
+  /// Admit one session. The callback fires exactly once — from an engine
+  /// thread once the session completes, or synchronously (with `error` set,
+  /// before submit returns) if the request is rejected. Callbacks must not
+  /// re-enter this Warpd beyond submit().
+  void submit(const protocol::Request& request, Callback done);
+
+  /// Block until every admitted session has completed. With a gapped
+  /// explicit-seq stream this waits for the gap; use stop() to force.
+  void drain();
+
+  /// Stop admitting, finish every admitted session (collapsing any seq
+  /// gaps, in ascending seq order), deliver their callbacks and join all
+  /// engine threads. Idempotent; the destructor calls it.
+  void stop();
+
+  WarpdStats stats() const;
+  const WarpdOptions& options() const { return options_; }
+  unsigned workers() const { return n_workers_; }
+
+ private:
+  struct Session {
+    protocol::Request request;
+    Callback done;
+    std::chrono::steady_clock::time_point admitted;
+    std::uint64_t seq = 0;
+    std::size_t index = 0;  // admission index
+    std::unique_ptr<warpsys::WarpSystem> system;
+    warpsys::MultiWarpEntry entry;
+    unsigned shard = 0;
+    bool has_job = false;      // profile succeeded; a DPM job was filed
+    bool partitioned = false;
+    bool dpm_done = false;     // shard served the job (or there was none)
+    bool runs_done = false;    // warped/fallback run finished
+    bool wait_done = false;    // sequencer assigned dpm_wait_seconds
+    bool finalized = false;
+  };
+  using Delivery = std::pair<Callback, SessionOutcome>;
+
+  void worker_main();
+  void shard_main(unsigned shard);
+  void sequencer_main();
+  std::string validate_locked(const protocol::Request& request);
+  std::optional<Delivery> try_finalize_locked(Session& session);
+  static void deliver(std::optional<Delivery> delivery);
+
+  WarpdOptions options_;
+  unsigned n_shards_ = 1;
+  unsigned n_workers_ = 1;
+  ShardRing ring_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable worker_cv_;   // submit/stop -> workers
+  std::condition_variable grant_cv_;    // shards -> blocked workers
+  std::condition_variable seq_cv_;      // shards/workers -> sequencer
+  std::condition_variable done_cv_;     // finalize -> drain()
+  std::vector<std::unique_ptr<std::condition_variable>> shard_cvs_;
+
+  std::deque<std::unique_ptr<Session>> sessions_;  // by admission index
+  std::size_t next_claim_ = 0;
+  // Per-shard job queues, ordered by (seq, admission index).
+  std::vector<std::set<std::pair<std::uint64_t, std::size_t>>> shard_queues_;
+  std::map<std::uint64_t, Session*> pending_waits_;  // seq -> session
+  std::uint64_t next_seq_ = 0;
+  std::set<std::uint64_t> used_seqs_;  // explicit mode duplicate detection
+  enum class SeqMode { kUnset, kImplicit, kExplicit };
+  SeqMode seq_mode_ = SeqMode::kUnset;
+  warpsys::DpmVirtualClock clock_;  // kRoundRobin: serves in seq order
+  std::set<std::pair<std::uint64_t, std::uint64_t>> kernels_seen_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  unsigned workers_exited_ = 0;
+  WarpdStats stats_;
+  std::map<std::uint64_t, double> latencies_by_seq_;
+  std::vector<std::thread> threads_;
+};
+
+/// Serial reference engine: the same sessions, built/run one at a time on
+/// the calling thread in the given order, waits assigned in seq order with
+/// the same DpmVirtualClock arithmetic. Outcomes are returned in request
+/// order. The concurrent engine is gated bit-identical against this.
+std::vector<SessionOutcome> run_serial(const std::vector<protocol::Request>& requests,
+                                       const WarpdOptions& options);
+
+}  // namespace warp::serve

@@ -79,46 +79,20 @@ const PartitionOutcome& WarpSystem::warp(partition::ArtifactCache* cache,
 
 common::Result<RunStats> WarpSystem::run_warped() { return run_internal(false); }
 
-namespace {
+double DpmVirtualClock::start(double request_seconds) {
+  if (policy == DpmQueuePolicy::kRoundRobin) return busy_ns * 1e-9;
+  start_seconds = std::max(now_seconds, request_seconds);
+  return start_seconds - request_seconds;
+}
 
-// Virtual-time bookkeeping of the shared single-server DPM. Round-robin
-// reports the server's accumulated busy time (the serial baseline's
-// semantics, kept in nanoseconds to match it bit for bit); kFifo/kPriority
-// report the queueing delay between a job's virtual request and its service
-// start, since under those policies service order depends on request times.
-struct DpmClock {
-  DpmQueuePolicy policy = DpmQueuePolicy::kRoundRobin;
-  double busy_ns = 0.0;        // kRoundRobin
-  double now_seconds = 0.0;    // kFifo / kPriority
-  double start_seconds = 0.0;
-
-  // Called at service start with the job's virtual request time; returns the
-  // wait to report.
-  double start(double request_seconds) {
-    if (policy == DpmQueuePolicy::kRoundRobin) return busy_ns * 1e-9;
-    start_seconds = std::max(now_seconds, request_seconds);
-    return start_seconds - request_seconds;
+void DpmVirtualClock::finish(double job_seconds) {
+  if (policy == DpmQueuePolicy::kRoundRobin) {
+    busy_ns += job_seconds * 1e9;
+  } else {
+    now_seconds = start_seconds + job_seconds;
   }
-  // Called at service end with the job's modeled DPM time.
-  void finish(double job_seconds) {
-    if (policy == DpmQueuePolicy::kRoundRobin) {
-      busy_ns += job_seconds * 1e9;
-    } else {
-      now_seconds = start_seconds + job_seconds;
-    }
-  }
-};
+}
 
-// Per-system progress through the profile -> DPM -> warped pipeline.
-struct SystemProgress {
-  enum class Stage { kPending, kRequested, kNoJob, kGranted };
-  Stage stage = Stage::kPending;
-  double request_seconds = 0.0;  // virtual completion of the profiled run
-  bool partitioned = false;
-};
-
-// Profiled software run; fills the entry's software fields. Returns false
-// (with the reason in entry.detail) if the system never reaches the DPM.
 bool profile_phase(WarpSystem& system, MultiWarpEntry& entry) {
   try {
     auto sw = system.run_software();
@@ -174,6 +148,16 @@ void warped_phase(WarpSystem& system, MultiWarpEntry& entry, bool partitioned) {
     entry.detail = std::string("warped run: ") + e.what();
   }
 }
+
+namespace {
+
+// Per-system progress through the profile -> DPM -> warped pipeline.
+struct SystemProgress {
+  enum class Stage { kPending, kRequested, kNoJob, kGranted };
+  Stage stage = Stage::kPending;
+  double request_seconds = 0.0;  // virtual completion of the profiled run
+  bool partitioned = false;
+};
 
 int priority_of(const MultiWarpOptions& options, std::size_t index) {
   return index < options.priorities.size() ? options.priorities[index] : 0;
@@ -252,7 +236,7 @@ std::vector<MultiWarpEntry> run_multiprocessor_serial(
     }
   }
 
-  DpmClock clock{options.policy};
+  DpmVirtualClock clock{options.policy};
   for (const std::size_t i : service_order(options, progress)) {
     entries[i].dpm_wait_seconds = clock.start(progress[i].request_seconds);
     progress[i].partitioned = dpm_phase(*systems[i], entries[i], options.cache, options.fault);
@@ -315,7 +299,7 @@ std::vector<MultiWarpEntry> run_multiprocessor_pipelined(
   // DPM scheduler: pop jobs in processor-index order as they arrive. The
   // flow itself runs outside the lock — the owning worker is blocked until
   // the grant, so the scheduler has exclusive use of the system.
-  DpmClock clock{options.policy};
+  DpmVirtualClock clock{options.policy};
   for (std::size_t i = 0; i < n; ++i) {
     std::unique_lock lock(mutex);
     scheduler_cv.wait(
@@ -361,7 +345,7 @@ std::vector<MultiWarpEntry> run_multiprocessor_batched(
     }
   });
 
-  DpmClock clock{options.policy};
+  DpmVirtualClock clock{options.policy};
   for (const std::size_t i : service_order(options, progress)) {
     entries[i].dpm_wait_seconds = clock.start(progress[i].request_seconds);
     progress[i].partitioned = dpm_phase(*systems[i], entries[i], options.cache, options.fault);

@@ -139,6 +139,45 @@ enum class DpmQueuePolicy {
   kPriority,
 };
 
+/// Virtual-time bookkeeping of a shared single-server DPM. Round-robin
+/// reports the server's accumulated busy time (the serial baseline's
+/// semantics, kept in nanoseconds to match it bit for bit); kFifo/kPriority
+/// report the queueing delay between a job's virtual request and its service
+/// start, since under those policies service order depends on request times.
+/// Public so other engines over the same virtual DPM (serve::Warpd) share
+/// this arithmetic exactly — bit-identity across engines depends on it.
+struct DpmVirtualClock {
+  DpmQueuePolicy policy = DpmQueuePolicy::kRoundRobin;
+  double busy_ns = 0.0;      // kRoundRobin
+  double now_seconds = 0.0;  // kFifo / kPriority
+  double start_seconds = 0.0;
+
+  /// Called at service start with the job's virtual request time; returns
+  /// the wait to report.
+  double start(double request_seconds);
+  /// Called at service end with the job's modeled DPM time.
+  void finish(double job_seconds);
+};
+
+/// The three phases every multi-system engine pushes a WarpSystem through.
+/// Exceptions and run failures land in entry.detail, never escape — the
+/// transparency contract (a failed phase leaves the system in software).
+/// Shared by run_multiprocessor's engines and the warpd serving engine so
+/// every entry field is computed by literally the same code.
+///
+/// profile_phase: profiled software run; fills the software fields. Returns
+/// false (reason in entry.detail) if the system never reaches the DPM.
+bool profile_phase(WarpSystem& system, MultiWarpEntry& entry);
+/// dpm_phase: one DPM service — run the partitioning flow. Fills the job
+/// time and detail; the caller accounts the wait. Returns whether hardware
+/// came online. Caller must guarantee exclusive use of `system`; the cache
+/// and fault injector lock internally.
+bool dpm_phase(WarpSystem& system, MultiWarpEntry& entry,
+               partition::ArtifactCache* cache, common::FaultInjector* fault);
+/// warped_phase: re-run after the DPM released the system (warped if
+/// partitioning succeeded, the software fallback otherwise).
+void warped_phase(WarpSystem& system, MultiWarpEntry& entry, bool partitioned);
+
 struct MultiWarpOptions {
   /// Host execution: worker threads + DPM scheduler thread when true, the
   /// single-threaded reference loop when false. Results are identical.

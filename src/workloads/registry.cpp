@@ -19,10 +19,15 @@ const std::vector<Workload>& extended_workloads() {
   return kAll;
 }
 
-const Workload& workload_by_name(const std::string& name) {
+const Workload* find_workload(const std::string& name) {
   for (const auto& w : extended_workloads()) {
-    if (w.name == name) return w;
+    if (w.name == name) return &w;
   }
+  return nullptr;
+}
+
+const Workload& workload_by_name(const std::string& name) {
+  if (const Workload* w = find_workload(name)) return *w;
   throw common::InternalError("unknown workload: " + name);
 }
 

@@ -65,4 +65,9 @@ const std::vector<Workload>& extended_workloads();
 /// unknown.
 const Workload& workload_by_name(const std::string& name);
 
+/// Non-throwing lookup over extended_workloads(); nullptr if unknown. For
+/// request-driven callers (serve/) where an unknown name is client input,
+/// not a programming error.
+const Workload* find_workload(const std::string& name);
+
 }  // namespace warp::workloads

@@ -13,9 +13,11 @@
 // fall-back-to-software path.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -164,6 +166,89 @@ TEST(DiskStore, ByteCapEvictsOldestFiles) {
   partition::DiskArtifactStore reopened(
       {.directory = dir.path.string(), .max_bytes = 650});
   EXPECT_LE(reopened.stats().bytes, 650u);
+}
+
+// Regression: a `get` whose unlocked file read races the byte cap evicting
+// that very key must not resurrect the evicted entry. The read bytes are
+// still served (quarantine-free), but re-indexing the unlinked file left a
+// ghost entry behind — stats.files/bytes drifting from the directory and
+// the cap evicting live artifacts to pay for phantom bytes. Pin the
+// invariant: after arbitrary get/evict churn, the index matches the disk
+// exactly, nothing was quarantined, and an evicted key recomputes cleanly.
+TEST(DiskStore, EvictionRacingGetLeavesNoGhostEntry) {
+  TempDir dir("evictrace");
+  const auto hot = make_key("synth", 77, 0);
+  // A large payload keeps the reader inside get()'s unlocked read/validate
+  // window long enough for the cap to race it.
+  std::vector<std::uint8_t> payload(64 * 1024);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  // Room for only ONE envelope: every filler put unconditionally evicts the
+  // hot key — including while the reader threads are mid-get on it. (A
+  // roomier cap never hits the race: the readers' own LRU refreshes keep
+  // the hot key at the young end.)
+  const std::uint64_t kCap = 80 * 1024;
+  partition::DiskArtifactStore store(
+      {.directory = dir.path.string(), .max_bytes = kCap});
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> served{0};
+  auto reader_main = [&] {
+    while (!done.load()) {
+      auto got = store.get(hot, 3, 1);
+      if (got.has_value()) {
+        ++served;
+        // Never a wrong payload, whatever the interleaving.
+        if (*got != payload) {
+          ADD_FAILURE() << "eviction race served a corrupt payload";
+          return;
+        }
+      }
+    }
+  };
+  std::thread reader_a(reader_main);
+  std::thread reader_b(reader_main);
+
+  // After each round (no put in flight, readers cannot change the
+  // directory), the index must mirror the disk exactly. A resurrected
+  // ghost entry shows up as files/bytes the directory doesn't have.
+  std::string violation;
+  for (std::uint32_t round = 0; round < 150 && violation.empty(); ++round) {
+    ASSERT_TRUE(store.put(hot, 3, 1, payload));
+    ASSERT_TRUE(store.put(make_key("synth", 1000 + round, 0), 3, 1, payload));
+    std::uint64_t disk_files = 0;
+    std::uint64_t disk_bytes = 0;
+    for (const auto& entry : fs::directory_iterator(dir.path)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".art") {
+        ++disk_files;
+        disk_bytes += entry.file_size();
+      }
+    }
+    const auto st = store.stats();
+    if (st.files != disk_files || st.bytes != disk_bytes) {
+      violation = "round " + std::to_string(round) + ": index says " +
+                  std::to_string(st.files) + " files / " + std::to_string(st.bytes) +
+                  " bytes, disk has " + std::to_string(disk_files) + " / " +
+                  std::to_string(disk_bytes);
+    }
+  }
+  done.store(true);
+  reader_a.join();
+  reader_b.join();
+  EXPECT_TRUE(violation.empty()) << violation;
+  EXPECT_GT(served.load(), 0u);
+
+  const auto st = store.stats();
+  EXPECT_LE(st.bytes, kCap);
+  EXPECT_EQ(st.quarantined, 0u);
+  EXPECT_GT(st.evictions, 0u);
+
+  // The evicted hot key recomputes cleanly: miss, re-put, hit.
+  (void)store.get(hot, 3, 1);
+  ASSERT_TRUE(store.put(hot, 3, 1, payload));
+  auto again = store.get(hot, 3, 1);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, payload);
 }
 
 // Satellite: every single-byte flip and every truncation of an envelope must

@@ -1,0 +1,265 @@
+// Robustness tests for the warpd wire protocol and socket front end.
+//
+// The framing contract: nothing a client can put on the wire crashes or
+// stops the server. Every well-formed request gets exactly one reply;
+// malformed, oversized and unknown-workload lines get "err" replies. These
+// tests fuzz parse_request/parse_reply with byte flips and truncations of
+// canonical lines (run under ASan/UBSan in CI), pin the %.17g bit-exact
+// double round-trip the cross-transport determinism gates rely on, and
+// drive a live server with garbage, oversized lines and flipped request
+// bytes, requiring one reply per line and a clean stop.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "experiments/harness.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace warp {
+namespace {
+
+using serve::protocol::Reply;
+using serve::protocol::Request;
+
+const char kCanonicalRequest[] =
+    "warp id=42 workload=brev seq=7 packed_width=2 max_candidates=8 csd_max_terms=3";
+
+TEST(WarpdProtocol, RequestRoundTrip) {
+  auto parsed = serve::protocol::parse_request(kCanonicalRequest);
+  ASSERT_TRUE(parsed) << parsed.message();
+  const Request& request = parsed.value();
+  EXPECT_EQ(request.id, 42u);
+  EXPECT_EQ(request.workload, "brev");
+  ASSERT_TRUE(request.seq.has_value());
+  EXPECT_EQ(*request.seq, 7u);
+  ASSERT_TRUE(request.overrides.packed_width.has_value());
+  EXPECT_EQ(*request.overrides.packed_width, 2u);
+  ASSERT_TRUE(request.overrides.max_candidates.has_value());
+  EXPECT_EQ(*request.overrides.max_candidates, 8u);
+  ASSERT_TRUE(request.overrides.csd_max_terms.has_value());
+  EXPECT_EQ(*request.overrides.csd_max_terms, 3u);
+  EXPECT_EQ(serve::protocol::encode_request(request), kCanonicalRequest);
+}
+
+TEST(WarpdProtocol, MinimalRequest) {
+  auto parsed = serve::protocol::parse_request("warp id=0 workload=g3fax");
+  ASSERT_TRUE(parsed) << parsed.message();
+  EXPECT_FALSE(parsed.value().seq.has_value());
+  EXPECT_FALSE(parsed.value().overrides.packed_width.has_value());
+}
+
+TEST(WarpdProtocol, RejectsMalformedRequests) {
+  const char* kBad[] = {
+      "",
+      "warp",
+      "ward id=1 workload=brev",
+      "warp id=1",
+      "warp workload=brev",
+      "warp id=1 id=2 workload=brev",
+      "warp id=1 workload=brev workload=brev",
+      "warp id=-1 workload=brev",
+      "warp id=zzz workload=brev",
+      "warp id=1 workload=brev seq=",
+      "warp id=1 workload=brev seq=-3",
+      "warp id=1 workload=brev seq=1 seq=2",
+      "warp id=1 workload=brev packed_width=3",
+      "warp id=1 workload=brev packed_width=8",
+      "warp id=1 workload=brev max_candidates=0",
+      "warp id=1 workload=brev max_candidates=65",
+      "warp id=1 workload=brev csd_max_terms=17",
+      "warp id=1 workload=brev bogus=1",
+      "warp id=1 workload=brev noequals",
+      "warp id=1 workload=brev =value",
+  };
+  for (const char* line : kBad) {
+    EXPECT_FALSE(serve::protocol::parse_request(line)) << "accepted: '" << line << "'";
+  }
+}
+
+// The determinism gates compare result tables reconstructed from reply
+// lines, so the double encoding must round-trip bit-exactly.
+TEST(WarpdProtocol, ReplyRoundTripIsBitExact) {
+  warpsys::MultiWarpEntry entry;
+  entry.name = "idct";
+  entry.detail = "loop at 0x40, 12 ops";
+  entry.sw_seconds = 1.0 / 3.0;
+  entry.warped_seconds = 0.12345678901234567;
+  entry.speedup = entry.sw_seconds / entry.warped_seconds;
+  entry.dpm_seconds = 1.6180339887498949e-3;
+  entry.dpm_wait_seconds = 2.2250738585072014e-308;  // smallest normal double
+  entry.warped = true;
+
+  const std::string line =
+      serve::protocol::encode_reply(serve::protocol::make_ok_reply(9, entry));
+  auto parsed = serve::protocol::parse_reply(line);
+  ASSERT_TRUE(parsed) << parsed.message();
+  EXPECT_TRUE(parsed.value().ok);
+  EXPECT_EQ(parsed.value().id, 9u);
+  EXPECT_TRUE(serve::protocol::entry_of(parsed.value()) == entry) << line;
+}
+
+TEST(WarpdProtocol, ErrorReplyRoundTrip) {
+  const std::string line = serve::protocol::encode_reply(
+      serve::protocol::make_error_reply(3, "unknown workload: nope"));
+  auto parsed = serve::protocol::parse_reply(line);
+  ASSERT_TRUE(parsed) << parsed.message();
+  EXPECT_FALSE(parsed.value().ok);
+  EXPECT_EQ(parsed.value().id, 3u);
+  EXPECT_EQ(parsed.value().detail, "unknown workload: nope");
+}
+
+TEST(WarpdProtocol, ReplyParserRejectsMissingFields) {
+  EXPECT_FALSE(serve::protocol::parse_reply("ok id=1 detail=x"));
+  EXPECT_FALSE(serve::protocol::parse_reply("ok id=1 workload=brev warped=1 sw_s=1"));
+  EXPECT_FALSE(serve::protocol::parse_reply("err id=1"));
+  EXPECT_FALSE(serve::protocol::parse_reply("hmm id=1 msg=x"));
+}
+
+// Byte-flip fuzz: every byte of the canonical lines, several masks. The
+// parser may accept or reject the mutated line, but must never crash or
+// trip a sanitizer.
+TEST(WarpdProtocol, ByteFlipFuzzNeverCrashes) {
+  const std::string reply_line = serve::protocol::encode_reply(
+      serve::protocol::make_ok_reply(7, warpsys::MultiWarpEntry{}));
+  const unsigned char kMasks[] = {0x01, 0x08, 0x20, 0x80, 0xFF};
+  for (const std::string& base : {std::string(kCanonicalRequest), reply_line}) {
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      for (const unsigned char mask : kMasks) {
+        std::string mutated = base;
+        mutated[i] = static_cast<char>(mutated[i] ^ mask);
+        (void)serve::protocol::parse_request(mutated);
+        (void)serve::protocol::parse_reply(mutated);
+      }
+    }
+  }
+}
+
+// Truncation fuzz: every prefix of the canonical lines.
+TEST(WarpdProtocol, TruncationFuzzNeverCrashes) {
+  const std::string reply_line = serve::protocol::encode_reply(
+      serve::protocol::make_ok_reply(7, warpsys::MultiWarpEntry{}));
+  for (const std::string& base : {std::string(kCanonicalRequest), reply_line}) {
+    for (std::size_t len = 0; len <= base.size(); ++len) {
+      const std::string prefix = base.substr(0, len);
+      (void)serve::protocol::parse_request(prefix);
+      (void)serve::protocol::parse_reply(prefix);
+    }
+  }
+}
+
+// Live server: garbage, oversized lines, unknown workloads and flipped
+// request bytes all get error replies; valid requests still complete; the
+// server stops cleanly afterwards.
+TEST(WarpdServer, SurvivesHostileClient) {
+  serve::SocketServerOptions options;
+  options.path = common::format("/tmp/warpd_proto_%d.sock", static_cast<int>(::getpid()));
+  options.engine.shards = 1;
+  options.engine.workers = 2;
+  options.engine.base = experiments::default_options();
+  serve::SocketServer server(options);
+  ASSERT_TRUE(server.start());
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(options.path));
+
+  std::size_t sent = 0;
+  auto send = [&](const std::string& line) {
+    ASSERT_TRUE(client.send_line(line));
+    ++sent;
+  };
+  send("this is not a warp request");
+  send("warp id=1 workload=definitely_not_a_workload");
+  send(std::string(2 * options.max_line_bytes, 'x'));  // oversized, no structure
+  send("warp id=2 workload=brev max_candidates=900");
+  // Flip every byte of a valid line (0xFF mask); skip mutations that change
+  // the framing itself (newline/carriage-return) — each sent line must earn
+  // exactly one reply.
+  const std::string valid = "warp id=3 workload=brev";
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    std::string mutated = valid;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    if (mutated[i] == '\n' || mutated[i] == '\r') continue;
+    send(mutated);
+  }
+  send("warp id=4 workload=brev");  // a real session at the end
+  client.shutdown_send();
+
+  std::size_t ok_for_id4 = 0;
+  std::size_t err_replies = 0;
+  std::size_t ok_replies = 0;
+  for (std::size_t got = 0; got < sent; ++got) {
+    auto line = client.read_line();
+    ASSERT_TRUE(line) << "reply " << got << " of " << sent << ": " << line.message();
+    auto reply = serve::protocol::parse_reply(line.value());
+    ASSERT_TRUE(reply) << line.value();
+    if (reply.value().ok) {
+      ++ok_replies;
+      if (reply.value().id == 4) ++ok_for_id4;
+    } else {
+      ++err_replies;
+    }
+  }
+  EXPECT_EQ(ok_for_id4, 1u);
+  EXPECT_GE(err_replies, 4u);
+  // Nothing further: the server closes the connection after the last reply.
+  EXPECT_FALSE(client.read_line());
+  server.stop();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_GE(stats.parse_errors, 3u);
+  EXPECT_GE(stats.oversized_lines, 1u);
+  EXPECT_EQ(stats.replies, sent);
+  const auto engine_stats = server.engine().stats();
+  EXPECT_EQ(engine_stats.completed, ok_replies);
+  EXPECT_GE(engine_stats.rejected, 1u);  // the unknown workload
+}
+
+// An oversized line is answered as soon as the budget is blown — even
+// before its newline arrives — and the connection keeps working.
+TEST(WarpdServer, OversizedLineAnsweredMidStream) {
+  serve::SocketServerOptions options;
+  options.path =
+      common::format("/tmp/warpd_proto_ov_%d.sock", static_cast<int>(::getpid()));
+  options.engine.shards = 1;
+  options.engine.workers = 1;
+  options.engine.base = experiments::default_options();
+  options.max_line_bytes = 256;
+  serve::SocketServer server(options);
+  ASSERT_TRUE(server.start());
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(options.path));
+  // Half a KiB of junk with no newline: the err reply must arrive while
+  // the "line" is still open.
+  const std::string junk(1024, 'j');
+  ASSERT_TRUE(client.send_raw(junk.substr(0, 512)));
+  auto reply = client.read_line();
+  ASSERT_TRUE(reply) << reply.message();
+  auto parsed = serve::protocol::parse_reply(reply.value());
+  ASSERT_TRUE(parsed) << reply.value();
+  EXPECT_FALSE(parsed.value().ok);
+  // Finish the oversized line, then use the same connection normally.
+  ASSERT_TRUE(client.send_line(junk));
+  ASSERT_TRUE(client.send_line("warp id=11 workload=g3fax"));
+  client.shutdown_send();
+  bool saw_ok = false;
+  for (;;) {
+    auto line = client.read_line();
+    if (!line) break;
+    auto r = serve::protocol::parse_reply(line.value());
+    ASSERT_TRUE(r) << line.value();
+    if (r.value().ok && r.value().id == 11) saw_ok = true;
+  }
+  EXPECT_TRUE(saw_ok);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace warp

@@ -1,0 +1,391 @@
+// End-to-end determinism battery for the warpd serving engine.
+//
+// The contract under test: the sharded host scheduler, the socket
+// transport, the artifact cache/persistent store and any transient fault
+// schedule are all invisible in the result tables. Identical request
+// streams must produce bit-identical MultiWarpEntry rows (including the
+// virtual-time dpm_wait_seconds) across shard counts, interleaved client
+// schedules and cold vs. warm stores — always equal to the serial
+// reference engine. Persistent faults must degrade cleanly: stage faults
+// land in the software-fallback path, socket faults drop connections, and
+// the server always stops without hanging. This binary runs under TSan and
+// ASan/UBSan in CI.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injector.hpp"
+#include "common/strings.hpp"
+#include "experiments/harness.hpp"
+#include "partition/cache.hpp"
+#include "partition/disk_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/warpd.hpp"
+#include "workloads/workload.hpp"
+
+namespace warp {
+namespace {
+
+namespace fs = std::filesystem;
+
+using serve::SessionOutcome;
+using serve::protocol::Request;
+using warpsys::MultiWarpEntry;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path(fs::temp_directory_path() /
+             common::format("warpd_%s_%d", name.c_str(), static_cast<int>(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+std::string socket_path(const std::string& tag) {
+  return common::format("/tmp/warpd_%s_%d.sock", tag.c_str(), static_cast<int>(::getpid()));
+}
+
+// A small cycled mix over the extended workload set, with a periodic
+// max_candidates override so the stream has both repeats and distinct
+// kernel content hashes. `explicit_seq` tags each request with seq == id.
+std::vector<Request> make_requests(std::size_t n, bool explicit_seq) {
+  const auto& workloads = workloads::extended_workloads();
+  std::vector<Request> requests;
+  for (std::size_t i = 0; i < n; ++i) {
+    Request request;
+    request.id = i;
+    if (explicit_seq) request.seq = i;
+    request.workload = workloads[i % workloads.size()].name;
+    if (i % 3 == 1) request.overrides.max_candidates = 4;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+std::vector<MultiWarpEntry> entries_of(const std::vector<SessionOutcome>& outcomes) {
+  std::vector<MultiWarpEntry> entries;
+  for (const auto& out : outcomes) {
+    EXPECT_TRUE(out.error.empty()) << "id=" << out.id << ": " << out.error;
+    entries.push_back(out.entry);
+  }
+  return entries;
+}
+
+// Submit every request to an in-process engine and wait for completion;
+// outcomes indexed like `requests`.
+std::vector<SessionOutcome> run_engine(const std::vector<Request>& requests,
+                                       const serve::WarpdOptions& options) {
+  serve::Warpd engine(options);
+  std::vector<SessionOutcome> outcomes(requests.size());
+  std::mutex m;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    engine.submit(requests[i], [&outcomes, &m, i](const SessionOutcome& out) {
+      std::lock_guard<std::mutex> lock(m);
+      outcomes[i] = out;
+    });
+  }
+  engine.drain();
+  engine.stop();
+  return outcomes;
+}
+
+// One client streaming `requests` over a socket server; entries returned by
+// reply id (ids must be 0..n-1).
+std::vector<MultiWarpEntry> socket_entries(const std::vector<Request>& requests,
+                                           const serve::WarpdOptions& engine,
+                                           common::FaultInjector* serve_fault,
+                                           const std::string& tag) {
+  serve::SocketServerOptions options;
+  options.path = socket_path(tag);
+  options.engine = engine;
+  options.fault = serve_fault;
+  serve::SocketServer server(options);
+  EXPECT_TRUE(server.start());
+  serve::Client client;
+  EXPECT_TRUE(client.connect(options.path));
+  for (const auto& request : requests) {
+    EXPECT_TRUE(client.send_line(serve::protocol::encode_request(request)));
+  }
+  client.shutdown_send();
+  std::vector<MultiWarpEntry> by_id(requests.size());
+  for (std::size_t got = 0; got < requests.size(); ++got) {
+    auto line = client.read_line();
+    EXPECT_TRUE(line) << line.message();
+    if (!line) break;
+    auto reply = serve::protocol::parse_reply(line.value());
+    EXPECT_TRUE(reply) << line.value();
+    if (!reply) break;
+    EXPECT_TRUE(reply.value().ok) << line.value();
+    if (reply.value().id >= by_id.size()) {
+      ADD_FAILURE() << "reply id out of range: " << line.value();
+      break;
+    }
+    by_id[reply.value().id] = serve::protocol::entry_of(reply.value());
+  }
+  server.stop();
+  return by_id;
+}
+
+serve::WarpdOptions engine_options(unsigned shards) {
+  serve::WarpdOptions options;
+  options.shards = shards;
+  options.base = experiments::default_options();
+  return options;
+}
+
+// Identical request streams across shard counts produce bit-identical
+// result tables and virtual-time metrics (dpm_wait_seconds is part of the
+// entry), always equal to the serial reference.
+TEST(Warpd, BitIdenticalAcrossShardCounts) {
+  const auto requests = make_requests(10, /*explicit_seq=*/false);
+  const auto reference = entries_of(serve::run_serial(requests, engine_options(1)));
+  for (const unsigned shards : {1u, 2u, 5u}) {
+    serve::WarpdOptions options = engine_options(shards);
+    partition::ArtifactCache cache;
+    options.cache = &cache;
+    const auto outcomes = run_engine(requests, options);
+    EXPECT_TRUE(entries_of(outcomes) == reference) << "shards=" << shards;
+    // Repeat kernels are owned by one shard each, so the shared cache must
+    // have been hit (the mix repeats workloads).
+    std::uint64_t hits = 0;
+    for (const auto& [stage, s] : cache.stats()) hits += s.hits;
+    EXPECT_GT(hits, 0u) << "shards=" << shards;
+  }
+}
+
+// Two clients interleave halves of one logical stream with explicit seq
+// tags: whatever the socket interleaving, the table equals the serial
+// reference of the seq-ordered stream.
+TEST(Warpd, InterleavedClientsWithExplicitSeq) {
+  const auto requests = make_requests(10, /*explicit_seq=*/true);
+  const auto reference = entries_of(serve::run_serial(requests, engine_options(2)));
+
+  serve::SocketServerOptions options;
+  options.path = socket_path("interleaved");
+  options.engine = engine_options(2);
+  serve::SocketServer server(options);
+  ASSERT_TRUE(server.start());
+
+  std::vector<MultiWarpEntry> by_id(requests.size());
+  std::mutex m;
+  auto client_main = [&](std::size_t parity) {
+    serve::Client client;
+    ASSERT_TRUE(client.connect(options.path));
+    std::size_t mine = 0;
+    for (std::size_t i = parity; i < requests.size(); i += 2) {
+      ASSERT_TRUE(client.send_line(serve::protocol::encode_request(requests[i])));
+      ++mine;
+    }
+    client.shutdown_send();
+    for (std::size_t got = 0; got < mine; ++got) {
+      auto line = client.read_line();
+      ASSERT_TRUE(line) << line.message();
+      auto reply = serve::protocol::parse_reply(line.value());
+      ASSERT_TRUE(reply) << line.value();
+      ASSERT_TRUE(reply.value().ok) << line.value();
+      ASSERT_LT(reply.value().id, by_id.size());
+      std::lock_guard<std::mutex> lock(m);
+      by_id[reply.value().id] = serve::protocol::entry_of(reply.value());
+    }
+  };
+  std::thread evens(client_main, 0);
+  std::thread odds(client_main, 1);
+  evens.join();
+  odds.join();
+  server.stop();
+  EXPECT_TRUE(by_id == reference);
+}
+
+// Cold store vs. a warm restart over the same directory: bit-identical
+// tables, and the warm run must actually serve from disk.
+TEST(Warpd, ColdAndWarmStoreBitIdentical) {
+  TempDir dir("store");
+  const auto requests = make_requests(6, /*explicit_seq=*/true);
+  const auto reference = entries_of(serve::run_serial(requests, engine_options(2)));
+  for (const char* phase : {"cold", "warm"}) {
+    partition::DiskArtifactStore store({.directory = dir.path.string()});
+    partition::ArtifactCache cache;
+    cache.attach_store(&store);
+    serve::WarpdOptions options = engine_options(2);
+    options.cache = &cache;
+    const auto got = socket_entries(requests, options, nullptr,
+                                    std::string("store_") + phase);
+    EXPECT_TRUE(got == reference) << phase;
+    if (std::string(phase) == "warm") {
+      EXPECT_GT(cache.total_disk_hits(), 0u);
+      EXPECT_GT(store.stats().hits, 0u);
+    } else {
+      EXPECT_GT(store.stats().files, 0u);
+    }
+  }
+}
+
+// Ten transient fault seeds, one injector wired through the engine's
+// pipeline sites, the persistent store and the serve.accept/read/write
+// socket sites: every session completes and every table is bit-identical.
+TEST(Warpd, TransientFaultSweepIsBitIdentical) {
+  const auto requests = make_requests(4, /*explicit_seq=*/true);
+  const auto reference = entries_of(serve::run_serial(requests, engine_options(2)));
+  TempDir dir("fault");
+  std::uint64_t injected_total = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    common::FaultInjector fault(common::FaultConfig::transient_sweep(seed));
+    const fs::path store_dir = dir.path / common::format("seed_%llu",
+                                                         static_cast<unsigned long long>(seed));
+    partition::DiskArtifactStore store(
+        {.directory = store_dir.string(), .fault = &fault});
+    partition::ArtifactCache cache;
+    cache.attach_store(&store);
+    serve::WarpdOptions options = engine_options(2);
+    options.cache = &cache;
+    options.fault = &fault;
+    const auto got = socket_entries(requests, options, &fault,
+                                    common::format("fault_%llu",
+                                                   static_cast<unsigned long long>(seed)));
+    EXPECT_TRUE(got == reference) << "seed=" << seed;
+    injected_total += fault.stats().injected;
+  }
+  // The sweep must actually exercise the fault paths.
+  EXPECT_GT(injected_total, 0u);
+}
+
+// A persistent stage fault (every CAD stage fails, no transient cap) is the
+// paper's transparency contract: sessions still complete, in software.
+TEST(Warpd, PersistentStageFaultFallsBackToSoftware) {
+  common::FaultConfig config;
+  config.stage_fail_p = 1.0;
+  config.max_consecutive = 0;
+  common::FaultInjector fault(config);
+  serve::WarpdOptions options = engine_options(2);
+  options.fault = &fault;
+  const auto outcomes = run_engine(make_requests(4, /*explicit_seq=*/false), options);
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& out : outcomes) {
+    EXPECT_TRUE(out.error.empty()) << out.error;
+    EXPECT_FALSE(out.entry.warped);
+    EXPECT_EQ(out.entry.speedup, 1.0);
+    EXPECT_EQ(out.entry.warped_seconds, out.entry.sw_seconds);
+  }
+  EXPECT_GT(fault.stats().injected, 0u);
+}
+
+// A client that vanishes before its replies: the write budget is exhausted
+// (a real EPIPE, same path as an injected serve.write fault), the
+// connection is muted, the sessions still complete server-side and the
+// server stops cleanly.
+TEST(Warpd, DeadClientMutesConnectionNotServer) {
+  serve::SocketServerOptions options;
+  options.path = socket_path("deadclient");
+  options.engine = engine_options(1);
+  options.engine.workers = 2;
+  serve::SocketServer server(options);
+  ASSERT_TRUE(server.start());
+  {
+    serve::Client client;
+    ASSERT_TRUE(client.connect(options.path));
+    ASSERT_TRUE(client.send_line("warp id=0 workload=brev"));
+    ASSERT_TRUE(client.send_line("warp id=1 workload=g3fax"));
+    client.close();  // gone before any reply can be written
+  }
+  // Admission happens on the server's reader thread; wait for it before
+  // draining (drain on an empty engine returns immediately).
+  for (int i = 0; i < 500 && server.engine().stats().admitted < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(server.engine().stats().admitted, 2u);
+  server.engine().drain();
+  server.stop();
+  const auto engine_stats = server.engine().stats();
+  EXPECT_EQ(engine_stats.completed, 2u);
+  EXPECT_GE(server.stats().write_failures, 1u);
+}
+
+// A persistent serve-site fault schedule (every accept/read/write faults,
+// forever): no session is ever admitted, but the server neither crashes
+// nor hangs — stop() still returns and the client just sees a dead peer.
+TEST(Warpd, PersistentServeFaultFailsCleanly) {
+  common::FaultConfig config;
+  config.io_error_p = 1.0;
+  config.max_consecutive = 0;
+  common::FaultInjector fault(config);
+  serve::SocketServerOptions options;
+  options.path = socket_path("persistfault");
+  options.engine = engine_options(1);
+  options.fault = &fault;
+  serve::SocketServer server(options);
+  ASSERT_TRUE(server.start());
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(options.path));  // parked in the listen backlog
+  ASSERT_TRUE(client.send_line("warp id=0 workload=brev"));
+  // Wait until the accept loop has demonstrably faulted at least once.
+  for (int i = 0; i < 500 && server.stats().accept_faults == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(server.stats().accept_faults, 0u);
+  server.stop();
+  EXPECT_EQ(server.stats().connections, 0u);
+  EXPECT_EQ(server.engine().stats().admitted, 0u);
+  EXPECT_FALSE(client.read_line());  // the listener is gone; EOF or reset
+}
+
+// Seq-mode discipline: a stream locks into explicit or implicit mode with
+// its first admitted request; mixing and duplicates are rejected, and the
+// serial reference rejects identically.
+TEST(Warpd, SeqModeMixingRejected) {
+  Request implicit;
+  implicit.id = 0;
+  implicit.workload = "brev";
+  Request tagged = implicit;
+  tagged.id = 1;
+  tagged.seq = 5;
+
+  {
+    const auto outcomes = run_engine({implicit, tagged}, engine_options(1));
+    EXPECT_TRUE(outcomes[0].error.empty());
+    EXPECT_EQ(outcomes[1].error, "seq on a stream that started without seq");
+    const auto serial = serve::run_serial({implicit, tagged}, engine_options(1));
+    EXPECT_EQ(serial[1].error, outcomes[1].error);
+    EXPECT_TRUE(outcomes[0].entry == serial[0].entry);
+  }
+  {
+    Request first = tagged;
+    first.seq = 0;
+    const auto outcomes = run_engine({first, implicit}, engine_options(1));
+    EXPECT_TRUE(outcomes[0].error.empty());
+    EXPECT_EQ(outcomes[1].error, "missing seq on a stream that started with seq");
+  }
+  {
+    Request a = tagged;
+    a.seq = 0;
+    Request b = tagged;
+    b.id = 2;
+    b.seq = 0;
+    const auto outcomes = run_engine({a, b}, engine_options(1));
+    EXPECT_TRUE(outcomes[0].error.empty());
+    EXPECT_EQ(outcomes[1].error, "duplicate seq");
+  }
+  {
+    Request bad;
+    bad.id = 9;
+    bad.workload = "not_a_workload";
+    const auto outcomes = run_engine({bad}, engine_options(1));
+    EXPECT_EQ(outcomes[0].error, "unknown workload: not_a_workload");
+  }
+}
+
+}  // namespace
+}  // namespace warp
