@@ -5,8 +5,12 @@
 // binary executing in software with no observable difference beyond lost
 // speedup. To test that contract end-to-end, the FaultInjector is threaded
 // through the persistent artifact store, every partition-pipeline stage and
-// the warpd socket front end ("serve.accept"/"serve.read"/"serve.write",
-// kIoError — see serve/server.hpp) as named probe *sites*. A probe asks "does fault kind K fire here?", and
+// the warpd serving stack — "serve.accept"/"serve.read"/"serve.write" on
+// the socket front end, "serve.admit" at engine admission (sheds the
+// request as a deterministic "busy"; only armed when admission caps are
+// enabled) and "serve.drain" at the graceful-drain flush barrier, all
+// kIoError — see serve/server.hpp and serve/warpd.hpp — as named probe
+// *sites*. A probe asks "does fault kind K fire here?", and
 // the answer is a pure function of (seed, site, per-site occurrence count)
 // — so a fault schedule is reproducible from its seed alone, across runs
 // and platforms.

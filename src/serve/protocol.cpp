@@ -54,7 +54,8 @@ Result<Request> parse_request(std::string_view line) {
   bool have_id = false;
   bool have_workload = false;
   // Duplicate detection without allocation: one flag per known key.
-  bool seen_seq = false, seen_width = false, seen_cand = false, seen_csd = false;
+  bool seen_seq = false, seen_deadline = false;
+  bool seen_width = false, seen_cand = false, seen_csd = false;
   for (std::size_t t = 1; t < tokens.size(); ++t) {
     const std::string_view token = tokens[t];
     const std::size_t eq = token.find('=');
@@ -78,6 +79,14 @@ Result<Request> parse_request(std::string_view line) {
       if (!parse_u64(value, seq)) return R::error("bad seq");
       request.seq = seq;
       seen_seq = true;
+    } else if (key == "deadline_ms") {
+      if (seen_deadline) return R::error("duplicate deadline_ms");
+      std::uint64_t deadline = 0;
+      if (!parse_u64(value, deadline) || deadline == 0 || deadline > kMaxDeadlineMs) {
+        return R::error("bad deadline_ms (want 1..86400000)");
+      }
+      request.deadline_ms = deadline;
+      seen_deadline = true;
     } else if (key == "packed_width") {
       if (seen_width) return R::error("duplicate packed_width");
       unsigned width = 0;
@@ -118,6 +127,10 @@ std::string encode_request(const Request& request) {
   if (request.seq) {
     line += common::format(" seq=%llu", static_cast<unsigned long long>(*request.seq));
   }
+  if (request.deadline_ms) {
+    line += common::format(" deadline_ms=%llu",
+                           static_cast<unsigned long long>(*request.deadline_ms));
+  }
   if (request.overrides.packed_width) {
     line += common::format(" packed_width=%u", *request.overrides.packed_width);
   }
@@ -132,6 +145,7 @@ std::string encode_request(const Request& request) {
 
 Reply make_ok_reply(std::uint64_t id, const warpsys::MultiWarpEntry& entry) {
   Reply reply;
+  reply.status = ReplyStatus::kOk;
   reply.ok = true;
   reply.id = id;
   reply.workload = entry.name;
@@ -147,6 +161,25 @@ Reply make_ok_reply(std::uint64_t id, const warpsys::MultiWarpEntry& entry) {
 
 Reply make_error_reply(std::uint64_t id, std::string message) {
   Reply reply;
+  reply.status = ReplyStatus::kErr;
+  reply.ok = false;
+  reply.id = id;
+  reply.detail = std::move(message);
+  return reply;
+}
+
+Reply make_busy_reply(std::uint64_t id, std::uint64_t retry_after_ms) {
+  Reply reply;
+  reply.status = ReplyStatus::kBusy;
+  reply.ok = false;
+  reply.id = id;
+  reply.retry_after_ms = retry_after_ms;
+  return reply;
+}
+
+Reply make_timeout_reply(std::uint64_t id, std::string message) {
+  Reply reply;
+  reply.status = ReplyStatus::kTimeout;
   reply.ok = false;
   reply.id = id;
   reply.detail = std::move(message);
@@ -154,6 +187,16 @@ Reply make_error_reply(std::uint64_t id, std::string message) {
 }
 
 std::string encode_reply(const Reply& reply) {
+  if (reply.status == ReplyStatus::kBusy) {
+    return common::format("busy id=%llu retry_ms=%llu",
+                          static_cast<unsigned long long>(reply.id),
+                          static_cast<unsigned long long>(reply.retry_after_ms));
+  }
+  if (reply.status == ReplyStatus::kTimeout) {
+    return common::format("timeout id=%llu msg=%s",
+                          static_cast<unsigned long long>(reply.id),
+                          sanitize(reply.detail).c_str());
+  }
   if (!reply.ok) {
     return common::format("err id=%llu msg=%s",
                           static_cast<unsigned long long>(reply.id),
@@ -170,19 +213,51 @@ std::string encode_reply(const Reply& reply) {
 Result<Reply> parse_reply(std::string_view line) {
   using R = Result<Reply>;
   Reply reply;
+  if (common::starts_with(line, "busy ")) {
+    // All-strict-token verb: id and retry_ms, each exactly once.
+    reply.status = ReplyStatus::kBusy;
+    reply.ok = false;
+    bool have_id = false, have_retry = false;
+    for (const std::string_view token : common::split(line.substr(5), " \t")) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string_view::npos || eq == 0) return R::error("malformed busy field");
+      const std::string_view key = token.substr(0, eq);
+      const std::string_view value = token.substr(eq + 1);
+      if (key == "id" && !have_id) {
+        if (!parse_u64(value, reply.id)) return R::error("bad busy id");
+        have_id = true;
+      } else if (key == "retry_ms" && !have_retry) {
+        if (!parse_u64(value, reply.retry_after_ms)) return R::error("bad retry_ms");
+        have_retry = true;
+      } else {
+        return R::error("unknown or repeated busy key: " + std::string(key.substr(0, 32)));
+      }
+    }
+    if (!have_id || !have_retry) return R::error("busy reply missing fields");
+    return reply;
+  }
   std::string_view tail;  // the final free-text field's marker + content
   if (common::starts_with(line, "ok ")) {
+    reply.status = ReplyStatus::kOk;
     reply.ok = true;
     const std::size_t pos = line.find(" detail=");
     if (pos == std::string_view::npos) return R::error("ok reply without detail=");
     reply.detail = std::string(line.substr(pos + 8));
     tail = line.substr(3, pos - 3);
   } else if (common::starts_with(line, "err ")) {
+    reply.status = ReplyStatus::kErr;
     reply.ok = false;
     const std::size_t pos = line.find(" msg=");
     if (pos == std::string_view::npos) return R::error("err reply without msg=");
     reply.detail = std::string(line.substr(pos + 5));
     tail = line.substr(4, pos - 4);
+  } else if (common::starts_with(line, "timeout ")) {
+    reply.status = ReplyStatus::kTimeout;
+    reply.ok = false;
+    const std::size_t pos = line.find(" msg=");
+    if (pos == std::string_view::npos) return R::error("timeout reply without msg=");
+    reply.detail = std::string(line.substr(pos + 5));
+    tail = line.substr(8, pos - 8);
   } else {
     return R::error("unknown reply verb");
   }

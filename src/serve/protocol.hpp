@@ -8,16 +8,32 @@
 //              workload=<name>     required; a workloads::extended_workloads() name
 //              seq=<u64>           optional; position in the shared DPM's
 //                                  *virtual* admission order (see warpd.hpp)
+//              deadline_ms=<1..86400000>   optional; cancel the session with a
+//                                  "timeout" reply if it cannot *start* within
+//                                  this many host milliseconds of admission
 //              packed_width=<0|1|2|4>      optional WarpSystemConfig override
 //              max_candidates=<1..64>      optional DpmOptions override
 //              csd_max_terms=<0..16>       optional SynthOptions override
 //   ping     = "ping"              answered with the raw line "pong"
+//   drain    = "drain"             answered "draining"; the server stops
+//                                  admitting (new sessions get "busy") and a
+//                                  daemon exits 0 once in-flight work ends
+//   stats    = "stats"             answered with one "stats k=v ..." line
+//                                  (occupancy + overload counters; the load
+//                                  harness reads coalescing/queue-depth here)
 //
 //   reply    = "ok" SP "id=" u64 SP "workload=" name SP "warped=" (0|1)
 //              SP "sw_s=" dbl SP "warped_s=" dbl SP "speedup=" dbl
 //              SP "dpm_s=" dbl SP "wait_s=" dbl SP "detail=" rest-of-line
 //            | "err" SP "id=" u64 SP "msg=" rest-of-line
+//            | "busy" SP "id=" u64 SP "retry_ms=" u64
+//            | "timeout" SP "id=" u64 SP "msg=" rest-of-line
 //
+// "busy" is the admission controller's overload answer: the request was NOT
+// admitted (no session, no side effects beyond counters) and the client may
+// retry after the deterministic retry_ms hint. "timeout" means the session
+// was admitted but cancelled before it ever started (its deadline_ms
+// elapsed while queued); no simulated work ran on its behalf.
 // Doubles are rendered with %.17g so a decoded reply reproduces the
 // server-side MultiWarpEntry bit for bit — the determinism gates compare
 // tables straight off the wire. detail=/msg= are always the final field and
@@ -53,17 +69,32 @@ struct RequestOverrides {
   bool operator==(const RequestOverrides&) const = default;
 };
 
+/// Upper bound on deadline_ms (24 h) — large enough for any real client,
+/// small enough that deadline arithmetic can never overflow host clocks.
+inline constexpr std::uint64_t kMaxDeadlineMs = 86'400'000;
+
 struct Request {
   std::uint64_t id = 0;     // client correlation token, echoed verbatim
   std::string workload;     // extended_workloads() name
   std::optional<std::uint64_t> seq;  // virtual admission slot (warpd.hpp)
+  /// Host milliseconds from admission within which the session must start
+  /// (be claimed by a worker or coalesce onto a leader); expired queued
+  /// sessions are cancelled with a "timeout" reply. 1..kMaxDeadlineMs.
+  std::optional<std::uint64_t> deadline_ms;
   RequestOverrides overrides;
 
   bool operator==(const Request&) const = default;
 };
 
+/// What a reply line says about the request. kBusy and kTimeout share the
+/// "not ok" bit with kErr but mean different things: kErr rejects the
+/// request itself, kBusy sheds it at admission (retry later), kTimeout
+/// cancels an admitted-but-never-started session.
+enum class ReplyStatus : std::uint8_t { kOk, kErr, kBusy, kTimeout };
+
 struct Reply {
-  bool ok = false;
+  ReplyStatus status = ReplyStatus::kErr;
+  bool ok = false;  // status == kOk, kept as a field for terse call sites
   std::uint64_t id = 0;
   // "ok" payload: the session's MultiWarpEntry fields.
   std::string workload;
@@ -73,7 +104,8 @@ struct Reply {
   double speedup = 0.0;
   double dpm_seconds = 0.0;
   double dpm_wait_seconds = 0.0;
-  std::string detail;  // entry detail (ok) or error message (err)
+  std::uint64_t retry_after_ms = 0;  // "busy" payload
+  std::string detail;  // entry detail (ok) or message (err/timeout)
 };
 
 /// Parse one request line (no trailing newline). Never throws on wire
@@ -85,6 +117,8 @@ std::string encode_request(const Request& request);
 
 Reply make_ok_reply(std::uint64_t id, const warpsys::MultiWarpEntry& entry);
 Reply make_error_reply(std::uint64_t id, std::string message);
+Reply make_busy_reply(std::uint64_t id, std::uint64_t retry_after_ms);
+Reply make_timeout_reply(std::uint64_t id, std::string message);
 
 std::string encode_reply(const Reply& reply);
 

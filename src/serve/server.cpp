@@ -9,6 +9,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/strings.hpp"
+
 namespace warp::serve {
 
 namespace {
@@ -28,7 +30,8 @@ bool make_addr(const std::string& path, sockaddr_un& addr) {
 
 }  // namespace
 
-SocketServer::SocketServer(SocketServerOptions options) : options_(std::move(options)) {
+SocketServer::SocketServer(SocketServerOptions options)
+    : options_(std::move(options)), backoff_rng_(options_.backoff_seed) {
   engine_ = std::make_unique<Warpd>(options_.engine);
 }
 
@@ -39,9 +42,20 @@ bool SocketServer::probe(const char* site) {
 }
 
 void SocketServer::backoff(int attempt) {
-  std::this_thread::sleep_for(
-      std::chrono::microseconds(static_cast<std::uint64_t>(options_.retry_backoff_us)
-                                << std::min(attempt, 10)));
+  // Exponential in the attempt with a hard cap, plus seeded deterministic
+  // jitter in [base, 2*base): concurrent connections retrying the same
+  // persistent fault spread out instead of hammering in lockstep, and one
+  // seed reproduces the exact schedule.
+  const std::uint64_t cap = std::max<std::uint64_t>(1, options_.retry_backoff_cap_us);
+  std::uint64_t base = static_cast<std::uint64_t>(std::max(1u, options_.retry_backoff_us))
+                       << std::min(attempt, 20);
+  base = std::min(base, cap);
+  std::uint64_t jitter;
+  {
+    std::lock_guard<std::mutex> lock(backoff_mutex_);
+    jitter = backoff_rng_.next_u64() % base;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(base + jitter));
 }
 
 common::Status SocketServer::start() {
@@ -182,6 +196,38 @@ void SocketServer::handle_line(const std::shared_ptr<Connection>& conn,
     write_line(*conn, "pong");
     return;
   }
+  if (line == "drain") {
+    request_drain();
+    write_line(*conn, "draining");
+    return;
+  }
+  if (line == "stats") {
+    const WarpdStats es = engine_->stats();
+    const SocketServerStats ss = stats();
+    const std::uint64_t disk_hits =
+        options_.engine.cache != nullptr ? options_.engine.cache->total_disk_hits() : 0;
+    write_line(*conn,
+               common::format(
+                   "stats admitted=%llu completed=%llu rejected=%llu busy=%llu "
+                   "timeouts=%llu coalesced=%llu pipeline_runs=%llu unique_kernels=%llu "
+                   "max_queue_depth=%llu peak_sessions=%llu peak_bytes=%llu "
+                   "disk_hits=%llu replies=%llu draining=%d",
+                   static_cast<unsigned long long>(es.admitted),
+                   static_cast<unsigned long long>(es.completed),
+                   static_cast<unsigned long long>(es.rejected),
+                   static_cast<unsigned long long>(es.busy_rejected),
+                   static_cast<unsigned long long>(es.timeouts),
+                   static_cast<unsigned long long>(es.coalesced),
+                   static_cast<unsigned long long>(es.pipeline_runs),
+                   static_cast<unsigned long long>(es.unique_kernels),
+                   static_cast<unsigned long long>(es.max_queue_depth),
+                   static_cast<unsigned long long>(es.peak_sessions),
+                   static_cast<unsigned long long>(es.peak_bytes),
+                   static_cast<unsigned long long>(disk_hits),
+                   static_cast<unsigned long long>(ss.replies),
+                   es.draining ? 1 : 0));
+    return;
+  }
   auto parsed = protocol::parse_request(line);
   if (!parsed) {
     {
@@ -200,9 +246,21 @@ void SocketServer::handle_line(const std::shared_ptr<Connection>& conn,
     ++conn->outstanding;
   }
   engine_->submit(parsed.value(), [this, conn](const SessionOutcome& outcome) {
-    const protocol::Reply reply = outcome.error.empty()
-                                      ? protocol::make_ok_reply(outcome.id, outcome.entry)
-                                      : protocol::make_error_reply(outcome.id, outcome.error);
+    protocol::Reply reply;
+    switch (outcome.status) {
+      case protocol::ReplyStatus::kOk:
+        reply = protocol::make_ok_reply(outcome.id, outcome.entry);
+        break;
+      case protocol::ReplyStatus::kBusy:
+        reply = protocol::make_busy_reply(outcome.id, outcome.retry_after_ms);
+        break;
+      case protocol::ReplyStatus::kTimeout:
+        reply = protocol::make_timeout_reply(outcome.id, outcome.error);
+        break;
+      case protocol::ReplyStatus::kErr:
+        reply = protocol::make_error_reply(outcome.id, outcome.error);
+        break;
+    }
     write_line(*conn, protocol::encode_reply(reply));
     std::lock_guard<std::mutex> lock(conn->mutex);
     --conn->outstanding;
@@ -248,6 +306,29 @@ bool SocketServer::write_line(Connection& conn, const std::string& line) {
   std::lock_guard<std::mutex> stats_lock(mutex_);
   ++stats_.write_failures;
   return false;
+}
+
+void SocketServer::request_drain() {
+  if (drain_requested_.exchange(true)) return;
+  engine_->begin_drain();
+}
+
+void SocketServer::drain() {
+  request_drain();
+  // In-flight sessions finish; everything arriving meanwhile is shed busy.
+  engine_->drain();
+  // The store is write-through (tmp -> fsync -> rename -> dir fsync on
+  // every put), so the flush barrier is structurally a no-op — but a real
+  // daemon would fsync here, and the fault site keeps that path honest.
+  for (int attempt = 0; attempt < options_.io_retries; ++attempt) {
+    if (!probe("serve.drain")) break;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.drain_faults;
+    }
+    backoff(attempt);
+  }
+  stop();
 }
 
 void SocketServer::stop() {

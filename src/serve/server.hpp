@@ -9,7 +9,8 @@
 // or stop the server (fuzz-gated by tests/warpd_proto_test.cpp).
 //
 // Fault injection: the sites "serve.accept", "serve.read" and
-// "serve.write" (kIoError) model a flaky front end. Every site is wrapped
+// "serve.write" (kIoError) model a flaky front end; "serve.drain" models
+// the final store-flush barrier of a graceful drain. Every site is wrapped
 // in the store's bounded retry-with-backoff discipline, so a transient
 // schedule (max_consecutive < io_retries) is absorbed invisibly — sessions
 // complete bit-identically. A persistent fault degrades cleanly, never
@@ -18,6 +19,18 @@
 // the rest of the connection's input after in-flight sessions finish, and
 // a dead write drops that connection's remaining replies while sessions
 // still complete server-side.
+//
+// Retry backoff is exponential in the attempt number with a seeded
+// deterministic jitter (common::Rng) and a hard cap, so a persistent-fault
+// retry storm neither synchronizes across connections nor grows unbounded,
+// and a given seed reproduces the exact sleep schedule.
+//
+// Graceful drain: the "drain" protocol op or request_drain() (what a
+// daemon's SIGTERM handler calls) makes the engine shed all new sessions
+// as "busy" while in-flight ones finish; drain() then waits them out,
+// probes the serve.drain flush barrier and stops the server. A supervisor
+// observing drain_requested() can exit 0 afterwards — the persistent store
+// is write-through, so the next incarnation starts warm.
 #pragma once
 
 #include <atomic>
@@ -31,6 +44,7 @@
 
 #include "common/error.hpp"
 #include "common/fault_injector.hpp"
+#include "common/rng.hpp"
 #include "serve/warpd.hpp"
 
 namespace warp::serve {
@@ -44,7 +58,13 @@ struct SocketServerOptions {
   /// the FaultConfig max_consecutive cap for transient schedules to
   /// converge (mirrors DiskStoreOptions::io_retries).
   int io_retries = 4;
+  /// Base backoff sleep; attempt k sleeps in [b, 2b] for b =
+  /// min(retry_backoff_us << k, retry_backoff_cap_us) with seeded jitter.
   unsigned retry_backoff_us = 50;
+  unsigned retry_backoff_cap_us = 20'000;
+  /// Seed for the jitter stream; a fixed seed reproduces the exact backoff
+  /// schedule (in call order), distinct seeds decorrelate servers.
+  std::uint64_t backoff_seed = 0x9E3779B97F4A7C15ull;
   std::size_t max_line_bytes = protocol::kMaxLineBytes;
   /// Injector for the serve.* sites (not owned; may be null). May be the
   /// same injector as engine.fault or a different one.
@@ -62,6 +82,7 @@ struct SocketServerStats {
   std::uint64_t write_faults = 0;    // injected write failures absorbed
   std::uint64_t read_failures = 0;   // read budget exhausted: input dropped
   std::uint64_t write_failures = 0;  // write budget exhausted: conn muted
+  std::uint64_t drain_faults = 0;    // injected drain-flush failures absorbed
 };
 
 class SocketServer {
@@ -78,6 +99,19 @@ class SocketServer {
   /// remaining replies, close all connections and join every thread.
   /// Idempotent; the destructor calls it.
   void stop();
+
+  /// Begin a graceful drain: the engine sheds every new session as "busy"
+  /// while in-flight ones finish. Async-signal-unsafe (takes locks) — a
+  /// SIGTERM handler sets a flag and the supervisor loop calls this.
+  /// Idempotent; also triggered by the "drain" protocol op.
+  void request_drain();
+  bool drain_requested() const { return drain_requested_.load(); }
+
+  /// Finish a graceful drain: wait out in-flight sessions, probe the
+  /// serve.drain store-flush barrier (bounded retries; the write-through
+  /// store makes it structurally a no-op) and stop(). Calls request_drain()
+  /// first if nobody did. Returns once the server is fully stopped.
+  void drain();
 
   Warpd& engine() { return *engine_; }
   SocketServerStats stats() const;
@@ -104,8 +138,11 @@ class SocketServer {
   std::unique_ptr<Warpd> engine_;
   int listen_fd_ = -1;
   std::atomic<bool> closing_{false};
+  std::atomic<bool> drain_requested_{false};
   bool started_ = false;
   bool stopped_ = false;
+  std::mutex backoff_mutex_;  // guards backoff_rng_ only
+  common::Rng backoff_rng_;
 
   mutable std::mutex mutex_;  // guards stats_, connections_, threads_
   SocketServerStats stats_;

@@ -31,7 +31,27 @@ std::string validate_request(const protocol::Request& request) {
   if (o.csd_max_terms && *o.csd_max_terms > 16) {
     return "bad csd_max_terms (want 0..16)";
   }
+  if (request.deadline_ms &&
+      (*request.deadline_ms == 0 || *request.deadline_ms > protocol::kMaxDeadlineMs)) {
+    return "bad deadline_ms (want 1..86400000)";
+  }
   return {};
+}
+
+// Coalescing identity: everything that can change a session's result table
+// row. packed_width is host-only for the DPM but may still shape the entry,
+// so the key covers the full override set — two requests coalesce only when
+// their entries are provably interchangeable.
+std::string coalesce_key_of(const protocol::Request& request) {
+  const protocol::RequestOverrides& o = request.overrides;
+  std::string key = request.workload;
+  key += '|';
+  key += o.packed_width ? std::to_string(*o.packed_width) : std::string("-");
+  key += '|';
+  key += o.max_candidates ? std::to_string(*o.max_candidates) : std::string("-");
+  key += '|';
+  key += o.csd_max_terms ? std::to_string(*o.csd_max_terms) : std::string("-");
+  return key;
 }
 
 struct BuiltSession {
@@ -92,19 +112,52 @@ unsigned ShardRing::owner(const common::Digest& key) const {
   return it->second;
 }
 
+std::optional<std::uint64_t> AdmissionController::try_admit() {
+  const std::uint64_t bytes_after = bytes_ + options_.session_bytes;
+  const bool over =
+      (options_.max_sessions != 0 && sessions_ + 1 > options_.max_sessions) ||
+      (options_.max_queued != 0 && queued_ + 1 > options_.max_queued) ||
+      (options_.max_bytes != 0 && bytes_after > options_.max_bytes);
+  if (over) return retry_hint_ms();
+  ++sessions_;
+  ++queued_;
+  bytes_ = bytes_after;
+  peak_sessions_ = std::max<std::uint64_t>(peak_sessions_, sessions_);
+  peak_queued_ = std::max<std::uint64_t>(peak_queued_, queued_);
+  peak_bytes_ = std::max(peak_bytes_, bytes_);
+  return std::nullopt;
+}
+
+std::uint64_t AdmissionController::retry_hint_ms() const {
+  const std::uint64_t hint =
+      options_.busy_retry_ms * (static_cast<std::uint64_t>(queued_) + 1);
+  return std::max<std::uint64_t>(1, std::min(options_.busy_retry_cap_ms, hint));
+}
+
+void AdmissionController::started() {
+  if (queued_ > 0) --queued_;
+}
+
+void AdmissionController::finished() {
+  if (sessions_ > 0) --sessions_;
+  bytes_ -= std::min(bytes_, options_.session_bytes);
+}
+
 Warpd::Warpd(WarpdOptions options)
     : options_(std::move(options)),
       n_shards_(std::max(1u, options_.shards)),
       n_workers_(options_.workers ? options_.workers : std::thread::hardware_concurrency()),
-      ring_(n_shards_, std::max(1u, options_.ring_points_per_shard)) {
+      ring_(n_shards_, std::max(1u, options_.ring_points_per_shard)),
+      admission_(options_.admission) {
   if (n_workers_ == 0) n_workers_ = 1;
   shard_queues_.resize(n_shards_);
   stats_.shards.resize(n_shards_);
   for (unsigned s = 0; s < n_shards_; ++s) {
     shard_cvs_.push_back(std::make_unique<std::condition_variable>());
   }
-  threads_.reserve(1 + n_shards_ + n_workers_);
+  threads_.reserve(2 + n_shards_ + n_workers_);
   threads_.emplace_back([this] { sequencer_main(); });
+  threads_.emplace_back([this] { deadline_main(); });
   for (unsigned s = 0; s < n_shards_; ++s) {
     threads_.emplace_back([this, s] { shard_main(s); });
   }
@@ -119,39 +172,65 @@ void Warpd::submit(const protocol::Request& request, Callback done) {
   std::string err = validate_request(request);
   std::unique_lock lock(mutex_);
   if (err.empty() && stopping_) err = "server is stopping";
+  // Seq checks, without committing: a shed request must not burn a seq slot
+  // or lock the stream's seq mode.
   if (err.empty()) {
     if (request.seq) {
       if (seq_mode_ == SeqMode::kImplicit) {
         err = "seq on a stream that started without seq";
       } else if (*request.seq < next_seq_) {
         err = "seq already served";
-      } else if (!used_seqs_.insert(*request.seq).second) {
+      } else if (used_seqs_.count(*request.seq) != 0) {
         err = "duplicate seq";
-      } else {
-        seq_mode_ = SeqMode::kExplicit;
       }
-    } else {
-      if (seq_mode_ == SeqMode::kExplicit) {
-        err = "missing seq on a stream that started with seq";
-      } else {
-        seq_mode_ = SeqMode::kImplicit;
-      }
+    } else if (seq_mode_ == SeqMode::kExplicit) {
+      err = "missing seq on a stream that started with seq";
     }
   }
-  if (!err.empty()) {
-    ++stats_.rejected;
+  std::optional<std::uint64_t> busy;
+  if (err.empty()) {
+    if (draining_) {
+      busy = admission_.drain_retry_ms();
+    } else if (options_.fault != nullptr && options_.admission.enabled() &&
+               options_.fault->probe("serve.admit", common::FaultKind::kIoError)) {
+      // An injected admission-bookkeeping failure sheds the request exactly
+      // like a full queue: deterministic busy, no session state touched.
+      busy = admission_.retry_hint_ms();
+    } else {
+      busy = admission_.try_admit();
+    }
+    if (busy) ++stats_.busy_rejected;
+  }
+  if (!err.empty() || busy) {
+    if (!busy) ++stats_.rejected;
     lock.unlock();
     SessionOutcome out;
     out.id = request.id;
-    out.error = std::move(err);
+    if (busy) {
+      out.status = protocol::ReplyStatus::kBusy;
+      out.error = "busy";
+      out.retry_after_ms = *busy;
+    } else {
+      out.status = protocol::ReplyStatus::kErr;
+      out.error = std::move(err);
+    }
     if (done) done(out);
     return;
+  }
+  if (request.seq) {
+    used_seqs_.insert(*request.seq);
+    seq_mode_ = SeqMode::kExplicit;
+  } else {
+    seq_mode_ = SeqMode::kImplicit;
   }
   auto session = std::make_unique<Session>();
   Session& s = *session;
   s.request = request;
   s.done = std::move(done);
   s.admitted = std::chrono::steady_clock::now();
+  if (request.deadline_ms) {
+    s.deadline = s.admitted + std::chrono::milliseconds(*request.deadline_ms);
+  }
   s.index = sessions_.size();
   s.seq = request.seq ? *request.seq : static_cast<std::uint64_t>(s.index);
   s.entry.name = request.workload;
@@ -159,6 +238,17 @@ void Warpd::submit(const protocol::Request& request, Callback done) {
   sessions_.push_back(std::move(session));
   ++stats_.admitted;
   worker_cv_.notify_one();
+  if (s.deadline) deadline_cv_.notify_all();
+}
+
+void Warpd::begin_drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool Warpd::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
 }
 
 void Warpd::drain() {
@@ -172,6 +262,7 @@ void Warpd::stop() {
     if (stopped_) return;
     stopping_ = true;
     worker_cv_.notify_all();
+    deadline_cv_.notify_all();
   }
   for (std::thread& t : threads_) t.join();
   threads_.clear();
@@ -182,6 +273,10 @@ void Warpd::stop() {
 WarpdStats Warpd::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   WarpdStats stats = stats_;
+  stats.max_queue_depth = admission_.peak_queued();
+  stats.peak_sessions = admission_.peak_sessions();
+  stats.peak_bytes = admission_.peak_bytes();
+  stats.draining = draining_;
   stats.latencies_ms.clear();
   stats.latencies_ms.reserve(latencies_by_seq_.size());
   for (const auto& [seq, latency] : latencies_by_seq_) stats.latencies_ms.push_back(latency);
@@ -197,10 +292,32 @@ void Warpd::worker_main() {
       continue;
     }
     Session& s = *sessions_[next_claim_++];
+    if (s.claimed) continue;  // the deadliner already resolved it
+    if (s.deadline && std::chrono::steady_clock::now() >= *s.deadline) {
+      // Claim-time expiry: same outcome as a deadliner cancellation — the
+      // session never starts, never charges the clock.
+      cancel_locked(s);
+      continue;
+    }
+    s.claimed = true;
+    admission_.started();
+    if (options_.coalesce) {
+      const std::string key = coalesce_key_of(s.request);
+      auto leader = inflight_leaders_.find(key);
+      if (leader != inflight_leaders_.end()) {
+        // Identical request already in flight: subscribe as a follower and
+        // free this worker. The leader resolves us when it lands.
+        sessions_[leader->second]->followers.push_back(s.index);
+        continue;
+      }
+      inflight_leaders_.emplace(key, s.index);
+      s.coalesce_key = key;
+    }
+    ++stats_.pipeline_runs;
     lock.unlock();
 
-    // Build + profiled run, outside the lock; no other thread knows this
-    // session yet.
+    // Build + profiled run, outside the lock; no other thread touches the
+    // session's pipeline state until the job is filed.
     common::Digest kernel_hash{};
     auto built = build_session(s.request, options_.base);
     if (built) {
@@ -231,10 +348,12 @@ void Warpd::worker_main() {
     if (has_job) warpsys::warped_phase(*s.system, s.entry, partitioned);
     lock.lock();
     s.runs_done = true;
-    auto delivery = try_finalize_locked(s);
-    if (delivery) {
+    std::vector<Delivery> deliveries;
+    resolve_followers_locked(s, deliveries);
+    if (auto delivery = try_finalize_locked(s)) deliveries.push_back(std::move(*delivery));
+    if (!deliveries.empty()) {
       lock.unlock();
-      deliver(std::move(delivery));
+      for (Delivery& d : deliveries) deliver(std::move(d));
       lock.lock();
     }
   }
@@ -290,7 +409,9 @@ void Warpd::sequencer_main() {
     pending_waits_.erase(pending_waits_.begin());
     if (s.has_job) {
       // The one place virtual DPM time advances: strictly in seq order,
-      // with run_multiprocessor's arithmetic (DpmVirtualClock).
+      // with run_multiprocessor's arithmetic (DpmVirtualClock). Followers
+      // are charged here like anyone else — coalescing saved the host CAD
+      // work, not the session's virtual service.
       s.entry.dpm_wait_seconds = clock_.start(s.entry.sw_seconds);
       clock_.finish(s.entry.dpm_seconds);
     }
@@ -305,17 +426,83 @@ void Warpd::sequencer_main() {
   }
 }
 
+void Warpd::deadline_main() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    std::optional<std::chrono::steady_clock::time_point> next;
+    for (std::size_t i = next_claim_; i < sessions_.size(); ++i) {
+      Session& s = *sessions_[i];
+      if (s.claimed || !s.deadline) continue;
+      if (*s.deadline <= now) {
+        cancel_locked(s);
+      } else if (!next || *s.deadline < *next) {
+        next = *s.deadline;
+      }
+    }
+    if (stopping_) break;  // claim-time checks cover the shutdown window
+    if (next) {
+      deadline_cv_.wait_until(lock, *next);
+    } else {
+      deadline_cv_.wait(lock);
+    }
+  }
+}
+
+void Warpd::cancel_locked(Session& s) {
+  s.claimed = true;
+  admission_.started();  // it leaves the claim queue, cancelled
+  s.status = protocol::ReplyStatus::kTimeout;
+  s.message = "deadline_ms=" +
+              std::to_string(s.request.deadline_ms ? *s.request.deadline_ms : 0) +
+              " elapsed before the session started";
+  s.has_job = false;  // the sequencer passes it without charging the clock
+  s.dpm_done = true;
+  s.runs_done = true;
+  ++stats_.timeouts;
+  seq_cv_.notify_all();
+}
+
+void Warpd::resolve_followers_locked(Session& leader, std::vector<Delivery>& out) {
+  if (!leader.coalesce_key.empty()) {
+    inflight_leaders_.erase(leader.coalesce_key);
+    leader.coalesce_key.clear();
+  }
+  if (leader.followers.empty()) return;
+  for (const std::size_t index : leader.followers) {
+    Session& f = *sessions_[index];
+    f.entry = leader.entry;
+    // The sequencer assigns f's own wait at f's seq turn; the leader's
+    // (possibly already-assigned) wait must not leak through the copy.
+    f.entry.dpm_wait_seconds = 0.0;
+    f.shard = leader.shard;
+    f.has_job = leader.has_job;
+    f.partitioned = leader.partitioned;
+    f.dpm_done = true;
+    f.runs_done = true;
+    ++stats_.coalesced;
+    if (auto delivery = try_finalize_locked(f)) out.push_back(std::move(*delivery));
+  }
+  leader.followers.clear();
+  seq_cv_.notify_all();
+}
+
 std::optional<Warpd::Delivery> Warpd::try_finalize_locked(Session& s) {
   if (s.finalized || !s.runs_done || !s.wait_done) return std::nullopt;
   s.finalized = true;
   SessionOutcome out;
   out.id = s.request.id;
   out.seq = s.seq;
+  out.status = s.status;
+  out.error = s.message;
   out.entry = s.entry;
   out.shard = s.shard;
   out.latency_ms = ms_since(s.admitted);
-  latencies_by_seq_[s.seq] = out.latency_ms;
+  if (s.status == protocol::ReplyStatus::kOk) {
+    latencies_by_seq_[s.seq] = out.latency_ms;
+  }
   ++stats_.completed;
+  admission_.finished();
   s.system.reset();  // bound live memory to in-flight sessions
   done_cv_.notify_all();
   return Delivery{std::move(s.done), std::move(out)};
@@ -337,6 +524,8 @@ std::vector<SessionOutcome> run_serial(const std::vector<protocol::Request>& req
   std::vector<Row> rows(requests.size());
 
   // Admission mirrors Warpd::submit: same rejections, same seq assignment.
+  // Serial execution is uncontended, so admission caps and deadlines never
+  // fire — every valid request is accepted.
   enum class SeqMode { kUnset, kImplicit, kExplicit };
   SeqMode mode = SeqMode::kUnset;
   std::set<std::uint64_t> used_seqs;
@@ -364,6 +553,7 @@ std::vector<SessionOutcome> run_serial(const std::vector<protocol::Request>& req
       }
     }
     if (!err.empty()) {
+      out.status = protocol::ReplyStatus::kErr;
       out.error = std::move(err);
       continue;
     }

@@ -21,13 +21,42 @@
 //   sequencer  one thread owns the *virtual* DPM accounting: it walks
 //              sessions in seq order through a DpmVirtualClock (round
 //              robin), assigning each session's dpm_wait_seconds with the
-//              identical arithmetic of run_multiprocessor.
+//              identical arithmetic of run_multiprocessor;
+//   deadliner  one thread cancels queued-but-unstarted sessions whose
+//              deadline_ms elapsed, resolving them with a kTimeout outcome.
 //
 // Determinism contract: the virtual DPM stays a single-server queue served
 // in seq order, whatever the shard/worker counts — shards parallelize the
 // *host* CAD work only. Result tables are therefore bit-identical across
 // shard counts, worker counts, repeats, cache states and the serial
 // reference engine (run_serial), which tests/warpd_test.cpp gates.
+//
+// Overload semantics (all host-side, none change accepted results):
+//
+//   admission   AdmissionController bounds sessions/queued/bytes in flight.
+//               A request over any cap is shed *before* it takes a seq slot
+//               or locks the seq mode: the outcome is kBusy with a
+//               deterministic retry_after_ms hint that grows with queue
+//               depth. A shed request has no side effects beyond counters —
+//               the accepted subsequence's table is bit-identical to
+//               run_serial over that same subsequence.
+//   deadlines   a request's deadline_ms bounds *queueing*, not service:
+//               once a worker starts a session it always finishes. Expired
+//               queued sessions resolve kTimeout, flow through the
+//               sequencer without charging the virtual clock (exactly like
+//               a failed build), and never run simulated work.
+//   coalescing  identical in-flight requests (same workload + overrides)
+//               run the pipeline once: later arrivals subscribe as
+//               followers of the in-flight leader and copy its entry when
+//               it lands. The sequencer still charges the virtual clock
+//               once per session in seq order, so the table is the same as
+//               if each follower had re-run the pipeline — coalescing is
+//               invisible in results, visible only in pipeline_runs/
+//               coalesced stats and host latency.
+//   drain       begin_drain() makes admission shed everything (kBusy with
+//               the max retry hint) while in-flight sessions finish;
+//               drain() then waits them out. The socket layer builds
+//               SIGTERM/"drain" handling on top (server.hpp).
 //
 // Virtual admission order ("seq"): a request may carry an explicit seq —
 // its slot in the shared DPM's virtual queue — so that multiple client
@@ -79,6 +108,65 @@ class ShardRing {
   std::vector<std::pair<std::uint64_t, unsigned>> points_;  // sorted by .first
 };
 
+/// Occupancy caps for the admission controller. A cap of 0 means unlimited;
+/// with every cap 0 (the default) admission is a no-op and warpd behaves
+/// exactly as before this layer existed.
+struct AdmissionOptions {
+  /// Admitted-but-unfinalized sessions (queued + running).
+  std::size_t max_sessions = 0;
+  /// Admitted-but-unstarted sessions (the claim queue).
+  std::size_t max_queued = 0;
+  /// Accounting bytes in flight: session_bytes per admitted session.
+  std::uint64_t max_bytes = 0;
+  /// Accounting charge per session — an envelope for one built WarpSystem
+  /// (program + memories + partition artifacts), not a measurement.
+  std::uint64_t session_bytes = 256 * 1024;
+  /// Busy retry hint: min(busy_retry_cap_ms, busy_retry_ms * (queued + 1)).
+  /// Deterministic in the occupancy at shed time, so identical request
+  /// schedules get identical hints.
+  std::uint64_t busy_retry_ms = 25;
+  std::uint64_t busy_retry_cap_ms = 2000;
+
+  bool enabled() const { return max_sessions != 0 || max_queued != 0 || max_bytes != 0; }
+};
+
+/// Bounded-occupancy bookkeeping for warpd admission. Not thread-safe on
+/// its own: every call happens under the owning Warpd's mutex.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options) : options_(options) {}
+
+  /// Admit one session, or return the deterministic busy retry hint (ms) if
+  /// any cap would be exceeded. On admission the session is counted as
+  /// queued until started() and in flight until finished().
+  std::optional<std::uint64_t> try_admit();
+  /// The hint a shed request gets right now (same formula try_admit uses).
+  std::uint64_t retry_hint_ms() const;
+  /// The hint handed out while draining: the cap, i.e. "come back after the
+  /// restart, not in a few ms".
+  std::uint64_t drain_retry_ms() const { return options_.busy_retry_cap_ms; }
+
+  void started();   // a queued session was claimed (or cancelled)
+  void finished();  // an admitted session finalized
+
+  const AdmissionOptions& options() const { return options_; }
+  std::size_t sessions() const { return sessions_; }
+  std::size_t queued() const { return queued_; }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t peak_sessions() const { return peak_sessions_; }
+  std::uint64_t peak_queued() const { return peak_queued_; }
+  std::uint64_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  AdmissionOptions options_;
+  std::size_t sessions_ = 0;  // admitted, not yet finalized
+  std::size_t queued_ = 0;    // admitted, not yet started
+  std::uint64_t bytes_ = 0;
+  std::uint64_t peak_sessions_ = 0;
+  std::uint64_t peak_queued_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+};
+
 struct WarpdOptions {
   /// DPM scheduler (shard) threads; clamped to >= 1.
   unsigned shards = 1;
@@ -90,22 +178,40 @@ struct WarpdOptions {
   /// repeat kernels disk hits across server restarts.
   partition::ArtifactCache* cache = nullptr;
   /// Shared deterministic fault injector for the pipeline/store sites (not
-  /// owned; may be null). Socket-layer sites live in server.hpp.
+  /// owned; may be null). Socket-layer sites live in server.hpp; the
+  /// engine-level "serve.admit" site fires here, and only when admission
+  /// caps are enabled (an injected admission fault sheds the request
+  /// exactly like a full queue).
   common::FaultInjector* fault = nullptr;
+  /// Occupancy caps; disabled (unlimited) by default.
+  AdmissionOptions admission;
+  /// Merge identical in-flight requests onto one pipeline run. Results are
+  /// bit-identical either way (gated by tests); off only for A/B benches.
+  bool coalesce = true;
   /// Per-session template (cpu config, system config, ...). Its `cache`
   /// member is ignored — the engine passes `cache` above per DPM call.
   experiments::HarnessOptions base;
 };
 
-/// What one session resolved to. `error` nonempty means the request was
-/// rejected at admission (unknown workload, bad override, seq conflict) and
-/// the entry is meaningless; otherwise the entry is the session's result
-/// table row (software fallback included — a failed CAD flow is a completed
-/// session with warped=false, never an error).
+/// What one session resolved to, distinguished by `status`:
+///   kOk       the entry is the session's result table row (software
+///             fallback included — a failed CAD flow is a completed session
+///             with warped=false, never an error);
+///   kErr      rejected at admission (unknown workload, bad override, seq
+///             conflict); `error` says why, the entry is meaningless;
+///   kBusy     shed by the admission controller (over caps, draining, or an
+///             injected serve.admit fault); retry_after_ms is the hint, the
+///             entry is meaningless and no session state was created;
+///   kTimeout  admitted but cancelled before a worker started it; `error`
+///             carries the deadline message, no simulated work ran.
+/// `error` stays nonempty exactly when status != kOk, so status-unaware
+/// callers keep working.
 struct SessionOutcome {
   std::uint64_t id = 0;
   std::uint64_t seq = 0;
+  protocol::ReplyStatus status = protocol::ReplyStatus::kOk;
   std::string error;
+  std::uint64_t retry_after_ms = 0;  // kBusy only
   warpsys::MultiWarpEntry entry;
   unsigned shard = 0;       // owner shard of the session's kernel
   double latency_ms = 0.0;  // host admission -> completion
@@ -118,11 +224,19 @@ struct ShardStats {
 
 struct WarpdStats {
   std::uint64_t admitted = 0;
-  std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;       // finalized sessions, timeouts included
+  std::uint64_t rejected = 0;        // kErr outcomes
+  std::uint64_t busy_rejected = 0;   // kBusy sheds (caps, drain, serve.admit)
+  std::uint64_t timeouts = 0;        // kTimeout cancellations
+  std::uint64_t coalesced = 0;       // sessions served as followers
+  std::uint64_t pipeline_runs = 0;   // sessions that ran their own pipeline
   std::uint64_t unique_kernels = 0;  // distinct kernel content hashes seen
+  std::uint64_t max_queue_depth = 0; // peak admitted-but-unstarted occupancy
+  std::uint64_t peak_sessions = 0;   // peak admitted-but-unfinalized
+  std::uint64_t peak_bytes = 0;      // peak accounting bytes in flight
+  bool draining = false;
   std::vector<ShardStats> shards;
-  std::vector<double> latencies_ms;  // completed sessions, in seq order
+  std::vector<double> latencies_ms;  // served (kOk) sessions, in seq order
 };
 
 class Warpd {
@@ -135,10 +249,15 @@ class Warpd {
   Warpd& operator=(const Warpd&) = delete;
 
   /// Admit one session. The callback fires exactly once — from an engine
-  /// thread once the session completes, or synchronously (with `error` set,
-  /// before submit returns) if the request is rejected. Callbacks must not
-  /// re-enter this Warpd beyond submit().
+  /// thread once the session completes, or synchronously (with a kErr or
+  /// kBusy outcome, before submit returns) if the request is rejected or
+  /// shed. Callbacks must not re-enter this Warpd beyond submit().
   void submit(const protocol::Request& request, Callback done);
+
+  /// Stop admitting (everything new is shed kBusy with drain_retry_ms)
+  /// while in-flight sessions run to completion. Irreversible.
+  void begin_drain();
+  bool draining() const;
 
   /// Block until every admitted session has completed. With a gapped
   /// explicit-seq stream this waits for the gap; use stop() to force.
@@ -158,11 +277,19 @@ class Warpd {
     protocol::Request request;
     Callback done;
     std::chrono::steady_clock::time_point admitted;
+    /// Host time by which a worker must start this session (claim it, or
+    /// coalesce it onto a leader) — else the deadliner cancels it.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
     std::uint64_t seq = 0;
     std::size_t index = 0;  // admission index
     std::unique_ptr<warpsys::WarpSystem> system;
     warpsys::MultiWarpEntry entry;
     unsigned shard = 0;
+    protocol::ReplyStatus status = protocol::ReplyStatus::kOk;
+    std::string message;       // kTimeout detail
+    std::string coalesce_key;  // nonempty while this session leads its key
+    std::vector<std::size_t> followers;  // admission indices coalesced here
+    bool claimed = false;      // a worker took it (or the deadliner resolved it)
     bool has_job = false;      // profile succeeded; a DPM job was filed
     bool partitioned = false;
     bool dpm_done = false;     // shard served the job (or there was none)
@@ -175,7 +302,12 @@ class Warpd {
   void worker_main();
   void shard_main(unsigned shard);
   void sequencer_main();
-  std::string validate_locked(const protocol::Request& request);
+  void deadline_main();
+  /// Resolve an admitted-but-unstarted session as kTimeout. The session
+  /// flows through the sequencer (no clock charge) like a failed build.
+  void cancel_locked(Session& session);
+  /// Copy a landed leader's results onto its followers and finalize them.
+  void resolve_followers_locked(Session& leader, std::vector<Delivery>& out);
   std::optional<Delivery> try_finalize_locked(Session& session);
   static void deliver(std::optional<Delivery> delivery);
 
@@ -189,6 +321,7 @@ class Warpd {
   std::condition_variable grant_cv_;    // shards -> blocked workers
   std::condition_variable seq_cv_;      // shards/workers -> sequencer
   std::condition_variable done_cv_;     // finalize -> drain()
+  std::condition_variable deadline_cv_; // submit/stop -> deadliner
   std::vector<std::unique_ptr<std::condition_variable>> shard_cvs_;
 
   std::deque<std::unique_ptr<Session>> sessions_;  // by admission index
@@ -202,6 +335,10 @@ class Warpd {
   SeqMode seq_mode_ = SeqMode::kUnset;
   warpsys::DpmVirtualClock clock_;  // kRoundRobin: serves in seq order
   std::set<std::pair<std::uint64_t, std::uint64_t>> kernels_seen_;
+  AdmissionController admission_;
+  // In-flight coalescing leaders: request content key -> admission index.
+  std::map<std::string, std::size_t> inflight_leaders_;
+  bool draining_ = false;
   bool stopping_ = false;
   bool stopped_ = false;
   unsigned workers_exited_ = 0;
@@ -214,6 +351,9 @@ class Warpd {
 /// the calling thread in the given order, waits assigned in seq order with
 /// the same DpmVirtualClock arithmetic. Outcomes are returned in request
 /// order. The concurrent engine is gated bit-identical against this.
+/// Serial execution is uncontended — nothing queues, so admission caps and
+/// deadlines never fire here; the concurrent engine's *accepted*
+/// subsequence is what must match run_serial over that subsequence.
 std::vector<SessionOutcome> run_serial(const std::vector<protocol::Request>& requests,
                                        const WarpdOptions& options);
 

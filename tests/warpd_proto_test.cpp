@@ -28,7 +28,8 @@ using serve::protocol::Reply;
 using serve::protocol::Request;
 
 const char kCanonicalRequest[] =
-    "warp id=42 workload=brev seq=7 packed_width=2 max_candidates=8 csd_max_terms=3";
+    "warp id=42 workload=brev seq=7 deadline_ms=250 packed_width=2 max_candidates=8 "
+    "csd_max_terms=3";
 
 TEST(WarpdProtocol, RequestRoundTrip) {
   auto parsed = serve::protocol::parse_request(kCanonicalRequest);
@@ -38,6 +39,8 @@ TEST(WarpdProtocol, RequestRoundTrip) {
   EXPECT_EQ(request.workload, "brev");
   ASSERT_TRUE(request.seq.has_value());
   EXPECT_EQ(*request.seq, 7u);
+  ASSERT_TRUE(request.deadline_ms.has_value());
+  EXPECT_EQ(*request.deadline_ms, 250u);
   ASSERT_TRUE(request.overrides.packed_width.has_value());
   EXPECT_EQ(*request.overrides.packed_width, 2u);
   ASSERT_TRUE(request.overrides.max_candidates.has_value());
@@ -68,6 +71,11 @@ TEST(WarpdProtocol, RejectsMalformedRequests) {
       "warp id=1 workload=brev seq=",
       "warp id=1 workload=brev seq=-3",
       "warp id=1 workload=brev seq=1 seq=2",
+      "warp id=1 workload=brev deadline_ms=",
+      "warp id=1 workload=brev deadline_ms=0",
+      "warp id=1 workload=brev deadline_ms=86400001",
+      "warp id=1 workload=brev deadline_ms=1 deadline_ms=2",
+      "warp id=1 workload=brev deadline_ms=soon",
       "warp id=1 workload=brev packed_width=3",
       "warp id=1 workload=brev packed_width=8",
       "warp id=1 workload=brev max_candidates=0",
@@ -121,14 +129,62 @@ TEST(WarpdProtocol, ReplyParserRejectsMissingFields) {
   EXPECT_FALSE(serve::protocol::parse_reply("hmm id=1 msg=x"));
 }
 
+TEST(WarpdProtocol, BusyReplyRoundTrip) {
+  const std::string line =
+      serve::protocol::encode_reply(serve::protocol::make_busy_reply(17, 125));
+  EXPECT_EQ(line, "busy id=17 retry_ms=125");
+  auto parsed = serve::protocol::parse_reply(line);
+  ASSERT_TRUE(parsed) << parsed.message();
+  EXPECT_EQ(parsed.value().status, serve::protocol::ReplyStatus::kBusy);
+  EXPECT_FALSE(parsed.value().ok);
+  EXPECT_EQ(parsed.value().id, 17u);
+  EXPECT_EQ(parsed.value().retry_after_ms, 125u);
+}
+
+TEST(WarpdProtocol, TimeoutReplyRoundTrip) {
+  const std::string line = serve::protocol::encode_reply(
+      serve::protocol::make_timeout_reply(23, "deadline_ms=5 elapsed before the session started"));
+  auto parsed = serve::protocol::parse_reply(line);
+  ASSERT_TRUE(parsed) << parsed.message();
+  EXPECT_EQ(parsed.value().status, serve::protocol::ReplyStatus::kTimeout);
+  EXPECT_FALSE(parsed.value().ok);
+  EXPECT_EQ(parsed.value().id, 23u);
+  EXPECT_EQ(parsed.value().detail, "deadline_ms=5 elapsed before the session started");
+}
+
+TEST(WarpdProtocol, RejectsMalformedBusyAndTimeoutReplies) {
+  const char* kBad[] = {
+      "busy",
+      "busy id=1",
+      "busy retry_ms=5",
+      "busy id=1 retry_ms=",
+      "busy id=1 retry_ms=-2",
+      "busy id=1 retry_ms=5 retry_ms=6",
+      "busy id=1 id=2 retry_ms=5",
+      "busy id=1 retry_ms=5 extra=1",
+      "busy id=x retry_ms=5",
+      "timeout",
+      "timeout id=1",
+      "timeout msg=x",
+  };
+  for (const char* line : kBad) {
+    EXPECT_FALSE(serve::protocol::parse_reply(line)) << "accepted: '" << line << "'";
+  }
+}
+
 // Byte-flip fuzz: every byte of the canonical lines, several masks. The
 // parser may accept or reject the mutated line, but must never crash or
 // trip a sanitizer.
 TEST(WarpdProtocol, ByteFlipFuzzNeverCrashes) {
   const std::string reply_line = serve::protocol::encode_reply(
       serve::protocol::make_ok_reply(7, warpsys::MultiWarpEntry{}));
+  const std::string busy_line =
+      serve::protocol::encode_reply(serve::protocol::make_busy_reply(7, 50));
+  const std::string timeout_line = serve::protocol::encode_reply(
+      serve::protocol::make_timeout_reply(7, "deadline_ms=5 elapsed before the session started"));
   const unsigned char kMasks[] = {0x01, 0x08, 0x20, 0x80, 0xFF};
-  for (const std::string& base : {std::string(kCanonicalRequest), reply_line}) {
+  for (const std::string& base :
+       {std::string(kCanonicalRequest), reply_line, busy_line, timeout_line}) {
     for (std::size_t i = 0; i < base.size(); ++i) {
       for (const unsigned char mask : kMasks) {
         std::string mutated = base;
@@ -144,7 +200,12 @@ TEST(WarpdProtocol, ByteFlipFuzzNeverCrashes) {
 TEST(WarpdProtocol, TruncationFuzzNeverCrashes) {
   const std::string reply_line = serve::protocol::encode_reply(
       serve::protocol::make_ok_reply(7, warpsys::MultiWarpEntry{}));
-  for (const std::string& base : {std::string(kCanonicalRequest), reply_line}) {
+  const std::string busy_line =
+      serve::protocol::encode_reply(serve::protocol::make_busy_reply(7, 50));
+  const std::string timeout_line = serve::protocol::encode_reply(
+      serve::protocol::make_timeout_reply(7, "deadline_ms=5 elapsed before the session started"));
+  for (const std::string& base :
+       {std::string(kCanonicalRequest), reply_line, busy_line, timeout_line}) {
     for (std::size_t len = 0; len <= base.size(); ++len) {
       const std::string prefix = base.substr(0, len);
       (void)serve::protocol::parse_request(prefix);
@@ -259,6 +320,91 @@ TEST(WarpdServer, OversizedLineAnsweredMidStream) {
   }
   EXPECT_TRUE(saw_ok);
   server.stop();
+}
+
+// A client that ignores "busy" and keeps hammering: every line still gets
+// exactly one reply, post-drain requests are all shed with the drain retry
+// hint, and the server stops cleanly. The burst behind the caps exercises
+// the admission controller on the live wire path.
+TEST(WarpdServer, HostileClientKeepsSendingAfterBusy) {
+  serve::SocketServerOptions options;
+  options.path =
+      common::format("/tmp/warpd_proto_busy_%d.sock", static_cast<int>(::getpid()));
+  options.engine.shards = 1;
+  options.engine.workers = 1;
+  options.engine.admission.max_sessions = 2;
+  options.engine.admission.busy_retry_ms = 10;
+  options.engine.admission.busy_retry_cap_ms = 500;
+  options.engine.base = experiments::default_options();
+  serve::SocketServer server(options);
+  ASSERT_TRUE(server.start());
+
+  serve::Client client;
+  ASSERT_TRUE(client.connect(options.path));
+  std::size_t sent = 0;
+  const std::size_t kBurst = 12;
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.send_line(
+        common::format("warp id=%u workload=brev", static_cast<unsigned>(i))));
+    ++sent;
+  }
+  ASSERT_TRUE(client.send_line("drain"));
+  // Hostile: keep sending after the server said it is draining. Every one
+  // of these must be shed with the deterministic drain hint.
+  const std::size_t kAfterDrain = 4;
+  for (std::size_t i = 0; i < kAfterDrain; ++i) {
+    ASSERT_TRUE(client.send_line(
+        common::format("warp id=%u workload=brev", static_cast<unsigned>(100 + i))));
+    ++sent;
+  }
+  client.shutdown_send();
+
+  std::size_t ok_replies = 0;
+  std::size_t busy_replies = 0;
+  std::size_t drain_busy = 0;
+  bool saw_draining = false;
+  for (std::size_t got = 0; got < sent + 1; ++got) {  // +1: the "draining" line
+    auto line = client.read_line();
+    ASSERT_TRUE(line) << "reply " << got << ": " << line.message();
+    if (line.value() == "draining") {
+      saw_draining = true;
+      continue;
+    }
+    auto reply = serve::protocol::parse_reply(line.value());
+    ASSERT_TRUE(reply) << line.value();
+    switch (reply.value().status) {
+      case serve::protocol::ReplyStatus::kOk:
+        ++ok_replies;
+        break;
+      case serve::protocol::ReplyStatus::kBusy:
+        ++busy_replies;
+        if (reply.value().id >= 100) {
+          ++drain_busy;
+          EXPECT_EQ(reply.value().retry_after_ms,
+                    options.engine.admission.busy_retry_cap_ms);
+        } else {
+          EXPECT_GE(reply.value().retry_after_ms, 1u);
+        }
+        break;
+      default:
+        ADD_FAILURE() << "unexpected reply: " << line.value();
+    }
+  }
+  EXPECT_TRUE(saw_draining);
+  EXPECT_EQ(drain_busy, kAfterDrain);
+  EXPECT_EQ(ok_replies + busy_replies, sent);
+  // The single-worker engine cannot finish a session in the microseconds
+  // between burst submits, so the caps must have shed at least one on top
+  // of the deterministic post-drain sheds.
+  EXPECT_GE(busy_replies, kAfterDrain + 1);
+  EXPECT_FALSE(client.read_line());
+  server.stop();
+
+  const auto engine_stats = server.engine().stats();
+  EXPECT_EQ(engine_stats.completed, ok_replies);
+  EXPECT_EQ(engine_stats.busy_rejected, busy_replies);
+  EXPECT_TRUE(engine_stats.draining);
+  EXPECT_LE(engine_stats.peak_sessions, 2u);
 }
 
 }  // namespace

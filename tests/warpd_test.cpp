@@ -387,5 +387,160 @@ TEST(Warpd, SeqModeMixingRejected) {
   }
 }
 
+// Identical in-flight requests coalesce onto one pipeline run, yet the
+// result table (waits included — every follower is still charged its own
+// virtual service) is bit-identical to the serial reference that runs each
+// request separately.
+TEST(Warpd, CoalescingIsInvisibleInResults) {
+  std::vector<Request> requests;
+  for (std::size_t i = 0; i < 6; ++i) {
+    Request r;
+    r.id = i;
+    r.workload = "brev";
+    requests.push_back(r);
+  }
+  Request distinct;
+  distinct.id = 6;
+  distinct.workload = "g3fax";
+  requests.push_back(distinct);
+
+  serve::WarpdOptions serial_options = engine_options(2);
+  partition::ArtifactCache serial_cache;
+  serial_options.cache = &serial_cache;
+  const auto reference = entries_of(serve::run_serial(requests, serial_options));
+
+  serve::WarpdOptions options = engine_options(2);
+  options.workers = 4;
+  partition::ArtifactCache cache;
+  options.cache = &cache;
+  serve::Warpd engine(options);
+  std::vector<SessionOutcome> outcomes(requests.size());
+  std::mutex m;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    engine.submit(requests[i], [&outcomes, &m, i](const SessionOutcome& out) {
+      std::lock_guard<std::mutex> lock(m);
+      outcomes[i] = out;
+    });
+  }
+  engine.drain();
+  const auto stats = engine.stats();
+  engine.stop();
+
+  EXPECT_TRUE(entries_of(outcomes) == reference);
+  EXPECT_EQ(stats.completed, requests.size());
+  // The burst of identical requests lands while the first is still in
+  // flight (a session runs for hundreds of host ms, the submits take µs),
+  // so at least one must have followed instead of re-running the pipeline.
+  EXPECT_GE(stats.coalesced, 1u);
+  EXPECT_LT(stats.pipeline_runs, stats.completed);
+  EXPECT_EQ(stats.pipeline_runs + stats.coalesced, stats.completed);
+}
+
+// Deadlines bound queueing, not service: with one worker pinned on a long
+// session, deadline_ms=1 arrivals expire in the queue, resolve as kTimeout
+// without ever running simulated work, and the accepted subsequence stays
+// bit-identical to the serial reference over exactly that subsequence.
+TEST(Warpd, DeadlineTimeoutsCancelQueuedSessionsOnly) {
+  std::vector<Request> requests = make_requests(2, /*explicit_seq=*/false);
+  const std::size_t first_deadline = requests.size();
+  for (std::size_t i = 0; i < 6; ++i) {
+    Request r;
+    r.id = first_deadline + i;
+    r.workload = "brev";
+    r.deadline_ms = 1;
+    requests.push_back(r);
+  }
+  Request tail;
+  tail.id = requests.size();
+  tail.workload = "g3fax";
+  requests.push_back(tail);
+
+  serve::WarpdOptions options = engine_options(1);
+  options.workers = 1;  // everything behind session 0 queues
+  serve::Warpd engine(options);
+  std::vector<SessionOutcome> outcomes(requests.size());
+  std::mutex m;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    engine.submit(requests[i], [&outcomes, &m, i](const SessionOutcome& out) {
+      std::lock_guard<std::mutex> lock(m);
+      outcomes[i] = out;
+    });
+  }
+  engine.drain();
+  const auto stats = engine.stats();
+  engine.stop();
+
+  std::vector<Request> accepted_requests;
+  std::vector<SessionOutcome> accepted;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (outcomes[i].status == serve::protocol::ReplyStatus::kTimeout) {
+      EXPECT_TRUE(requests[i].deadline_ms.has_value()) << "id=" << outcomes[i].id;
+      EXPECT_EQ(outcomes[i].error, "deadline_ms=1 elapsed before the session started");
+      continue;
+    }
+    EXPECT_EQ(outcomes[i].status, serve::protocol::ReplyStatus::kOk);
+    accepted_requests.push_back(requests[i]);
+    accepted.push_back(outcomes[i]);
+  }
+  // The two head sessions hold the single worker for hundreds of host ms,
+  // so every deadline_ms=1 arrival must expire while queued.
+  EXPECT_EQ(stats.timeouts, 6u);
+  EXPECT_EQ(stats.completed, requests.size());  // timeouts are finalized too
+  ASSERT_EQ(accepted.size(), 3u);
+  // Cancelled sessions never touch the virtual clock: the accepted
+  // subsequence's table equals the serial reference over just it.
+  const auto reference = entries_of(serve::run_serial(accepted_requests, engine_options(1)));
+  EXPECT_TRUE(entries_of(accepted) == reference);
+}
+
+// Graceful drain over a persistent store, then a supervised restart: the
+// second incarnation answers the same stream bit-identically and serves it
+// warm from disk — recovery costs disk reads, not CAD reruns.
+TEST(Warpd, GracefulDrainThenWarmRestart) {
+  TempDir dir("drainstore");
+  const auto requests = make_requests(4, /*explicit_seq=*/false);
+  std::vector<std::vector<MultiWarpEntry>> tables;
+  for (const char* phase : {"first", "second"}) {
+    partition::DiskArtifactStore store({.directory = dir.path.string()});
+    partition::ArtifactCache cache;
+    cache.attach_store(&store);
+    serve::SocketServerOptions options;
+    options.path = socket_path(std::string("drain_") + phase);
+    options.engine = engine_options(2);
+    options.engine.cache = &cache;
+    serve::SocketServer server(options);
+    ASSERT_TRUE(server.start());
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect(options.path));
+    for (const auto& request : requests) {
+      ASSERT_TRUE(client.send_line(serve::protocol::encode_request(request)));
+    }
+    std::vector<MultiWarpEntry> by_id(requests.size());
+    for (std::size_t got = 0; got < requests.size(); ++got) {
+      auto line = client.read_line();
+      ASSERT_TRUE(line) << line.message();
+      auto reply = serve::protocol::parse_reply(line.value());
+      ASSERT_TRUE(reply) << line.value();
+      ASSERT_TRUE(reply.value().ok) << line.value();
+      ASSERT_LT(reply.value().id, by_id.size());
+      by_id[reply.value().id] = serve::protocol::entry_of(reply.value());
+    }
+    tables.push_back(std::move(by_id));
+
+    server.drain();  // graceful: waits out in-flight work, flushes, stops
+    EXPECT_TRUE(server.drain_requested());
+    EXPECT_TRUE(server.engine().stats().draining);
+    EXPECT_EQ(server.engine().stats().completed, requests.size());
+    if (std::string(phase) == "second") {
+      EXPECT_GT(cache.total_disk_hits(), 0u);  // warm: served from the store
+      EXPECT_GT(store.stats().hits, 0u);
+    } else {
+      EXPECT_GT(store.stats().files, 0u);  // write-through: already durable
+    }
+  }
+  EXPECT_TRUE(tables[0] == tables[1]);
+}
+
 }  // namespace
 }  // namespace warp
