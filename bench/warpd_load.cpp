@@ -16,6 +16,11 @@
 //              retry_ms hints must eventually land every session, the
 //              reported max_queue_depth must respect the cap, and
 //              coalescing must make pipeline_runs < served sessions;
+//   drainstorm a capped daemon under the same burst, then "drain" lands
+//              while busy retries are still in flight: the daemon must shed
+//              the storm, finish its in-flight sessions and exit 0 (retry
+//              re-sends carry seeded jitter so connections do not hammer
+//              the draining node in lockstep);
 //   deadline   a single-worker daemon flooded with deadline_ms requests:
 //              queued sessions past their deadline must resolve "timeout",
 //              the rest must still serve bit-identically;
@@ -64,6 +69,7 @@
 #include <unistd.h>
 
 #include "common/fault_injector.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "experiments/harness.hpp"
 #include "partition/cache.hpp"
@@ -304,15 +310,21 @@ constexpr std::uint64_t kMaxRetrySleepMs = 250;
 // `connections` client connections (round-robin), retry "busy" replies on
 // their hints, and return once every assigned id is terminal — or once the
 // daemon dies (chaos). If kill_after_ok > 0, SIGKILL the daemon after that
-// many ok replies have landed across all connections.
+// many ok replies have landed across all connections. `jitter_seed` feeds
+// the per-connection busy-retry jitter streams.
 void run_incarnation(const std::string& socket_path, const std::vector<Request>& requests,
                      const std::vector<std::uint64_t>& ids, unsigned connections,
                      double rate_per_s, Tracker& tracker, Incarnation& inc,
-                     std::uint64_t kill_after_ok, pid_t daemon_pid) {
+                     std::uint64_t kill_after_ok, pid_t daemon_pid,
+                     std::uint64_t jitter_seed) {
   struct Conn {
     serve::Client client;
     std::mutex mutex;
     std::condition_variable cv;
+    // Seeded jitter for busy-retry due times (guarded by `mutex`): without
+    // it every connection re-sends on the shared deterministic retry_ms
+    // hint in lockstep, and the synchronized storm hammers a draining node.
+    common::Rng retry_rng;
     // (due time, id): the pre-scheduled open-loop sends plus busy retries.
     std::deque<std::pair<Clock::time_point, std::uint64_t>> pending;
     std::size_t open = 0;  // assigned ids not yet terminal
@@ -323,6 +335,7 @@ void run_incarnation(const std::string& socket_path, const std::vector<Request>&
   std::vector<std::unique_ptr<Conn>> conns;
   for (unsigned c = 0; c < connections; ++c) {
     conns.push_back(std::make_unique<Conn>());
+    conns.back()->retry_rng = common::Rng(jitter_seed ^ (0x9E3779B97F4A7C15ull * (c + 1)));
     if (const auto status = conns.back()->client.connect(socket_path); !status) {
       std::fprintf(stderr, "connect failed: %s\n", status.message().c_str());
       std::exit(1);
@@ -429,9 +442,15 @@ void run_incarnation(const std::string& socket_path, const std::vector<Request>&
             if (give_up) {
               terminal = true;
             } else {
-              const auto due = Clock::now() + std::chrono::milliseconds(std::min(
-                                                  r.retry_after_ms, kMaxRetrySleepMs));
+              // Honor the server's retry hint, desynchronized: add seeded
+              // jitter in [0, hint/2] so concurrent clients spread their
+              // re-sends instead of arriving as one synchronized wave.
+              const std::uint64_t hint_ms = std::min(r.retry_after_ms, kMaxRetrySleepMs);
               std::lock_guard<std::mutex> lock(conn->mutex);
+              const std::uint64_t jitter_ms =
+                  conn->retry_rng.next_u64() % (hint_ms / 2 + 1);
+              const auto due =
+                  Clock::now() + std::chrono::milliseconds(hint_ms + jitter_ms);
               conn->pending.emplace_back(due, id);
               conn->cv.notify_all();
             }
@@ -576,6 +595,7 @@ struct RunConfig {
   std::uint64_t deadline_ms = 0;
   bool chaos = false;         // SIGKILL mid-stream, warm respawn, resend
   bool use_drain_op = false;  // finish via "drain" op instead of SIGTERM
+  bool drain_mid_stream = false;  // drain while busy retries are in flight
   std::optional<std::uint64_t> fault_seed;
   std::string store_dir;        // persistent store directory ("" = none)
   bool full_table_gate = false; // 1-connection runs: full run_serial identity
@@ -588,7 +608,7 @@ struct RunConfig {
 
 struct RunResult {
   RunConfig config;
-  std::uint64_t ok = 0, busy_replies = 0, timeouts = 0, errors = 0, gave_up = 0;
+  std::uint64_t ok = 0, busy_replies = 0, timeouts = 0, errors = 0, gave_up = 0, shed = 0;
   unsigned kills = 0;
   double wall_ms = 0.0, goodput_per_s = 0.0;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
@@ -639,11 +659,13 @@ RunResult execute_run(const RunConfig& config,
   std::vector<std::uint64_t> all_ids(config.sessions);
   for (std::uint64_t id = 0; id < config.sessions; ++id) all_ids[id] = id;
 
+  const std::uint64_t jitter_seed = config.fault_seed ? *config.fault_seed : 0xD1CEull;
   if (config.chaos) {
     // Phase A: full stream, SIGKILL after a quarter of the sessions land.
     Incarnation phase_a;
     run_incarnation(socket_path, requests, all_ids, config.connections, config.rate_per_s,
-                    tracker, phase_a, std::max<std::uint64_t>(2, config.sessions / 4), pid);
+                    tracker, phase_a, std::max<std::uint64_t>(2, config.sessions / 4), pid,
+                    jitter_seed + 1);
     // If the whole stream somehow finished before the kill threshold, the
     // daemon is still alive — put it down so reap() cannot block.
     if (!phase_a.killed) ::kill(pid, SIGKILL);
@@ -678,7 +700,7 @@ RunResult execute_run(const RunConfig& config,
     }
     Incarnation phase_b;
     run_incarnation(socket_path, requests, remaining, config.connections, config.rate_per_s,
-                    tracker, phase_b, 0, pid);
+                    tracker, phase_b, 0, pid, jitter_seed + 2);
     if (phase_b.send_failed) {
       std::printf("  FAIL %s: respawned daemon dropped the connection\n",
                   config.label.c_str());
@@ -686,10 +708,30 @@ RunResult execute_run(const RunConfig& config,
     }
     ok_run = verify_wait_chain(phase_b.wait_chain, /*exact=*/true, config.label.c_str()) &&
              ok_run;
+  } else if (config.drain_mid_stream) {
+    // Regression: a "drain" issued while clients are mid busy-retry storm
+    // must not wedge or crash the daemon. It sheds the storm busy, finishes
+    // the in-flight sessions, closes every connection and exits 0; sessions
+    // shed at drain time stay non-terminal by design.
+    Incarnation inc;
+    std::thread drainer([&] {
+      for (int attempt = 0; attempt < 2000; ++attempt) {
+        {
+          std::lock_guard<std::mutex> lock(tracker.mutex);
+          if (tracker.busy_replies >= 8) break;  // retry pressure established
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      send_drain(socket_path);
+    });
+    run_incarnation(socket_path, requests, all_ids, config.connections, config.rate_per_s,
+                    tracker, inc, 0, pid, jitter_seed);
+    drainer.join();
+    ok_run = verify_wait_chain(inc.wait_chain, /*exact=*/true, config.label.c_str()) && ok_run;
   } else {
     Incarnation inc;
     run_incarnation(socket_path, requests, all_ids, config.connections, config.rate_per_s,
-                    tracker, inc, 0, pid);
+                    tracker, inc, 0, pid, jitter_seed);
     if (inc.send_failed || inc.killed) {
       std::printf("  FAIL %s: daemon connection failed without chaos\n", config.label.c_str());
       ok_run = false;
@@ -724,9 +766,15 @@ RunResult execute_run(const RunConfig& config,
           break;
         case IdState::kUnsent:
         case IdState::kInFlight:
-          std::printf("  FAIL %s: id=%llu never reached a terminal reply\n",
-                      config.label.c_str(), static_cast<unsigned long long>(id));
-          ok_run = false;
+          // A mid-stream drain sheds whatever is still retrying or unsent;
+          // everywhere else a non-terminal id is a lost session.
+          if (config.drain_mid_stream) {
+            ++result.shed;
+          } else {
+            std::printf("  FAIL %s: id=%llu never reached a terminal reply\n",
+                        config.label.c_str(), static_cast<unsigned long long>(id));
+            ok_run = false;
+          }
           break;
       }
     }
@@ -756,17 +804,20 @@ RunResult execute_run(const RunConfig& config,
   }
   result.identical = ok_run;
 
-  // Stats from the (final, graceful) incarnation, then shut it down.
-  const StatsLine stats = query_stats(socket_path);
-  result.coalesced = stats.get("coalesced");
-  result.pipeline_runs = stats.get("pipeline_runs");
-  result.max_queue_depth = stats.get("max_queue_depth");
-  result.peak_sessions = stats.get("peak_sessions");
-  result.disk_hits = stats.get("disk_hits");
-  if (config.use_drain_op) {
-    send_drain(socket_path);
-  } else {
-    ::kill(pid, SIGTERM);
+  // Stats from the (final, graceful) incarnation, then shut it down. A
+  // mid-stream drain already took the daemon down — no socket to query.
+  if (!config.drain_mid_stream) {
+    const StatsLine stats = query_stats(socket_path);
+    result.coalesced = stats.get("coalesced");
+    result.pipeline_runs = stats.get("pipeline_runs");
+    result.max_queue_depth = stats.get("max_queue_depth");
+    result.peak_sessions = stats.get("peak_sessions");
+    result.disk_hits = stats.get("disk_hits");
+    if (config.use_drain_op) {
+      send_drain(socket_path);
+    } else {
+      ::kill(pid, SIGTERM);
+    }
   }
   const ExitInfo exit_info = reap(pid);
   if (!exit_info.exited || exit_info.exit_code != 0) {
@@ -794,6 +845,11 @@ RunResult execute_run(const RunConfig& config,
   // machinery it exists to exercise.
   if (config.expect_busy && result.busy_replies == 0) {
     std::printf("  FAIL %s: overload run saw no busy replies\n", config.label.c_str());
+    ok_run = false;
+  }
+  if (config.drain_mid_stream && result.shed == 0) {
+    std::printf("  FAIL %s: drain landed after the storm resolved — nothing was shed\n",
+                config.label.c_str());
     ok_run = false;
   }
   if (config.expect_timeouts && result.timeouts == 0) {
@@ -861,6 +917,23 @@ RunConfig overload_config(std::size_t sessions) {
   return config;
 }
 
+// Drain-under-retry-pressure regression: overload caps force a busy-retry
+// storm, then "drain" lands while retries are still in flight. The daemon
+// must shed the storm, finish its in-flight sessions and exit 0 — shed
+// sessions are the client's problem, a wedged or crashed daemon is ours.
+RunConfig drainstorm_config(std::size_t sessions) {
+  RunConfig config;
+  config.label = "drainstorm";
+  config.sessions = std::min<std::size_t>(sessions, 32);
+  config.connections = 3;
+  config.rate_per_s = 5000.0;
+  config.max_sessions = 6;
+  config.max_queued = 4;
+  config.drain_mid_stream = true;
+  config.expect_busy = true;
+  return config;
+}
+
 RunConfig deadline_config(std::size_t sessions) {
   RunConfig config;
   config.label = "deadline";
@@ -907,6 +980,7 @@ void emit_json(const std::vector<RunResult>& runs) {
         json,
         "    {\"label\": \"%s\", \"connections\": %u, \"rate_per_s\": %.1f, "
         "\"sessions\": %zu, \"ok\": %llu, \"busy\": %llu, \"timeouts\": %llu, "
+        "\"shed\": %llu, "
         "\"coalesced\": %llu, \"pipeline_runs\": %llu, \"max_queue_depth\": %llu, "
         "\"peak_sessions\": %llu, \"disk_hits\": %llu, \"kills\": %u, "
         "\"wall_ms\": %.2f, \"goodput_per_s\": %.2f, \"p50_ms\": %.3f, "
@@ -915,6 +989,7 @@ void emit_json(const std::vector<RunResult>& runs) {
         r.config.sessions, static_cast<unsigned long long>(r.ok),
         static_cast<unsigned long long>(r.busy_replies),
         static_cast<unsigned long long>(r.timeouts),
+        static_cast<unsigned long long>(r.shed),
         static_cast<unsigned long long>(r.coalesced),
         static_cast<unsigned long long>(r.pipeline_runs),
         static_cast<unsigned long long>(r.max_queue_depth),
@@ -1008,11 +1083,13 @@ int main(int argc, char** argv) {
   std::vector<RunConfig> configs;
   if (check) {
     configs.push_back(overload_config(sessions));
+    configs.push_back(drainstorm_config(sessions));
     configs.push_back(deadline_config(std::min<std::size_t>(sessions, 16)));
     if (chaos) configs.push_back(chaos_config(sessions, chaos_store, fault_seed));
   } else {
     configs.push_back(baseline_config(sessions));
     configs.push_back(overload_config(sessions));
+    configs.push_back(drainstorm_config(sessions));
     configs.push_back(deadline_config(sessions));
     configs.push_back(chaos_config(sessions, chaos_store, fault_seed));
   }

@@ -1,0 +1,45 @@
+// Abstract persistent artifact store under the in-memory ArtifactCache.
+//
+// The cache layers its write-through/read-through persistence over this
+// interface so the backing can be a single crash-safe directory
+// (DiskArtifactStore) or that same directory wrapped in cross-host
+// replication (ReplicatedStore) without the cache knowing the difference.
+// Implementations share the contract the cache relies on:
+//
+//   - failures are degradations, never errors: a put that cannot persist
+//     returns false and the store stays usable; a get that cannot produce a
+//     *validated* payload is a miss (nullopt);
+//   - anything returned by get() was checksum-validated against the
+//     requested key/type — damaged data is quarantined, not served;
+//   - all methods are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "partition/cache_key.hpp"
+
+namespace warp::partition {
+
+class ArtifactStore {
+ public:
+  virtual ~ArtifactStore() = default;
+
+  /// Persist one serialized artifact; returns whether it is durably stored.
+  virtual bool put(const CacheKey& key, std::uint32_t type_tag,
+                   std::uint32_t type_version,
+                   const std::vector<std::uint8_t>& payload) = 0;
+
+  /// The validated payload for `key`, or nullopt (a miss). Never returns
+  /// unvalidated bytes.
+  virtual std::optional<std::vector<std::uint8_t>> get(const CacheKey& key,
+                                                       std::uint32_t type_tag,
+                                                       std::uint32_t type_version) = 0;
+
+  /// Stop serving `key`: its backing data passed the envelope checks but
+  /// failed a higher layer (codec), so it must not be returned again.
+  virtual void quarantine_key(const CacheKey& key) = 0;
+};
+
+}  // namespace warp::partition

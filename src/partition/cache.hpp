@@ -51,8 +51,8 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "partition/artifact_store.hpp"
 #include "partition/cache_key.hpp"
-#include "partition/disk_store.hpp"
 
 namespace warp::partition {
 
@@ -84,8 +84,9 @@ class ArtifactCache {
   explicit ArtifactCache(ArtifactCacheOptions options) : options_(options) {}
 
   /// Layer a persistent store underneath (not owned; may be null to
-  /// detach). Typically attached right after construction.
-  void attach_store(DiskArtifactStore* store) {
+  /// detach) — a DiskArtifactStore, or a ReplicatedStore wrapping one.
+  /// Typically attached right after construction.
+  void attach_store(ArtifactStore* store) {
     std::lock_guard<std::mutex> lock(mutex_);
     store_ = store;
   }
@@ -97,7 +98,7 @@ class ArtifactCache {
   /// stores under its name — checked by assert in debug builds.
   template <typename T>
   std::shared_ptr<const T> find(const CacheKey& key) {
-    DiskArtifactStore* store = nullptr;
+    ArtifactStore* store = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       StageCacheStats& stats = stats_[key.stage];
@@ -149,7 +150,7 @@ class ArtifactCache {
   template <typename T>
   void put(const CacheKey& key, std::shared_ptr<const T> value,
            FailureKind fail_kind = FailureKind::kNone) {
-    DiskArtifactStore* store = nullptr;
+    ArtifactStore* store = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       store = store_;
@@ -278,7 +279,7 @@ class ArtifactCache {
   }
 
   ArtifactCacheOptions options_;
-  DiskArtifactStore* store_ = nullptr;
+  ArtifactStore* store_ = nullptr;
 
   mutable std::mutex mutex_;
   Map map_;

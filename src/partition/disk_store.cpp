@@ -35,6 +35,35 @@ bool is_artifact_name(const std::string& name) {
   return name.size() > 4 && name.compare(name.size() - 4, 4, ".art") == 0;
 }
 
+// Outside-in validation of a complete envelope image, type-agnostic: the
+// trailer (truncation + corruption), then magic/store version, then the
+// structural fields. Returns the embedded cache key on success. Typed
+// consumers (get) additionally check the artifact type tag/version; raw
+// replication consumers check the embedded key against the file name.
+std::optional<CacheKey> parse_envelope(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kTrailerBytes) return std::nullopt;
+  const std::size_t body_size = bytes.size() - kTrailerBytes;
+  common::ByteReader trailer(bytes.data() + body_size, kTrailerBytes);
+  trailer.expect_u64(body_size);
+  const common::Digest checksum = trailer.digest();
+  if (!trailer.at_end() || checksum != common::bytes_checksum(bytes.data(), body_size)) {
+    return std::nullopt;
+  }
+  common::ByteReader r(bytes.data(), body_size);
+  r.expect_u64(DiskArtifactStore::kMagic);
+  r.expect_u32(DiskArtifactStore::kStoreVersion);
+  r.u32();  // artifact type tag — typed loads re-check
+  r.u32();  // artifact format version
+  CacheKey key;
+  key.stage = r.str();
+  key.input = r.digest();
+  key.config = r.digest();
+  const std::uint64_t payload_size = r.length(1);
+  r.require(payload_size == r.remaining());
+  if (!r.ok()) return std::nullopt;
+  return key;
+}
+
 }  // namespace
 
 DiskArtifactStore::DiskArtifactStore(DiskStoreOptions options)
@@ -74,8 +103,12 @@ DiskArtifactStore::DiskArtifactStore(DiskStoreOptions options)
   evict_to_cap_locked();
 }
 
+std::string DiskArtifactStore::name_for(const CacheKey& key) {
+  return key.stage + "-" + hex_digest(key.digest()) + ".art";
+}
+
 std::string DiskArtifactStore::path_for(const CacheKey& key) const {
-  return options_.directory + "/" + key.stage + "-" + hex_digest(key.digest()) + ".art";
+  return options_.directory + "/" + name_for(key);
 }
 
 bool DiskArtifactStore::probe(const char* site, common::FaultKind kind) {
@@ -365,6 +398,76 @@ void DiskArtifactStore::evict_to_cap_locked() {
 DiskStoreStats DiskArtifactStore::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::vector<std::string> DiskArtifactStore::list_names() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    names.reserve(index_.size());
+    for (const auto& [name, state] : index_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::optional<std::vector<std::uint8_t>> DiskArtifactStore::export_raw(
+    const std::string& name) {
+  if (!usable_ || !is_artifact_name(name) || name.find('/') != std::string::npos) {
+    return std::nullopt;
+  }
+  auto bytes = read_file(options_.directory + "/" + name);
+  if (!bytes) return std::nullopt;
+  const auto key = parse_envelope(*bytes);
+  if (!key || name_for(*key) != name) {
+    // Locally damaged (or renamed over a different key): stop serving it
+    // here too, and never ship it to a peer.
+    std::lock_guard<std::mutex> lock(mutex_);
+    quarantine_locked(name);
+    return std::nullopt;
+  }
+  return bytes;
+}
+
+bool DiskArtifactStore::import_raw(const std::string& name,
+                                   const std::vector<std::uint8_t>& envelope) {
+  if (!usable_ || !is_artifact_name(name) || name.find('/') != std::string::npos) {
+    return false;
+  }
+  const auto key = parse_envelope(envelope);
+  // The name/embedded-key match means a peer (or an attacker on the wire)
+  // cannot install an envelope under a key it was not written for.
+  if (!key || name_for(*key) != name) return false;
+
+  const std::string final_path = options_.directory + "/" + name;
+  std::string tmp_path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tmp_path = final_path + ".tmp." + std::to_string(::getpid()) + "." +
+               std::to_string(tmp_seq_++);
+  }
+  bool written = false;
+  for (int attempt = 0; attempt < options_.io_retries; ++attempt) {
+    if (write_file_once(tmp_path, envelope)) {
+      written = true;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.io_retries;
+    }
+    backoff(attempt);
+  }
+  if (written && rename_file(tmp_path, final_path)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    note_access_locked(name, envelope.size());
+    evict_to_cap_locked();
+    return true;
+  }
+  ::unlink(tmp_path.c_str());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.put_failures;
+  return false;
 }
 
 }  // namespace warp::partition

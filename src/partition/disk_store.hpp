@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "common/fault_injector.hpp"
+#include "partition/artifact_store.hpp"
 #include "partition/cache_key.hpp"
 
 namespace warp::partition {
@@ -77,7 +78,7 @@ struct DiskStoreStats {
   std::uint64_t bytes = 0;          // resident artifact bytes
 };
 
-class DiskArtifactStore {
+class DiskArtifactStore : public ArtifactStore {
  public:
   static constexpr std::uint64_t kMagic = 0x524F545350524157ull;  // "WARPSTOR" LE
   static constexpr std::uint32_t kStoreVersion = 1;
@@ -96,24 +97,49 @@ class DiskArtifactStore {
   /// durably on disk under its final name. Failure is not an error state:
   /// the store stays usable and the caller's in-memory copy is untouched.
   bool put(const CacheKey& key, std::uint32_t type_tag, std::uint32_t type_version,
-           const std::vector<std::uint8_t>& payload);
+           const std::vector<std::uint8_t>& payload) override;
 
   /// Load the payload for `key` if a fully valid envelope of the expected
   /// type/version is on disk; nullopt is a miss. Damaged or mismatched
   /// files are quarantined.
   std::optional<std::vector<std::uint8_t>> get(const CacheKey& key, std::uint32_t type_tag,
-                                               std::uint32_t type_version);
+                                               std::uint32_t type_version) override;
 
   /// Move the file for `key` aside as damaged. Used by the cache layer when
   /// a payload passes the envelope checks but fails its codec (corruption
   /// indistinguishable from a format bug — either way, stop serving it).
-  void quarantine_key(const CacheKey& key);
+  void quarantine_key(const CacheKey& key) override;
 
   DiskStoreStats stats() const;
   const DiskStoreOptions& options() const { return options_; }
 
   /// Final on-disk path for a key (tests corrupt files through this).
   std::string path_for(const CacheKey& key) const;
+
+  // Raw envelope API — what replication (partition/replicated_store.hpp)
+  // moves between hosts. An "envelope" is the complete self-validating
+  // on-disk image of one artifact; a "name" is its file name, a pure
+  // function of its cache key. Replicating whole envelopes means the
+  // receiver re-validates everything outside-in and a damaged replica can
+  // never install anything.
+
+  /// The file name an envelope for `key` lives under ("<stage>-<hex>.art").
+  static std::string name_for(const CacheKey& key);
+
+  /// Names of all resident artifacts, sorted (anti-entropy diffs these).
+  std::vector<std::string> list_names() const;
+
+  /// The complete envelope stored under `name`, validated outside-in
+  /// (trailer, magic, store version, embedded key consistent with `name`).
+  /// Damage quarantines the file and yields nullopt — a corrupted replica
+  /// is never exported to a peer.
+  std::optional<std::vector<std::uint8_t>> export_raw(const std::string& name);
+
+  /// Install a replicated envelope under `name` after the same outside-in
+  /// validation (plus the name/embedded-key match). Invalid envelopes are
+  /// rejected without touching disk — a poisoned peer cannot poison us.
+  /// Valid ones go through the usual tmp -> fsync -> rename discipline.
+  bool import_raw(const std::string& name, const std::vector<std::uint8_t>& envelope);
 
  private:
   struct FileState {

@@ -1,0 +1,111 @@
+#include "partition/replicated_store.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace warp::partition {
+
+ReplicatedStore::ReplicatedStore(DiskArtifactStore* local, std::vector<ReplicaPeer*> peers)
+    : local_(local), peers_(std::move(peers)) {}
+
+bool ReplicatedStore::put(const CacheKey& key, std::uint32_t type_tag,
+                          std::uint32_t type_version,
+                          const std::vector<std::uint8_t>& payload) {
+  const bool persisted = local_->put(key, type_tag, type_version, payload);
+  if (!persisted) return false;
+  // Push the envelope as written (not the payload we were handed): peers
+  // install the identical validated image, byte for byte.
+  const std::string name = DiskArtifactStore::name_for(key);
+  const auto envelope = local_->export_raw(name);
+  if (!envelope) return true;  // evicted/damaged already — nothing to push
+  for (ReplicaPeer* peer : peers_) {
+    if (!peer->alive()) continue;
+    const bool delivered = peer->push(name, *envelope);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.pushes;
+    if (!delivered) ++stats_.push_failures;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> ReplicatedStore::get(const CacheKey& key,
+                                                              std::uint32_t type_tag,
+                                                              std::uint32_t type_version) {
+  if (auto payload = local_->get(key, type_tag, type_version)) return payload;
+  if (peers_.empty()) return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.pulls;
+  }
+  const std::string name = DiskArtifactStore::name_for(key);
+  for (ReplicaPeer* peer : peers_) {
+    if (!peer->alive()) continue;
+    auto envelope = peer->fetch(name);
+    if (!envelope) continue;
+    // import_raw re-validates outside-in; a corrupted replica is rejected
+    // here (local disk untouched) and the next peer gets a chance.
+    if (!local_->import_raw(name, *envelope)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.pull_rejects;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.pull_hits;
+    }
+    // Serve through the local typed path: type tag/version and the embedded
+    // key are checked exactly as for a native artifact.
+    return local_->get(key, type_tag, type_version);
+  }
+  return std::nullopt;
+}
+
+void ReplicatedStore::quarantine_key(const CacheKey& key) {
+  local_->quarantine_key(key);
+}
+
+void ReplicatedStore::repair() {
+  for (ReplicaPeer* peer : peers_) {
+    if (!peer->alive()) continue;
+    const auto remote_names = peer->list();
+    if (!remote_names) continue;
+    const std::vector<std::string> local_names = local_->list_names();
+    const std::set<std::string> local_set(local_names.begin(), local_names.end());
+    const std::set<std::string> remote_set(remote_names->begin(), remote_names->end());
+    for (const std::string& name : *remote_names) {
+      if (local_set.count(name) != 0) continue;
+      auto envelope = peer->fetch(name);
+      if (!envelope) continue;
+      if (!local_->import_raw(name, *envelope)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.pull_rejects;
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.repairs_pulled;
+    }
+    for (const std::string& name : local_names) {
+      if (remote_set.count(name) != 0) continue;
+      const auto envelope = local_->export_raw(name);
+      if (!envelope) continue;
+      const bool delivered = peer->push(name, *envelope);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.pushes;
+      if (delivered) {
+        ++stats_.repairs_pushed;
+      } else {
+        ++stats_.push_failures;
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.repair_rounds;
+}
+
+ReplicatedStoreStats ReplicatedStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace warp::partition

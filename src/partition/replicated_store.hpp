@@ -1,0 +1,112 @@
+// Replicated artifact store: cross-host replication over DiskArtifactStore.
+//
+// Layers three mechanisms over a local crash-safe store, using whole
+// self-validating envelopes (disk_store.hpp) as the unit of replication:
+//
+//   push-on-put    a locally persisted artifact's envelope is pushed to
+//                  every live peer, best effort — a failed push degrades to
+//                  a later pull or repair, never fails the put;
+//   pull-on-miss   a local get miss asks each live peer for the envelope by
+//                  name; the first one that validates (import_raw's
+//                  outside-in checks) is installed locally and served;
+//   anti-entropy   repair() diffs artifact name sets against each live peer
+//                  and transfers the difference both ways, so replicas
+//                  converge to identical contents once partitions heal.
+//
+// Trust model: a peer is no more trusted than the local disk. Everything a
+// peer sends is re-validated outside-in before it can touch the local
+// directory (checksum trailer, magic, version, embedded-key/name match),
+// and everything sent to a peer was just re-validated by export_raw — so a
+// corrupted replica is quarantined where it sits and can never poison
+// another node. All failure modes degrade to a recompute, exactly like
+// plain disk damage.
+//
+// The peer transport is abstract (ReplicaPeer): this layer stays free of
+// sockets and is tested hermetically; the cluster layer (serve/cluster.hpp)
+// implements peers over the warpd line protocol's replication ops.
+//
+// Thread safety: all operations are thread-safe; peer calls happen outside
+// this object's lock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "partition/disk_store.hpp"
+
+namespace warp::partition {
+
+/// One remote replica, by whatever transport the embedder provides.
+/// Implementations must be thread-safe and must never throw; every method
+/// reports failure by value (false/nullopt) — a dead peer looks exactly
+/// like a failing one.
+class ReplicaPeer {
+ public:
+  virtual ~ReplicaPeer() = default;
+
+  /// Human-readable peer name for logs/stats.
+  virtual std::string name() const = 0;
+  /// Health gate: replication skips peers that are not alive right now.
+  virtual bool alive() = 0;
+  /// Deliver one envelope for installation under `name` on the peer.
+  virtual bool push(const std::string& name,
+                    const std::vector<std::uint8_t>& envelope) = 0;
+  /// The peer's envelope stored under `name`, if it has a valid one.
+  virtual std::optional<std::vector<std::uint8_t>> fetch(const std::string& name) = 0;
+  /// The peer's resident artifact names (sorted), for anti-entropy diffs.
+  virtual std::optional<std::vector<std::string>> list() = 0;
+};
+
+struct ReplicatedStoreStats {
+  std::uint64_t pushes = 0;          // envelopes pushed to peers (put + repair)
+  std::uint64_t push_failures = 0;   // pushes a peer did not acknowledge
+  std::uint64_t pulls = 0;           // pull-on-miss attempts (per miss, not per peer)
+  std::uint64_t pull_hits = 0;       // misses served by a peer's envelope
+  std::uint64_t pull_rejects = 0;    // fetched envelopes that failed validation
+  std::uint64_t repairs_pulled = 0;  // envelopes installed locally by repair()
+  std::uint64_t repairs_pushed = 0;  // envelopes sent to peers by repair()
+  std::uint64_t repair_rounds = 0;   // repair() calls completed
+};
+
+class ReplicatedStore : public ArtifactStore {
+ public:
+  /// Neither the local store nor the peers are owned; peers may be empty
+  /// (the store then behaves exactly like `local`).
+  ReplicatedStore(DiskArtifactStore* local, std::vector<ReplicaPeer*> peers);
+
+  /// Local put, then best-effort push of the persisted envelope to every
+  /// live peer. Returns the *local* durability only — replication is
+  /// asynchronous by contract (a missed push is healed by pull/repair).
+  bool put(const CacheKey& key, std::uint32_t type_tag, std::uint32_t type_version,
+           const std::vector<std::uint8_t>& payload) override;
+
+  /// Local get; on a miss, pull the envelope from the first live peer whose
+  /// copy validates, install it locally, and serve it through the local
+  /// store's typed validation path.
+  std::optional<std::vector<std::uint8_t>> get(const CacheKey& key,
+                                               std::uint32_t type_tag,
+                                               std::uint32_t type_version) override;
+
+  void quarantine_key(const CacheKey& key) override;
+
+  /// One anti-entropy round: for each live peer, pull every artifact it has
+  /// that we lack and push every artifact we have that it lacks. Convergent:
+  /// once every node has run a round after the last write, all replicas
+  /// hold identical name sets (equal up to quarantined files).
+  void repair();
+
+  DiskArtifactStore& local() { return *local_; }
+  ReplicatedStoreStats stats() const;
+
+ private:
+  DiskArtifactStore* local_;
+  std::vector<ReplicaPeer*> peers_;
+
+  mutable std::mutex mutex_;  // guards stats_ only
+  ReplicatedStoreStats stats_;
+};
+
+}  // namespace warp::partition

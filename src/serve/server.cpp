@@ -2,12 +2,12 @@
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <map>
 
 #include "common/strings.hpp"
 
@@ -17,15 +17,6 @@ namespace {
 
 common::Status errno_status(const std::string& what) {
   return common::Status::error(what + ": " + std::strerror(errno));
-}
-
-// Bind `path` into a sockaddr_un; false if it does not fit.
-bool make_addr(const std::string& path, sockaddr_un& addr) {
-  if (path.empty() || path.size() >= sizeof(addr.sun_path)) return false;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  return true;
 }
 
 }  // namespace
@@ -59,24 +50,21 @@ void SocketServer::backoff(int attempt) {
 }
 
 common::Status SocketServer::start() {
-  sockaddr_un addr{};
-  if (!make_addr(options_.path, addr)) {
-    return common::Status::error("bad socket path: " + options_.path);
-  }
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) return errno_status("socket");
-  ::unlink(options_.path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const common::Status status = errno_status("bind " + options_.path);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    const common::Status status = errno_status("listen");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
+  auto endpoint = parse_endpoint(options_.path);
+  if (!endpoint) return common::Status::error(endpoint.message());
+  endpoint_ = endpoint.value();
+  auto fd = listen_endpoint(endpoint_, 64);
+  if (!fd) return common::Status::error(fd.message());
+  listen_fd_ = fd.value();
+  if (endpoint_.kind == Endpoint::Kind::kTcp) {
+    auto port = bound_port(listen_fd_);
+    if (!port) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return common::Status::error(port.message());
+    }
+    port_ = port.value();
+    endpoint_.port = port_;
   }
   started_ = true;
   accept_thread_ = std::thread([this] { accept_main(); });
@@ -189,6 +177,51 @@ void SocketServer::connection_main(std::shared_ptr<Connection> conn) {
   ::shutdown(conn->fd, SHUT_RDWR);
 }
 
+std::string SocketServer::stats_line() {
+  const WarpdStats es = engine_->stats();
+  const SocketServerStats ss = stats();
+  const std::uint64_t disk_hits =
+      options_.engine.cache != nullptr ? options_.engine.cache->total_disk_hits() : 0;
+  std::string line = common::format(
+      "stats admitted=%llu completed=%llu rejected=%llu busy=%llu "
+      "timeouts=%llu coalesced=%llu pipeline_runs=%llu unique_kernels=%llu "
+      "max_queue_depth=%llu peak_sessions=%llu peak_bytes=%llu "
+      "disk_hits=%llu replies=%llu draining=%d",
+      static_cast<unsigned long long>(es.admitted),
+      static_cast<unsigned long long>(es.completed),
+      static_cast<unsigned long long>(es.rejected),
+      static_cast<unsigned long long>(es.busy_rejected),
+      static_cast<unsigned long long>(es.timeouts),
+      static_cast<unsigned long long>(es.coalesced),
+      static_cast<unsigned long long>(es.pipeline_runs),
+      static_cast<unsigned long long>(es.unique_kernels),
+      static_cast<unsigned long long>(es.max_queue_depth),
+      static_cast<unsigned long long>(es.peak_sessions),
+      static_cast<unsigned long long>(es.peak_bytes),
+      static_cast<unsigned long long>(disk_hits),
+      static_cast<unsigned long long>(ss.replies), es.draining ? 1 : 0);
+  // Per-site injected-fault counters from every distinct attached injector:
+  // the chaos harnesses assert "the schedule actually fired" off these.
+  std::map<std::string, std::uint64_t> by_site;
+  std::vector<common::FaultInjector*> injectors{options_.fault};
+  if (options_.engine.fault != options_.fault) injectors.push_back(options_.engine.fault);
+  for (common::FaultInjector* injector : injectors) {
+    if (injector == nullptr) continue;
+    for (const auto& [site, count] : injector->stats().injected_by_site) {
+      by_site[site] += count;
+    }
+  }
+  for (const auto& [site, count] : by_site) {
+    line += common::format(" fault.%s=%llu", site.c_str(),
+                           static_cast<unsigned long long>(count));
+  }
+  if (options_.extra_stats) {
+    const std::string extra = options_.extra_stats();
+    if (!extra.empty()) line += " " + extra;
+  }
+  return line;
+}
+
 void SocketServer::handle_line(const std::shared_ptr<Connection>& conn,
                                std::string_view line) {
   if (line.empty()) return;
@@ -202,31 +235,16 @@ void SocketServer::handle_line(const std::shared_ptr<Connection>& conn,
     return;
   }
   if (line == "stats") {
-    const WarpdStats es = engine_->stats();
-    const SocketServerStats ss = stats();
-    const std::uint64_t disk_hits =
-        options_.engine.cache != nullptr ? options_.engine.cache->total_disk_hits() : 0;
-    write_line(*conn,
-               common::format(
-                   "stats admitted=%llu completed=%llu rejected=%llu busy=%llu "
-                   "timeouts=%llu coalesced=%llu pipeline_runs=%llu unique_kernels=%llu "
-                   "max_queue_depth=%llu peak_sessions=%llu peak_bytes=%llu "
-                   "disk_hits=%llu replies=%llu draining=%d",
-                   static_cast<unsigned long long>(es.admitted),
-                   static_cast<unsigned long long>(es.completed),
-                   static_cast<unsigned long long>(es.rejected),
-                   static_cast<unsigned long long>(es.busy_rejected),
-                   static_cast<unsigned long long>(es.timeouts),
-                   static_cast<unsigned long long>(es.coalesced),
-                   static_cast<unsigned long long>(es.pipeline_runs),
-                   static_cast<unsigned long long>(es.unique_kernels),
-                   static_cast<unsigned long long>(es.max_queue_depth),
-                   static_cast<unsigned long long>(es.peak_sessions),
-                   static_cast<unsigned long long>(es.peak_bytes),
-                   static_cast<unsigned long long>(disk_hits),
-                   static_cast<unsigned long long>(ss.replies),
-                   es.draining ? 1 : 0));
+    write_line(*conn, stats_line());
     return;
+  }
+  if (options_.control && !common::starts_with(line, "warp ")) {
+    // Cluster control/replication ops; nullopt falls through to the normal
+    // unknown-verb error from parse_request.
+    if (auto reply = options_.control(line)) {
+      write_line(*conn, *reply);
+      return;
+    }
   }
   auto parsed = protocol::parse_request(line);
   if (!parsed) {
@@ -245,7 +263,7 @@ void SocketServer::handle_line(const std::shared_ptr<Connection>& conn,
     std::lock_guard<std::mutex> lock(conn->mutex);
     ++conn->outstanding;
   }
-  engine_->submit(parsed.value(), [this, conn](const SessionOutcome& outcome) {
+  auto done = [this, conn](const SessionOutcome& outcome) {
     protocol::Reply reply;
     switch (outcome.status) {
       case protocol::ReplyStatus::kOk:
@@ -261,11 +279,17 @@ void SocketServer::handle_line(const std::shared_ptr<Connection>& conn,
         reply = protocol::make_error_reply(outcome.id, outcome.error);
         break;
     }
+    reply.node = outcome.node;
     write_line(*conn, protocol::encode_reply(reply));
     std::lock_guard<std::mutex> lock(conn->mutex);
     --conn->outstanding;
     conn->idle.notify_all();
-  });
+  };
+  if (options_.route) {
+    options_.route(parsed.value(), std::move(done));
+  } else {
+    engine_->submit(parsed.value(), std::move(done));
+  }
 }
 
 bool SocketServer::write_line(Connection& conn, const std::string& line) {
@@ -342,7 +366,7 @@ void SocketServer::stop() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
-    if (started_) ::unlink(options_.path.c_str());
+    if (started_) unlink_endpoint(endpoint_);
   }
   // Finish every admitted session; callbacks write the remaining replies.
   engine_->stop();
@@ -367,16 +391,12 @@ SocketServerStats SocketServer::stats() const {
 
 Client::~Client() { close(); }
 
-common::Status Client::connect(const std::string& path) {
-  sockaddr_un addr{};
-  if (!make_addr(path, addr)) return common::Status::error("bad socket path: " + path);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) return errno_status("socket");
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const common::Status status = errno_status("connect " + path);
-    close();
-    return status;
-  }
+common::Status Client::connect(const std::string& spec) {
+  auto endpoint = parse_endpoint(spec);
+  if (!endpoint) return common::Status::error(endpoint.message());
+  auto fd = connect_endpoint(endpoint.value());
+  if (!fd) return common::Status::error(fd.message());
+  fd_ = fd.value();
   return common::Status::ok();
 }
 
@@ -408,6 +428,41 @@ common::Result<std::string> Client::read_line() {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return R::error("connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return R::error(std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+common::Result<std::string> Client::read_line_for(std::uint64_t timeout_ms) {
+  using R = common::Result<std::string>;
+  if (fd_ < 0) return R::error("not connected");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return R::error("timeout");
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count();
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(std::max<long long>(1, left)));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return R::error(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) return R::error("timeout");
     char buf[4096];
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n == 0) return R::error("connection closed");

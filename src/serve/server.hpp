@@ -1,4 +1,4 @@
-// Unix-domain socket front end for the warpd engine.
+// Socket front end for the warpd engine (unix-domain or TCP transport).
 //
 // One listener thread accepts connections; one reader thread per connection
 // frames '\n'-delimited request lines (protocol.hpp), submits them to the
@@ -7,6 +7,27 @@
 // correlate by the echoed id. Malformed, oversized and unknown-workload
 // lines are answered with "err" replies; nothing a client sends can crash
 // or stop the server (fuzz-gated by tests/warpd_proto_test.cpp).
+//
+// Transport: `path` is an endpoint spec parsed by transport.hpp —
+// "unix:<path>" / a bare filesystem path (AF_UNIX, the original transport)
+// or "tcp:<host>:<port>" (AF_INET; port 0 auto-assigns, see port()). The
+// line protocol is byte-identical over either, so every determinism gate
+// holds across transports.
+//
+// Cluster hooks (all optional, all unset for a standalone server):
+//   route        called instead of Warpd::submit for each well-formed warp
+//                request — the cluster coordinator forwards the session to
+//                its ShardRing owner or falls back to the local engine. The
+//                callback must fire exactly once, like Warpd::submit's.
+//   control      offered every non-"warp" line the built-in ops don't
+//                claim; returning a line answers it (replication and peer
+//                control ops live here), nullopt falls through to the
+//                normal unknown-verb error.
+//   extra_stats  appended to the "stats" reply line ("k=v k=v" text) —
+//                forwarding/replication counters ride here.
+// The stats op also reports per-site injected-fault counters from the
+// attached injectors ("fault.<site>=N"), so harnesses can assert a fault
+// schedule actually fired instead of inferring it from timing.
 //
 // Fault injection: the sites "serve.accept", "serve.read" and
 // "serve.write" (kIoError) model a flaky front end; "serve.drain" models
@@ -36,8 +57,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,13 +68,14 @@
 #include "common/error.hpp"
 #include "common/fault_injector.hpp"
 #include "common/rng.hpp"
+#include "serve/transport.hpp"
 #include "serve/warpd.hpp"
 
 namespace warp::serve {
 
 struct SocketServerOptions {
-  /// Filesystem path of the listening socket; unlinked and rebound by
-  /// start(). Must fit sockaddr_un (~107 bytes).
+  /// Endpoint spec ("unix:<path>", bare path, or "tcp:<host>:<port>"); see
+  /// transport.hpp. Unix sockets are unlinked and rebound by start().
   std::string path;
   WarpdOptions engine;
   /// Attempts per accept/read/write step under fault injection; must exceed
@@ -69,6 +93,10 @@ struct SocketServerOptions {
   /// Injector for the serve.* sites (not owned; may be null). May be the
   /// same injector as engine.fault or a different one.
   common::FaultInjector* fault = nullptr;
+  /// Cluster hooks — see the header comment. All optional.
+  std::function<void(const protocol::Request&, Warpd::Callback)> route;
+  std::function<std::optional<std::string>(std::string_view)> control;
+  std::function<std::string()> extra_stats;
 };
 
 struct SocketServerStats {
@@ -94,6 +122,12 @@ class SocketServer {
 
   /// Bind + listen + start accepting. Error if the socket cannot be bound.
   common::Status start();
+
+  /// The bound TCP port after start() (resolves a tcp:...:0 spec); 0 for
+  /// unix endpoints.
+  std::uint16_t port() const { return port_; }
+  /// The parsed endpoint after start(), with any auto-assigned port filled.
+  const Endpoint& endpoint() const { return endpoint_; }
 
   /// Stop accepting, finish every admitted session (Warpd::stop), write the
   /// remaining replies, close all connections and join every thread.
@@ -129,6 +163,7 @@ class SocketServer {
   void accept_main();
   void connection_main(std::shared_ptr<Connection> conn);
   void handle_line(const std::shared_ptr<Connection>& conn, std::string_view line);
+  std::string stats_line();
   /// Serialize + write one line (appending '\n') with the retry discipline.
   bool write_line(Connection& conn, const std::string& line);
   bool probe(const char* site);
@@ -136,6 +171,8 @@ class SocketServer {
 
   SocketServerOptions options_;
   std::unique_ptr<Warpd> engine_;
+  Endpoint endpoint_;
+  std::uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> closing_{false};
   std::atomic<bool> drain_requested_{false};
@@ -151,7 +188,9 @@ class SocketServer {
   std::thread accept_thread_;
 };
 
-/// Minimal blocking line-oriented client, for tests and the bench driver.
+/// Minimal blocking line-oriented client, for tests, the bench drivers and
+/// the cluster's peer links. connect() takes the same endpoint specs as the
+/// server.
 class Client {
  public:
   Client() = default;
@@ -159,16 +198,20 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  common::Status connect(const std::string& path);
+  common::Status connect(const std::string& spec);
   /// Write `line` + '\n'.
   common::Status send_line(const std::string& line);
   /// Write raw bytes with no framing added (tests send partial lines).
   common::Status send_raw(const std::string& bytes);
   /// Next '\n'-delimited line, newline stripped. Error on EOF/failure.
   common::Result<std::string> read_line();
+  /// read_line with a deadline: error "timeout" if no full line arrives
+  /// within `timeout_ms` (bytes already buffered are kept for a later try).
+  common::Result<std::string> read_line_for(std::uint64_t timeout_ms);
   /// Half-close: no more sends; the server still writes pending replies.
   void shutdown_send();
   void close();
+  bool connected() const { return fd_ >= 0; }
 
  private:
   int fd_ = -1;

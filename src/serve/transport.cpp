@@ -1,0 +1,182 @@
+#include "serve/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace warp::serve {
+
+namespace {
+
+common::Status errno_status(const std::string& what) {
+  return common::Status::error(what + ": " + std::strerror(errno));
+}
+
+bool make_unix_addr(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) return false;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+common::Status make_tcp_addr(const Endpoint& endpoint, sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  const std::string host = endpoint.host == "localhost" ? "127.0.0.1" : endpoint.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return common::Status::error("bad IPv4 host: " + endpoint.host);
+  }
+  return common::Status::ok();
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return common::format("tcp:%s:%u", host.c_str(), static_cast<unsigned>(port));
+}
+
+common::Result<Endpoint> parse_endpoint(const std::string& spec) {
+  using R = common::Result<Endpoint>;
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = spec.substr(5);
+  } else if (spec.rfind("tcp:", 0) == 0) {
+    endpoint.kind = Endpoint::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return R::error("tcp endpoint wants tcp:<host>:<port>: " + spec);
+    }
+    endpoint.host = rest.substr(0, colon);
+    long long port = -1;
+    if (!common::parse_int(rest.substr(colon + 1), port) || port < 0 || port > 65535) {
+      return R::error("bad tcp port in: " + spec);
+    }
+    endpoint.port = static_cast<std::uint16_t>(port);
+  } else if (spec.find(':') == std::string::npos || spec[0] == '/') {
+    // Compatibility: a bare filesystem path is a unix endpoint.
+    endpoint.kind = Endpoint::Kind::kUnix;
+    endpoint.path = spec;
+  } else {
+    return R::error("unknown endpoint scheme: " + spec);
+  }
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    if (!make_unix_addr(endpoint.path, addr)) {
+      return R::error("bad socket path: " + endpoint.path);
+    }
+  } else if (endpoint.host.empty()) {
+    return R::error("empty tcp host in: " + spec);
+  }
+  return endpoint;
+}
+
+common::Result<int> listen_endpoint(const Endpoint& endpoint, int backlog) {
+  using R = common::Result<int>;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    if (!make_unix_addr(endpoint.path, addr)) {
+      return R::error("bad socket path: " + endpoint.path);
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return R::error(errno_status("socket").message());
+    ::unlink(endpoint.path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const auto status = errno_status("bind " + endpoint.path);
+      ::close(fd);
+      return R::error(status.message());
+    }
+    if (::listen(fd, backlog) != 0) {
+      const auto status = errno_status("listen");
+      ::close(fd);
+      return R::error(status.message());
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  if (const auto status = make_tcp_addr(endpoint, addr); !status) {
+    return R::error(status.message());
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return R::error(errno_status("socket").message());
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const auto status = errno_status("bind " + endpoint.to_string());
+    ::close(fd);
+    return R::error(status.message());
+  }
+  if (::listen(fd, backlog) != 0) {
+    const auto status = errno_status("listen");
+    ::close(fd);
+    return R::error(status.message());
+  }
+  return fd;
+}
+
+common::Result<int> connect_endpoint(const Endpoint& endpoint) {
+  using R = common::Result<int>;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    sockaddr_un addr{};
+    if (!make_unix_addr(endpoint.path, addr)) {
+      return R::error("bad socket path: " + endpoint.path);
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return R::error(errno_status("socket").message());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const auto status = errno_status("connect " + endpoint.path);
+      ::close(fd);
+      return R::error(status.message());
+    }
+    return fd;
+  }
+  sockaddr_in addr{};
+  if (const auto status = make_tcp_addr(endpoint, addr); !status) {
+    return R::error(status.message());
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return R::error(errno_status("socket").message());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const auto status = errno_status("connect " + endpoint.to_string());
+    ::close(fd);
+    return R::error(status.message());
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+common::Result<std::uint16_t> bound_port(int fd) {
+  using R = common::Result<std::uint16_t>;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return R::error(errno_status("getsockname").message());
+  }
+  if (addr.sin_family != AF_INET) return R::error("not a tcp socket");
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+void unlink_endpoint(const Endpoint& endpoint) {
+  if (endpoint.kind == Endpoint::Kind::kUnix && !endpoint.path.empty()) {
+    ::unlink(endpoint.path.c_str());
+  }
+}
+
+}  // namespace warp::serve

@@ -1,0 +1,63 @@
+// Stream transport abstraction for the warpd line protocol.
+//
+// warpd speaks one line-delimited protocol over any connected byte stream;
+// this header is the only place that knows how such streams are made. Two
+// transports exist:
+//
+//   unix:<path>        AF_UNIX stream socket bound at <path>. A bare string
+//                      with no "<scheme>:" prefix parses as a unix path too,
+//                      so every pre-TCP endpoint string keeps working.
+//   tcp:<host>:<port>  AF_INET stream socket. <host> is a dotted-quad IPv4
+//                      literal or "localhost"; <port> 0 asks the kernel for
+//                      a free port, which bound_port() then reports — the
+//                      cluster harness uses that to spawn N nodes without a
+//                      port registry. TCP_NODELAY is set on every connected
+//                      socket: the protocol is small single-line RPCs and
+//                      Nagle would serialize them against delayed ACKs.
+//
+// The fault-injection, framing, retry and backoff machinery all live above
+// this layer (server.hpp / cluster.hpp) and are transport-independent — the
+// line protocol, and therefore every determinism gate, is byte-identical
+// over either transport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace warp::serve {
+
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;           // kUnix: filesystem path of the socket
+  std::string host;           // kTcp: IPv4 literal (or "localhost")
+  std::uint16_t port = 0;     // kTcp: 0 = kernel-assigned
+
+  /// Canonical spec string ("unix:/run/w.sock", "tcp:127.0.0.1:7070").
+  std::string to_string() const;
+};
+
+/// Parse an endpoint spec: "unix:<path>", "tcp:<host>:<port>", or a bare
+/// path (compatibility spelling of unix). Errors on empty paths, non-numeric
+/// or out-of-range ports and unknown schemes.
+common::Result<Endpoint> parse_endpoint(const std::string& spec);
+
+/// Create + bind + listen a server socket for `endpoint` (CLOEXEC set).
+/// Unix endpoints unlink any stale socket first; TCP endpoints bind with
+/// SO_REUSEADDR. Returns the listening fd.
+common::Result<int> listen_endpoint(const Endpoint& endpoint, int backlog);
+
+/// Blocking connect to `endpoint` (CLOEXEC + TCP_NODELAY). Returns the
+/// connected fd.
+common::Result<int> connect_endpoint(const Endpoint& endpoint);
+
+/// The local port a bound TCP fd actually got (resolves port 0). Errors on
+/// unix fds.
+common::Result<std::uint16_t> bound_port(int fd);
+
+/// Remove a unix endpoint's socket file; no-op for TCP.
+void unlink_endpoint(const Endpoint& endpoint);
+
+}  // namespace warp::serve

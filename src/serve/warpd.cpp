@@ -90,21 +90,34 @@ common::Result<BuiltSession> build_session(const protocol::Request& request,
 
 }  // namespace
 
+namespace {
+
+std::vector<unsigned> dense_members(unsigned shards) {
+  std::vector<unsigned> members(std::max(1u, shards));
+  for (unsigned m = 0; m < members.size(); ++m) members[m] = m;
+  return members;
+}
+
+}  // namespace
+
 ShardRing::ShardRing(unsigned shards, unsigned points_per_shard)
-    : shards_(std::max(1u, shards)) {
-  points_.reserve(static_cast<std::size_t>(shards_) * points_per_shard);
-  for (unsigned shard = 0; shard < shards_; ++shard) {
+    : ShardRing(dense_members(shards), points_per_shard) {}
+
+ShardRing::ShardRing(const std::vector<unsigned>& members, unsigned points_per_shard)
+    : shards_(static_cast<unsigned>(members.size())) {
+  points_.reserve(static_cast<std::size_t>(members.size()) * points_per_shard);
+  for (const unsigned member : members) {
     for (unsigned point = 0; point < points_per_shard; ++point) {
       common::Hasher hasher;
-      hasher.str("warpd.ring").u32(shard).u32(point);
-      points_.emplace_back(hasher.finish().lo, shard);
+      hasher.str("warpd.ring").u32(member).u32(point);
+      points_.emplace_back(hasher.finish().lo, member);
     }
   }
   std::sort(points_.begin(), points_.end());
 }
 
 unsigned ShardRing::owner(const common::Digest& key) const {
-  if (shards_ == 1 || points_.empty()) return 0;
+  if (points_.empty()) return 0;
   const std::uint64_t position = key.lo;
   auto it = std::lower_bound(points_.begin(), points_.end(),
                              std::make_pair(position, 0u));
@@ -206,6 +219,7 @@ void Warpd::submit(const protocol::Request& request, Callback done) {
     lock.unlock();
     SessionOutcome out;
     out.id = request.id;
+    out.node = options_.node_id;
     if (busy) {
       out.status = protocol::ReplyStatus::kBusy;
       out.error = "busy";
@@ -497,6 +511,7 @@ std::optional<Warpd::Delivery> Warpd::try_finalize_locked(Session& s) {
   out.error = s.message;
   out.entry = s.entry;
   out.shard = s.shard;
+  out.node = options_.node_id;
   out.latency_ms = ms_since(s.admitted);
   if (s.status == protocol::ReplyStatus::kOk) {
     latencies_by_seq_[s.seq] = out.latency_ms;
@@ -534,6 +549,7 @@ std::vector<SessionOutcome> run_serial(const std::vector<protocol::Request>& req
     const protocol::Request& request = requests[i];
     SessionOutcome& out = outcomes[i];
     out.id = request.id;
+    out.node = options.node_id;
     std::string err = validate_request(request);
     if (err.empty()) {
       if (request.seq) {
@@ -590,6 +606,16 @@ std::vector<SessionOutcome> run_serial(const std::vector<protocol::Request>& req
     clock.finish(outcomes[i].entry.dpm_seconds);
   }
   return outcomes;
+}
+
+common::Result<common::Digest> kernel_digest_for(const protocol::Request& request,
+                                                 const experiments::HarnessOptions& base) {
+  using R = common::Result<common::Digest>;
+  const std::string err = validate_request(request);
+  if (!err.empty()) return R::error(err);
+  auto built = build_session(request, base);
+  if (!built) return R::error(built.message());
+  return built.value().kernel_hash;
 }
 
 }  // namespace warp::serve

@@ -95,11 +95,21 @@ namespace warp::serve {
 /// Consistent-hash ring mapping kernel content hashes to shard owners.
 /// Each shard contributes `points_per_shard` ring points; a key is owned by
 /// the first point at or after it (wrapping). Adding a shard therefore only
-/// moves the keys adjacent to its new points — and for a fixed shard count
+/// moves the keys adjacent to its new points — and for a fixed member set
 /// the mapping is a pure function of the key, identical on every host.
+///
+/// The membership ctor takes explicit member ids (the cluster layer passes
+/// live warpd node ids): each member's points are hashed per (id, point),
+/// so removing a member only reassigns the ranges its own points covered —
+/// every other key keeps its owner (the smooth-resharding property,
+/// tests/shard_ring_test.cpp). ShardRing(n, p) is exactly
+/// ShardRing({0..n-1}, p), so in-engine shard routing is the same function.
 class ShardRing {
  public:
   ShardRing(unsigned shards, unsigned points_per_shard = 16);
+  ShardRing(const std::vector<unsigned>& members, unsigned points_per_shard = 16);
+  /// The owning member id (NOT an index into members). Returns the lowest
+  /// member id on an empty ring so callers need no special case.
   unsigned owner(const common::Digest& key) const;
   unsigned shards() const { return shards_; }
 
@@ -188,6 +198,9 @@ struct WarpdOptions {
   /// Merge identical in-flight requests onto one pipeline run. Results are
   /// bit-identical either way (gated by tests); off only for A/B benches.
   bool coalesce = true;
+  /// This engine's cluster node id, stamped on every outcome (and thus on
+  /// every ok reply's node= field). 0 for a standalone server.
+  std::uint32_t node_id = 0;
   /// Per-session template (cpu config, system config, ...). Its `cache`
   /// member is ignored — the engine passes `cache` above per DPM call.
   experiments::HarnessOptions base;
@@ -214,6 +227,7 @@ struct SessionOutcome {
   std::uint64_t retry_after_ms = 0;  // kBusy only
   warpsys::MultiWarpEntry entry;
   unsigned shard = 0;       // owner shard of the session's kernel
+  std::uint32_t node = 0;   // WarpdOptions::node_id of the admitting engine
   double latency_ms = 0.0;  // host admission -> completion
 };
 
@@ -356,5 +370,16 @@ class Warpd {
 /// subsequence is what must match run_serial over that subsequence.
 std::vector<SessionOutcome> run_serial(const std::vector<protocol::Request>& requests,
                                        const WarpdOptions& options);
+
+/// The kernel content hash the engine routes `request` by: the assembled
+/// program words plus the DPM-relevant config knobs (max_candidates,
+/// csd_max_terms — packed_width is host-only and excluded). This is the
+/// exact digest Warpd computes when it builds the session, exposed so the
+/// cluster coordinator can route a request to its ShardRing owner before
+/// any node builds it. Building the WarpSystem is the only way to get the
+/// assembled words, so callers on a hot path should cache per
+/// (workload, max_candidates, csd_max_terms). Errors on unknown workloads.
+common::Result<common::Digest> kernel_digest_for(const protocol::Request& request,
+                                                 const experiments::HarnessOptions& base);
 
 }  // namespace warp::serve

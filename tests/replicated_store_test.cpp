@@ -1,0 +1,240 @@
+// Hermetic tests for partition::ReplicatedStore: push-on-put, pull-on-miss,
+// anti-entropy repair, and the trust model (everything a peer sends is
+// re-validated outside-in before it can touch the local directory). Peers
+// are in-process fakes over real DiskArtifactStores — no sockets — so every
+// replication path is driven deterministically; the cluster layer's
+// socket-backed peer is exercised end to end by bench/warpd_cluster.cpp.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "partition/disk_store.hpp"
+#include "partition/replicated_store.hpp"
+
+namespace warp {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kTag = 0x7E57;
+constexpr std::uint32_t kVersion = 1;
+
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path(fs::temp_directory_path() /
+             ("warp_repl_test_" + name + "_" +
+              std::to_string(static_cast<unsigned long>(::getpid())))) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path, ec);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  fs::path path;
+};
+
+partition::CacheKey make_key(std::uint32_t salt) {
+  partition::CacheKey key;
+  key.stage = "repl_test";
+  common::Hasher hi;
+  hi.u32(salt);
+  key.input = hi.finish();
+  common::Hasher hc;
+  hc.u32(~salt);
+  key.config = hc.finish();
+  return key;
+}
+
+std::vector<std::uint8_t> make_payload(std::uint32_t salt) {
+  std::vector<std::uint8_t> payload(64 + salt % 32);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>((i * 131) ^ salt);
+  }
+  return payload;
+}
+
+// A remote replica backed by a real local DiskArtifactStore — the actual
+// transport is the only thing faked. The knobs simulate the failure modes
+// the trust model must absorb: a dead peer, a peer that drops pushes, and
+// a peer whose copies are corrupted in flight.
+class FakePeer : public partition::ReplicaPeer {
+ public:
+  explicit FakePeer(partition::DiskArtifactStore* store) : store_(store) {}
+
+  std::string name() const override { return "fake-peer"; }
+  bool alive() override { return alive_; }
+
+  bool push(const std::string& name, const std::vector<std::uint8_t>& envelope) override {
+    ++pushes_seen_;
+    if (drop_pushes_) return false;
+    return store_->import_raw(name, envelope);
+  }
+
+  std::optional<std::vector<std::uint8_t>> fetch(const std::string& name) override {
+    auto envelope = store_->export_raw(name);
+    if (envelope && corrupt_fetches_ && !envelope->empty()) {
+      (*envelope)[envelope->size() / 2] ^= 0x40;
+    }
+    return envelope;
+  }
+
+  std::optional<std::vector<std::string>> list() override {
+    if (!alive_) return std::nullopt;
+    return store_->list_names();
+  }
+
+  bool alive_ = true;
+  bool drop_pushes_ = false;
+  bool corrupt_fetches_ = false;
+  std::uint64_t pushes_seen_ = 0;
+
+ private:
+  partition::DiskArtifactStore* store_;
+};
+
+partition::DiskStoreOptions store_options(const fs::path& dir) {
+  partition::DiskStoreOptions options;
+  options.directory = dir.string();
+  return options;
+}
+
+TEST(ReplicatedStore, PushOnPutReplicatesToLivePeers) {
+  TempDir local_dir("push_local"), peer_dir("push_peer");
+  partition::DiskArtifactStore local(store_options(local_dir.path));
+  partition::DiskArtifactStore remote(store_options(peer_dir.path));
+  FakePeer peer(&remote);
+  partition::ReplicatedStore store(&local, {&peer});
+
+  const auto key = make_key(1);
+  const auto payload = make_payload(1);
+  EXPECT_TRUE(store.put(key, kTag, kVersion, payload));
+
+  // The peer holds a fully valid copy it can serve on its own.
+  EXPECT_EQ(remote.get(key, kTag, kVersion), std::optional(payload));
+  EXPECT_EQ(store.stats().pushes, 1u);
+  EXPECT_EQ(store.stats().push_failures, 0u);
+}
+
+TEST(ReplicatedStore, PutSurvivesDeadAndDroppingPeers) {
+  TempDir local_dir("degrade_local"), dead_dir("degrade_dead"), drop_dir("degrade_drop");
+  partition::DiskArtifactStore local(store_options(local_dir.path));
+  partition::DiskArtifactStore dead_remote(store_options(dead_dir.path));
+  partition::DiskArtifactStore drop_remote(store_options(drop_dir.path));
+  FakePeer dead(&dead_remote), dropping(&drop_remote);
+  dead.alive_ = false;
+  dropping.drop_pushes_ = true;
+  partition::ReplicatedStore store(&local, {&dead, &dropping});
+
+  const auto key = make_key(2);
+  const auto payload = make_payload(2);
+  // Replication is best effort: local durability is the only gate.
+  EXPECT_TRUE(store.put(key, kTag, kVersion, payload));
+  EXPECT_EQ(store.get(key, kTag, kVersion), std::optional(payload));
+  EXPECT_EQ(dead.pushes_seen_, 0u);  // dead peers are skipped entirely
+  EXPECT_EQ(store.stats().push_failures, 1u);
+
+  // The dropped push heals by anti-entropy once the peer accepts again.
+  dropping.drop_pushes_ = false;
+  store.repair();
+  EXPECT_EQ(drop_remote.get(key, kTag, kVersion), std::optional(payload));
+}
+
+TEST(ReplicatedStore, PullOnMissInstallsAndServes) {
+  TempDir local_dir("pull_local"), peer_dir("pull_peer");
+  partition::DiskArtifactStore local(store_options(local_dir.path));
+  partition::DiskArtifactStore remote(store_options(peer_dir.path));
+  FakePeer peer(&remote);
+  partition::ReplicatedStore store(&local, {&peer});
+
+  const auto key = make_key(3);
+  const auto payload = make_payload(3);
+  ASSERT_TRUE(remote.put(key, kTag, kVersion, payload));  // only the peer has it
+
+  EXPECT_EQ(store.get(key, kTag, kVersion), std::optional(payload));
+  EXPECT_EQ(store.stats().pull_hits, 1u);
+  // The envelope was installed locally: a second get is a pure local hit.
+  EXPECT_EQ(local.get(key, kTag, kVersion), std::optional(payload));
+}
+
+TEST(ReplicatedStore, CorruptedPeerCopyIsRejectedNotInstalled) {
+  TempDir local_dir("corrupt_local"), peer_dir("corrupt_peer");
+  partition::DiskArtifactStore local(store_options(local_dir.path));
+  partition::DiskArtifactStore remote(store_options(peer_dir.path));
+  FakePeer peer(&remote);
+  peer.corrupt_fetches_ = true;
+  partition::ReplicatedStore store(&local, {&peer});
+
+  const auto key = make_key(4);
+  ASSERT_TRUE(remote.put(key, kTag, kVersion, make_payload(4)));
+
+  // The flipped byte fails outside-in validation: a miss (recompute), not
+  // a wrong artifact — and nothing lands in the local directory.
+  EXPECT_EQ(store.get(key, kTag, kVersion), std::nullopt);
+  EXPECT_EQ(store.stats().pull_rejects, 1u);
+  EXPECT_TRUE(local.list_names().empty());
+}
+
+TEST(ReplicatedStore, RepairConvergesDivergentReplicas) {
+  TempDir a_dir("conv_a"), b_dir("conv_b");
+  partition::DiskArtifactStore a_local(store_options(a_dir.path));
+  partition::DiskArtifactStore b_local(store_options(b_dir.path));
+  // A and B each replicate toward the other, but writes land while the
+  // "link" drops pushes — the replicas diverge like a healed partition.
+  FakePeer a_sees_b(&b_local), b_sees_a(&a_local);
+  a_sees_b.drop_pushes_ = true;
+  b_sees_a.drop_pushes_ = true;
+  partition::ReplicatedStore a(&a_local, {&a_sees_b});
+  partition::ReplicatedStore b(&b_local, {&b_sees_a});
+
+  for (std::uint32_t salt = 10; salt < 13; ++salt) {
+    EXPECT_TRUE(a.put(make_key(salt), kTag, kVersion, make_payload(salt)));
+  }
+  for (std::uint32_t salt = 20; salt < 24; ++salt) {
+    EXPECT_TRUE(b.put(make_key(salt), kTag, kVersion, make_payload(salt)));
+  }
+  ASSERT_NE(a_local.list_names(), b_local.list_names());
+
+  // Heal the link; one round on A transfers the difference both ways.
+  a_sees_b.drop_pushes_ = false;
+  b_sees_a.drop_pushes_ = false;
+  a.repair();
+  EXPECT_EQ(a_local.list_names(), b_local.list_names());
+  EXPECT_EQ(a_local.list_names().size(), 7u);
+  EXPECT_GT(a.stats().repairs_pulled, 0u);
+  EXPECT_GT(a.stats().repairs_pushed, 0u);
+
+  // Every artifact now serves bit-identically from either replica.
+  for (std::uint32_t salt : {10u, 11u, 12u, 20u, 21u, 22u, 23u}) {
+    EXPECT_EQ(a.get(make_key(salt), kTag, kVersion), std::optional(make_payload(salt)));
+    EXPECT_EQ(b.get(make_key(salt), kTag, kVersion), std::optional(make_payload(salt)));
+  }
+}
+
+TEST(ReplicatedStore, NoPeersBehavesLikeLocalStore) {
+  TempDir local_dir("solo_local");
+  partition::DiskArtifactStore local(store_options(local_dir.path));
+  partition::ReplicatedStore store(&local, {});
+
+  const auto key = make_key(5);
+  const auto payload = make_payload(5);
+  EXPECT_TRUE(store.put(key, kTag, kVersion, payload));
+  EXPECT_EQ(store.get(key, kTag, kVersion), std::optional(payload));
+  EXPECT_EQ(store.get(make_key(6), kTag, kVersion), std::nullopt);
+  EXPECT_EQ(store.stats().pushes, 0u);
+  EXPECT_EQ(store.stats().pulls, 0u);  // a miss with no peers is just a miss
+  store.repair();
+  EXPECT_EQ(store.stats().repair_rounds, 1u);
+}
+
+}  // namespace
+}  // namespace warp

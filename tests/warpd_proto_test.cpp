@@ -172,6 +172,85 @@ TEST(WarpdProtocol, RejectsMalformedBusyAndTimeoutReplies) {
   }
 }
 
+// The cluster-internal forwarding tag: present => the receiver executes
+// locally and never re-forwards, so it must round-trip exactly and reject
+// line noise (a mis-parsed fwd= could loop a session between nodes).
+TEST(WarpdProtocol, ForwardTagRoundTrip) {
+  Request request;
+  request.id = 11;
+  request.workload = "crc";
+  request.forwarded_from = 2;
+  const std::string line = serve::protocol::encode_request(request);
+  EXPECT_NE(line.find("fwd=2"), std::string::npos) << line;
+  auto parsed = serve::protocol::parse_request(line);
+  ASSERT_TRUE(parsed) << parsed.message();
+  EXPECT_EQ(parsed.value(), request);
+
+  // Absent tag parses as absent — pre-cluster requests are unchanged.
+  auto plain = serve::protocol::parse_request("warp id=1 workload=crc");
+  ASSERT_TRUE(plain);
+  EXPECT_FALSE(plain.value().forwarded_from.has_value());
+
+  const char* kBad[] = {
+      "warp id=1 workload=crc fwd=",
+      "warp id=1 workload=crc fwd=-1",
+      "warp id=1 workload=crc fwd=1024",  // > kMaxNodeId
+      "warp id=1 workload=crc fwd=abc",
+      "warp id=1 workload=crc fwd=1 fwd=2",
+  };
+  for (const char* bad : kBad) {
+    EXPECT_FALSE(serve::protocol::parse_request(bad)) << "accepted: '" << bad << "'";
+  }
+}
+
+// node= names the warpd node whose sequencer admitted the session; cluster
+// clients group wait-chain replays by it. Always encoded, optional on parse
+// so pre-cluster reply lines still decode.
+TEST(WarpdProtocol, NodeFieldRoundTripAndLegacyDefault) {
+  auto reply = serve::protocol::make_ok_reply(9, warpsys::MultiWarpEntry{});
+  reply.node = 5;
+  const std::string line = serve::protocol::encode_reply(reply);
+  EXPECT_NE(line.find(" node=5 "), std::string::npos) << line;
+  auto parsed = serve::protocol::parse_reply(line);
+  ASSERT_TRUE(parsed) << parsed.message();
+  EXPECT_EQ(parsed.value().node, 5u);
+
+  // A pre-cluster line (no node=) defaults to node 0.
+  std::string legacy = line;
+  const auto at = legacy.find(" node=5");
+  ASSERT_NE(at, std::string::npos);
+  legacy.erase(at, std::strlen(" node=5"));
+  auto legacy_parsed = serve::protocol::parse_reply(legacy);
+  ASSERT_TRUE(legacy_parsed) << legacy_parsed.message();
+  EXPECT_EQ(legacy_parsed.value().node, 0u);
+}
+
+// The hex codec carries binary store envelopes over the line protocol
+// (sput/sget); it parses wire input, so it must reject rather than throw.
+TEST(WarpdProtocol, HexCodecRoundTripAndRejection) {
+  std::string all_bytes;
+  for (int b = 0; b < 256; ++b) all_bytes.push_back(static_cast<char>(b));
+  const std::string hex = serve::protocol::hex_encode(all_bytes);
+  EXPECT_EQ(hex.size(), all_bytes.size() * 2);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+  auto decoded = serve::protocol::hex_decode(hex);
+  ASSERT_TRUE(decoded) << decoded.message();
+  EXPECT_EQ(decoded.value(), all_bytes);
+
+  auto empty = serve::protocol::hex_decode("");
+  ASSERT_TRUE(empty);
+  EXPECT_TRUE(empty.value().empty());
+
+  // Decoding is liberal about case (encoders are lowercase-only).
+  auto upper = serve::protocol::hex_decode("AB");
+  ASSERT_TRUE(upper);
+  EXPECT_EQ(upper.value(), std::string(1, static_cast<char>(0xAB)));
+
+  EXPECT_FALSE(serve::protocol::hex_decode("abc"));   // odd length
+  EXPECT_FALSE(serve::protocol::hex_decode("0g"));    // non-hex byte
+  EXPECT_FALSE(serve::protocol::hex_decode("0x41"));  // no radix prefixes
+}
+
 // Byte-flip fuzz: every byte of the canonical lines, several masks. The
 // parser may accept or reject the mutated line, but must never crash or
 // trip a sanitizer.
